@@ -1,0 +1,90 @@
+// Command hpfexp regenerates the paper's evaluation artifacts: Table 2
+// and Figures 3, 4, 5, 7 and 8 (§5). With -all it reproduces everything;
+// individual flags select single artifacts. -quick runs reduced sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpfperf/internal/experiments"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		table2 = flag.Bool("table2", false, "Table 2: prediction accuracy")
+		fig3   = flag.Bool("fig3", false, "Figure 3: Laplace data distributions")
+		fig4   = flag.Bool("fig4", false, "Figure 4: Laplace est/meas times, 4 procs")
+		fig5   = flag.Bool("fig5", false, "Figure 5: Laplace est/meas times, 8 procs")
+		fig7   = flag.Bool("fig7", false, "Figure 7: financial model phase profile")
+		fig8   = flag.Bool("fig8", false, "Figure 8: experimentation time")
+		abl    = flag.Bool("ablations", false, "model design-choice ablation table")
+		quick  = flag.Bool("quick", false, "reduced sweeps (smoke run)")
+		runs   = flag.Int("runs", 3, "measured runs to average")
+		quiet  = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Runs = *runs
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	if !(*all || *table2 || *fig3 || *fig4 || *fig5 || *fig7 || *fig8 || *abl) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *all || *fig3 {
+		out, err := experiments.Figure3()
+		check(err)
+		fmt.Println(out)
+	}
+	if *all || *table2 {
+		rows, err := experiments.Table2(cfg)
+		check(err)
+		fmt.Println(experiments.RenderTable2(rows))
+		fmt.Println()
+	}
+	if *all || *fig4 {
+		series, err := experiments.Figure45(4, cfg)
+		check(err)
+		fmt.Println(experiments.RenderFigure45(4, 4, series))
+		fmt.Println()
+	}
+	if *all || *fig5 {
+		series, err := experiments.Figure45(8, cfg)
+		check(err)
+		fmt.Println(experiments.RenderFigure45(5, 8, series))
+		fmt.Println()
+	}
+	if *all || *fig7 {
+		phases, err := experiments.Figure7(cfg)
+		check(err)
+		fmt.Println(experiments.RenderFigure7(phases))
+		fmt.Println()
+	}
+	if *all || *fig8 {
+		times, err := experiments.Figure8(cfg)
+		check(err)
+		fmt.Println(experiments.RenderFigure8(times))
+		fmt.Println()
+	}
+	if *all || *abl {
+		rows, err := experiments.Ablations(cfg)
+		check(err)
+		fmt.Println(experiments.RenderAblations(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpfexp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,149 @@
+// Command hpfpc is the HPF/Fortran 90D performance predictor: it compiles
+// a program and interprets its performance on the abstracted iPSC/860
+// without executing it.
+//
+// Usage:
+//
+//	hpfpc [flags] file.hpf          predict a source file
+//	hpfpc [flags] -prog PI          predict a suite program
+//
+// Flags select the output form: the default profile, the interpreted AAG
+// (-aag), the communication table (-comm), per-line metrics (-line N),
+// the hottest lines (-hot N), the compiled SPMD program (-spmd), or a
+// ParaGraph trace (-trace file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpfperf"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "", "predict a suite program by name (e.g. \"PI\", \"Laplace (Blk-X)\")")
+		size     = flag.Int("size", 256, "problem size for -prog")
+		procs    = flag.Int("procs", 4, "processor count for -prog")
+		aag      = flag.Bool("aag", false, "print the interpreted application abstraction graph")
+		aagDepth = flag.Int("aag-depth", 3, "AAG view depth (0 = unlimited)")
+		comm     = flag.Bool("comm", false, "print the communication table")
+		line     = flag.Int("line", 0, "print metrics for one source line")
+		aau      = flag.Int("aau", 0, "print cumulative metrics of one AAU sub-graph by ID")
+		hot      = flag.Int("hot", 0, "print the N hottest source lines")
+		spmd     = flag.Bool("spmd", false, "print the compiled SPMD node program")
+		critical = flag.Bool("critical", false, "list the program's critical variables")
+		traceOut = flag.String("trace", "", "write a ParaGraph interpretation trace to this file")
+		maskDens = flag.Float64("mask", 1.0, "assumed FORALL/WHERE mask density")
+		noMem    = flag.Bool("nomem", false, "disable the memory-hierarchy model")
+		avgLoad  = flag.Bool("avgload", false, "use average instead of max-loaded processor accounting")
+		machine  = flag.String("machine", "", "target system abstraction (ipsc860, paragon)")
+		auto     = flag.Int("auto", 0, "search directive variants for N processors and rank them")
+	)
+	flag.Parse()
+
+	src, err := loadSource(*progName, *size, *procs, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := hpfperf.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *spmd {
+		fmt.Print(prog.SPMD())
+		return
+	}
+	if *critical {
+		cvs := prog.CriticalVariables()
+		if len(cvs) == 0 {
+			fmt.Println("no critical variables: all control flow is constant")
+			return
+		}
+		fmt.Println("critical variables (values affecting control flow):")
+		for _, cv := range cvs {
+			fmt.Printf("  %-12s %d use(s) at lines %v\n", cv.Name, cv.Uses, cv.Lines)
+		}
+		return
+	}
+	opts := &hpfperf.PredictOptions{MaskDensity: *maskDens, AverageLoad: *avgLoad, Machine: *machine}
+	if *noMem {
+		off := false
+		opts.MemoryModel = &off
+	}
+	if *auto > 0 {
+		cands, err := hpfperf.AutoDistribute(src, *auto, &hpfperf.AutoDistributeOptions{Predict: opts})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("directive search for %d processors:\n", *auto)
+		for i, c := range cands {
+			if c.Err != nil {
+				continue
+			}
+			marker := "  "
+			if i == 0 {
+				marker = "=>"
+			}
+			fmt.Printf("%s %-44s %12.3fms\n", marker, c.Desc, c.EstUS/1e3)
+		}
+		return
+	}
+	pred, err := hpfperf.Predict(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *aag:
+		fmt.Print(pred.AAG(*aagDepth))
+	case *comm:
+		fmt.Print(pred.CommTable())
+	case *line > 0:
+		fmt.Println(pred.Line(*line))
+	case *aau > 0:
+		fmt.Println(pred.AAU(*aau))
+	case *hot > 0:
+		fmt.Print(pred.HotLines(*hot))
+	default:
+		fmt.Print(pred.Profile())
+		fmt.Println("data mappings:")
+		for _, m := range prog.Mappings() {
+			fmt.Println("  " + m)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pred.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+	}
+}
+
+func loadSource(progName string, size, procs int, args []string) (string, error) {
+	if progName != "" {
+		p, err := hpfperf.SuiteProgramByName(progName)
+		if err != nil {
+			return "", err
+		}
+		return p.Source(size, procs), nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: hpfpc [flags] file.hpf  (or -prog NAME); see -help")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpfpc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command hpfsim executes an HPF/Fortran 90D program on the simulated
+// iPSC/860 hypercube, reporting the "measured" execution time and the
+// program's output — the measurement side of the paper's estimated vs.
+// measured comparisons.
+//
+// Usage:
+//
+//	hpfsim [flags] file.hpf
+//	hpfsim [flags] -prog "N-Body" -size 256 -procs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpfperf"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "", "run a suite program by name")
+		size     = flag.Int("size", 256, "problem size for -prog")
+		procs    = flag.Int("procs", 4, "processor count for -prog")
+		runs     = flag.Int("runs", 3, "number of perturbed timed runs to average")
+		perturb  = flag.Float64("perturb", 0.01, "load fluctuation amplitude (0 disables)")
+		seed     = flag.Int64("seed", 1994, "noise generator seed")
+		compare  = flag.Bool("compare", false, "also interpret and report the prediction error")
+		machine  = flag.String("machine", "", "simulated system (ipsc860, paragon)")
+	)
+	flag.Parse()
+
+	src, err := loadSource(*progName, *size, *procs, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := hpfperf.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	mopts := &hpfperf.MeasureOptions{Runs: *runs, Perturb: *perturb, Seed: *seed, Machine: *machine}
+	if *perturb == 0 {
+		mopts.Perturb = -1
+	}
+	meas, err := hpfperf.Measure(prog, mopts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("program %s on %d processor(s)\n", prog.Name(), prog.Processors())
+	fmt.Printf("measured execution time: %.6fs (mean of %d runs)\n", meas.Seconds(), len(meas.Runs()))
+	for i, t := range meas.Runs() {
+		fmt.Printf("  run %d: %.6fs\n", i+1, t/1e6)
+	}
+	if out := meas.Printed(); len(out) > 0 {
+		fmt.Println("program output:")
+		for _, l := range out {
+			fmt.Println("  " + l)
+		}
+	}
+	if *compare {
+		pred, err := hpfperf.Predict(prog, &hpfperf.PredictOptions{Machine: *machine})
+		if err != nil {
+			fatal(err)
+		}
+		e, m := pred.Microseconds(), meas.Microseconds()
+		fmt.Printf("interpreted estimate: %.6fs (error %+.2f%%)\n", pred.Seconds(), (e-m)/m*100)
+	}
+}
+
+func loadSource(progName string, size, procs int, args []string) (string, error) {
+	if progName != "" {
+		p, err := hpfperf.SuiteProgramByName(progName)
+		if err != nil {
+			return "", err
+		}
+		return p.Source(size, procs), nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: hpfsim [flags] file.hpf  (or -prog NAME); see -help")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command hpftrace renders a ParaGraph-format interpretation trace (as
+// produced by hpfpc -trace) as a per-processor utilization timeline — a
+// text-mode stand-in for the ParaGraph visualization package the paper
+// feeds its traces to.
+//
+// Usage:
+//
+//	hpfpc -prog "Laplace (Blk-X)" -trace lap.trc
+//	hpftrace lap.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpfperf/internal/trace"
+)
+
+func main() {
+	width := flag.Int("width", 72, "timeline width in buckets")
+	summary := flag.Bool("summary", false, "print per-processor activity totals instead")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hpftrace [-width N] [-summary] trace-file")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *summary {
+		st := tr.Summarize()
+		fmt.Printf("%d processors, %0.1fus total\n", st.Procs, st.TotalUS)
+		for p := 0; p < st.Procs; p++ {
+			busyPct, commPct := 0.0, 0.0
+			if st.TotalUS > 0 {
+				busyPct = st.BusyUS[p] / st.TotalUS * 100
+				commPct = st.CommUS[p] / st.TotalUS * 100
+			}
+			fmt.Printf("  P%-3d busy %6.1fus (%5.1f%%)  comm %6.1fus (%5.1f%%)\n",
+				p, st.BusyUS[p], busyPct, st.CommUS[p], commPct)
+		}
+		return
+	}
+	fmt.Print(tr.Gantt(*width))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpftrace:", err)
+	os.Exit(1)
+}

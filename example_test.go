@@ -1,0 +1,98 @@
+package hpfperf_test
+
+import (
+	"fmt"
+
+	"hpfperf"
+)
+
+// Example demonstrates the core predict-then-verify workflow of the
+// framework: compile once, interpret for a performance estimate, then
+// execute on the simulated iPSC/860 and compare.
+func Example() {
+	src := `PROGRAM demo
+PARAMETER (N = 512)
+REAL F(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE F(BLOCK) ONTO P
+H = 1.0/REAL(N)
+FORALL (K=1:N) F(K) = 4.0/(1.0 + ((REAL(K) - 0.5)*H)**2)
+API = H*SUM(F)
+PRINT *, API
+END`
+	prog, err := hpfperf.Compile(src)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pred, _ := hpfperf.Predict(prog, nil)
+	meas, _ := hpfperf.Measure(prog, &hpfperf.MeasureOptions{Perturb: -1})
+	fmt.Println("processors:", prog.Processors())
+	fmt.Println("prediction positive:", pred.Microseconds() > 0)
+	errPct := (pred.Microseconds() - meas.Microseconds()) / meas.Microseconds() * 100
+	fmt.Println("error within 10%:", errPct > -10 && errPct < 10)
+	fmt.Println("output:", meas.Printed()[0][:7])
+	// Output:
+	// processors: 4
+	// prediction positive: true
+	// error within 10%: true
+	// output: 3.14159
+}
+
+// ExampleSelectDistribution shows directive selection (§5.2.1): rank
+// distribution alternatives by interpreted performance without running
+// the program.
+func ExampleSelectDistribution() {
+	mk := func(d, g string) string {
+		return `PROGRAM lap
+PARAMETER (N = 64, MAXIT = 4)
+REAL U(N,N), V(N,N)
+!HPF$ PROCESSORS P` + g + `
+!HPF$ TEMPLATE T(N,N)
+!HPF$ ALIGN U(I,J) WITH T(I,J)
+!HPF$ ALIGN V(I,J) WITH T(I,J)
+!HPF$ DISTRIBUTE T` + d + ` ONTO P
+FORALL (I=1:N, J=1:N) U(I,J) = 0.0
+DO ITER = 1, MAXIT
+  FORALL (I=2:N-1, J=2:N-1) V(I,J) = 0.25*(U(I-1,J)+U(I+1,J)+U(I,J-1)+U(I,J+1))
+  FORALL (I=2:N-1, J=2:N-1) U(I,J) = V(I,J)
+END DO
+END`
+	}
+	ranked, err := hpfperf.SelectDistribution([]hpfperf.Candidate{
+		{Name: "(Block,Block)", Source: mk("(BLOCK,BLOCK)", "(2,2)")},
+		{Name: "(Block,*)", Source: mk("(BLOCK,*)", "(4)")},
+	}, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("best:", ranked[0].Name)
+	// Output:
+	// best: (Block,*)
+}
+
+// ExampleAutoDistribute shows the automatic directive search (the §7
+// "intelligent compiler"): the framework picks the distribution itself.
+func ExampleAutoDistribute() {
+	src := `PROGRAM sweep
+PARAMETER (N = 64)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN A(I) WITH T(I)
+!HPF$ ALIGN B(I) WITH T(I)
+!HPF$ DISTRIBUTE T(CYCLIC) ONTO P
+FORALL (K=2:N-1) A(K) = B(K-1) + B(K+1)
+CHK = SUM(A)
+END`
+	cands, err := hpfperf.AutoDistribute(src, 4, &hpfperf.AutoDistributeOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A nearest-neighbour stencil wants BLOCK, not the seed's CYCLIC.
+	fmt.Println("best:", cands[0].Desc)
+	// Output:
+	// best: T(BLOCK) onto P(4)
+}

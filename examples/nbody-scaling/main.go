@@ -1,0 +1,61 @@
+// Scalability study: use the interpretive framework to sweep the system
+// size for the systolic N-Body application before touching the machine —
+// the kind of design-space exploration the paper's framework enables
+// (predicting speedup curves from the workstation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpfperf"
+)
+
+func main() {
+	nbody, err := hpfperf.SuiteProgramByName("N-Body")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 256
+
+	fmt.Printf("N-Body (systolic CSHIFT), %d bodies — predicted scaling:\n\n", n)
+	fmt.Printf("%5s %12s %12s %12s %10s %10s\n",
+		"procs", "total", "comp", "comm", "speedup", "efficiency")
+
+	var t1 float64
+	for _, procs := range []int{1, 2, 4, 8, 16, 32} {
+		prog, err := hpfperf.Compile(nbody.Source(n, procs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Beyond the paper's 8-node testbed, predict on a larger cube
+		// configuration of the same machine (the iPSC/860 shipped up to
+		// 128 nodes).
+		pred, err := hpfperf.Predict(prog, &hpfperf.PredictOptions{Machine: "ipsc860:32"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		comp, comm, _ := pred.Breakdown()
+		total := pred.Microseconds()
+		if procs == 1 {
+			t1 = total
+		}
+		speedup := t1 / total
+		fmt.Printf("%5d %10.2fms %10.2fms %10.2fms %9.2fx %9.1f%%\n",
+			procs, total/1e3, comp/1e3, comm/1e3, speedup, speedup/float64(procs)*100)
+	}
+
+	// Verify the 8-processor prediction against simulated measurement.
+	prog, err := hpfperf.Compile(nbody.Source(n, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, _ := hpfperf.Predict(prog, nil)
+	meas, err := hpfperf.Measure(prog, &hpfperf.MeasureOptions{Runs: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, m := pred.Microseconds(), meas.Microseconds()
+	fmt.Printf("\nverification at 8 procs: est %.2fms, meas %.2fms (err %+.2f%%)\n",
+		e/1e3, m/1e3, (e-m)/m*100)
+}

@@ -1,0 +1,60 @@
+// Quickstart: compile an HPF/Fortran 90D program, predict its performance
+// on the abstracted iPSC/860 through the interpretive framework, then
+// verify against the simulated machine's measurement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpfperf"
+)
+
+const src = `PROGRAM quickstart
+PARAMETER (N = 1024)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN A(I) WITH T(I)
+!HPF$ ALIGN B(I) WITH T(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+FORALL (K=1:N) B(K) = REAL(K) * 0.001
+FORALL (K=2:N-1) A(K) = 0.5*(B(K-1) + B(K+1))
+S = SUM(A)
+PRINT *, S
+END`
+
+func main() {
+	// Phase 1: parse, partition, sequentialize, detect communication.
+	prog, err := hpfperf.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s for %d processors\n", prog.Name(), prog.Processors())
+	fmt.Println("data mappings:")
+	for _, m := range prog.Mappings() {
+		fmt.Println("  " + m)
+	}
+
+	// Phase 2: source-driven performance interpretation — no execution.
+	pred, err := hpfperf.Predict(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(pred.Profile())
+	fmt.Println()
+	fmt.Println("communication table:")
+	fmt.Print(pred.CommTable())
+
+	// Validate against the simulated iPSC/860 ("measured" time).
+	meas, err := hpfperf.Measure(prog, &hpfperf.MeasureOptions{Runs: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("measured on the simulated iPSC/860: %.6fs\n", meas.Seconds())
+	fmt.Printf("prediction error: %+.2f%%\n",
+		(pred.Microseconds()-meas.Microseconds())/meas.Microseconds()*100)
+	fmt.Printf("program output: %v\n", meas.Printed())
+}

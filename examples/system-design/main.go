@@ -1,0 +1,61 @@
+// System design evaluation (paper §7): use the interpretive framework to
+// compare machine designs before buying or building one — the same
+// program and directives, predicted against two system abstractions
+// (the iPSC/860 and a Paragon XP/S-like successor).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpfperf"
+)
+
+func main() {
+	nbody, err := hpfperf.SuiteProgramByName("N-Body")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lap, err := hpfperf.SuiteProgramByName("Laplace (Blk-X)")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What-if analysis: same programs, two machine abstractions")
+	fmt.Printf("available machines: %v\n\n", hpfperf.Machines())
+
+	for _, cse := range []struct {
+		name string
+		prog hpfperf.SuiteProgram
+		size int
+	}{
+		{"N-Body (comm: systolic cshift)", nbody, 256},
+		{"Laplace (comm: halo exchange)", lap, 128},
+	} {
+		fmt.Printf("%s, size %d:\n", cse.name, cse.size)
+		fmt.Printf("  %5s  %14s %14s %9s\n", "procs", "iPSC/860", "Paragon XP/S", "ratio")
+		for _, procs := range []int{1, 4, 8} {
+			prog, err := hpfperf.Compile(cse.prog.Source(cse.size, procs))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ipsc, err := hpfperf.Predict(prog, &hpfperf.PredictOptions{Machine: "ipsc860"})
+			if err != nil {
+				log.Fatal(err)
+			}
+			para, err := hpfperf.Predict(prog, &hpfperf.PredictOptions{Machine: "paragon"})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %5d  %12.2fms %12.2fms %8.2fx\n",
+				procs, ipsc.Microseconds()/1e3, para.Microseconds()/1e3,
+				ipsc.Microseconds()/para.Microseconds())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The communication-bound N-Body gains more from the Paragon's")
+	fmt.Println("faster interconnect at higher processor counts than the")
+	fmt.Println("computation-bound Laplace sweep — the kind of design insight")
+	fmt.Println("the paper proposes extracting from the framework (§7).")
+}

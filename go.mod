@@ -1,0 +1,3 @@
+module hpfperf
+
+go 1.22

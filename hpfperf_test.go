@@ -1,0 +1,288 @@
+package hpfperf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpfperf"
+)
+
+const quickSrc = `PROGRAM quick
+PARAMETER (N = 256)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN A(I) WITH T(I)
+!HPF$ ALIGN B(I) WITH T(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+FORALL (K=1:N) B(K) = REAL(K)
+FORALL (K=2:N-1) A(K) = 0.5*(B(K-1) + B(K+1))
+S = SUM(A)
+PRINT *, S
+END`
+
+func TestCompile(t *testing.T) {
+	p, err := hpfperf.Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "QUICK" || p.Processors() != 4 {
+		t.Errorf("name=%s procs=%d", p.Name(), p.Processors())
+	}
+	if !strings.Contains(p.SPMD(), "SPMD PROGRAM") {
+		t.Error("SPMD dump empty")
+	}
+	maps := p.Mappings()
+	if len(maps) != 2 {
+		t.Fatalf("mappings = %v", maps)
+	}
+	if !strings.Contains(maps[0], "BLOCK") {
+		t.Errorf("mapping = %s", maps[0])
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := hpfperf.Compile("PROGRAM x\nY = )\nEND"); err == nil {
+		t.Error("want syntax error")
+	}
+}
+
+func TestPredictAndMeasureAgree(t *testing.T) {
+	p, err := hpfperf.Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := hpfperf.Predict(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := hpfperf.Measure(p, &hpfperf.MeasureOptions{Perturb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, m := pred.Microseconds(), meas.Microseconds()
+	if e <= 0 || m <= 0 {
+		t.Fatalf("est=%g meas=%g", e, m)
+	}
+	diff := (e - m) / m
+	if diff < -0.25 || diff > 0.25 {
+		t.Errorf("prediction off by %.1f%%", diff*100)
+	}
+}
+
+func TestPredictionOutputs(t *testing.T) {
+	p, _ := hpfperf.Compile(quickSrc)
+	pred, err := hpfperf.Predict(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pred.Profile(), "computation") {
+		t.Error("profile missing breakdown")
+	}
+	comp, comm, _ := pred.Breakdown()
+	if comp <= 0 || comm <= 0 {
+		t.Errorf("breakdown comp=%g comm=%g", comp, comm)
+	}
+	if !strings.Contains(pred.AAG(2), "IterD") {
+		t.Error("AAG view missing loops")
+	}
+	if !strings.Contains(pred.CommTable(), "shift") {
+		t.Error("comm table missing shift")
+	}
+	if !strings.Contains(pred.Line(10), "line 10") {
+		t.Error("line query broken")
+	}
+	if pred.HotLines(3) == "" {
+		t.Error("hot lines empty")
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	p, _ := hpfperf.Compile(quickSrc)
+	pred, _ := hpfperf.Predict(p, nil)
+	var buf bytes.Buffer
+	if err := pred.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "-3 ") || !strings.Contains(out, "-21 ") {
+		t.Errorf("trace missing records:\n%.300s", out)
+	}
+}
+
+func TestMeasureFunctionalOutput(t *testing.T) {
+	p, _ := hpfperf.Compile(quickSrc)
+	meas, err := hpfperf.Measure(p, &hpfperf.MeasureOptions{Perturb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas.Printed()) != 1 {
+		t.Fatalf("printed = %v", meas.Printed())
+	}
+	if len(meas.PerNode()) != 4 {
+		t.Errorf("per-node clocks = %d", len(meas.PerNode()))
+	}
+}
+
+func TestMeasureRunsAveraging(t *testing.T) {
+	p, _ := hpfperf.Compile(quickSrc)
+	meas, err := hpfperf.Measure(p, &hpfperf.MeasureOptions{Runs: 4, Perturb: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas.Runs()) != 4 {
+		t.Errorf("runs = %d", len(meas.Runs()))
+	}
+}
+
+func laplaceVariant(d, grid string) string {
+	return `PROGRAM lap
+PARAMETER (N = 64, MAXIT = 4)
+REAL U(N,N), V(N,N)
+!HPF$ PROCESSORS P` + grid + `
+!HPF$ TEMPLATE T(N,N)
+!HPF$ ALIGN U(I,J) WITH T(I,J)
+!HPF$ ALIGN V(I,J) WITH T(I,J)
+!HPF$ DISTRIBUTE T` + d + ` ONTO P
+FORALL (I=1:N, J=1:N) U(I,J) = 0.0
+DO ITER = 1, MAXIT
+  FORALL (I=2:N-1, J=2:N-1) V(I,J) = 0.25*(U(I-1,J)+U(I+1,J)+U(I,J-1)+U(I,J+1))
+  FORALL (I=2:N-1, J=2:N-1) U(I,J) = V(I,J)
+END DO
+END`
+}
+
+func TestSelectDistribution(t *testing.T) {
+	ranked, err := hpfperf.SelectDistribution([]hpfperf.Candidate{
+		{Name: "(Block,Block)", Source: laplaceVariant("(BLOCK,BLOCK)", "(2,2)")},
+		{Name: "(Block,*)", Source: laplaceVariant("(BLOCK,*)", "(4)")},
+		{Name: "(*,Block)", Source: laplaceVariant("(*,BLOCK)", "(4)")},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Prediction.Microseconds() > ranked[i].Prediction.Microseconds() {
+			t.Error("ranking not sorted")
+		}
+	}
+	if ranked[len(ranked)-1].Name != "(Block,Block)" {
+		t.Errorf("expected (Block,Block) to rank worst, got order %s, %s, %s",
+			ranked[0].Name, ranked[1].Name, ranked[2].Name)
+	}
+}
+
+func TestSuiteAccess(t *testing.T) {
+	all := hpfperf.Suite()
+	if len(all) != 16 {
+		t.Fatalf("suite = %d", len(all))
+	}
+	pi, err := hpfperf.SuiteProgramByName("PI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := pi.Source(128, 2)
+	if !strings.Contains(src, "PROCESSORS P(2)") {
+		t.Error("suite source not parameterized")
+	}
+	if _, err := hpfperf.SuiteProgramByName("nope"); err == nil {
+		t.Error("want error for unknown program")
+	}
+}
+
+func TestPredictOptionsAblation(t *testing.T) {
+	p, _ := hpfperf.Compile(quickSrc)
+	off := false
+	noMem, err := hpfperf.Predict(p, &hpfperf.PredictOptions{MemoryModel: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := hpfperf.Predict(p, nil)
+	if noMem.Microseconds() >= def.Microseconds() {
+		t.Error("disabling the memory model should lower the estimate")
+	}
+	avg, err := hpfperf.Predict(p, &hpfperf.PredictOptions{AverageLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Microseconds() > def.Microseconds() {
+		t.Error("average load model should not exceed max-loaded")
+	}
+}
+
+func TestPhaseMetrics(t *testing.T) {
+	p, _ := hpfperf.Compile(quickSrc)
+	pred, _ := hpfperf.Predict(p, nil)
+	comp, _, _ := pred.PhaseMetrics(9, 10)
+	if comp <= 0 {
+		t.Error("phase metrics empty")
+	}
+	txt := pred.PhaseProfile("phases", []hpfperf.Phase{{Name: "init", FromLine: 9, ToLine: 9}})
+	if !strings.Contains(txt, "init") {
+		t.Error("phase profile missing name")
+	}
+}
+
+func TestAutoDistribute(t *testing.T) {
+	src := laplaceVariant("(BLOCK,BLOCK)", "(2,2)")
+	cands, err := hpfperf.AutoDistribute(src, 4, &hpfperf.AutoDistributeOptions{NoCyclic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	best := cands[0]
+	if best.Err != nil || best.EstUS <= 0 {
+		t.Fatalf("best candidate invalid: %+v", best)
+	}
+	if _, err := hpfperf.Compile(best.Source); err != nil {
+		t.Fatalf("best source does not compile: %v", err)
+	}
+	// The 5-point stencil must not pick (BLOCK,BLOCK): a 1-D distribution
+	// halves the message count.
+	if strings.Contains(best.Desc, "(BLOCK,BLOCK)") {
+		t.Errorf("best = %s", best.Desc)
+	}
+}
+
+func TestMachineSelection(t *testing.T) {
+	if len(hpfperf.Machines()) < 2 {
+		t.Fatalf("machines = %v", hpfperf.Machines())
+	}
+	p, _ := hpfperf.Compile(quickSrc)
+	ipsc, err := hpfperf.Predict(p, &hpfperf.PredictOptions{Machine: "ipsc860"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	para, err := hpfperf.Predict(p, &hpfperf.PredictOptions{Machine: "paragon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if para.Microseconds() >= ipsc.Microseconds() {
+		t.Errorf("paragon (%g) should beat the iPSC/860 (%g)", para.Microseconds(), ipsc.Microseconds())
+	}
+	if _, err := hpfperf.Predict(p, &hpfperf.PredictOptions{Machine: "cray"}); err == nil {
+		t.Error("want error for unknown machine")
+	}
+	mp, err := hpfperf.Measure(p, &hpfperf.MeasureOptions{Machine: "paragon", Perturb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := hpfperf.Measure(p, &hpfperf.MeasureOptions{Perturb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Microseconds() >= mi.Microseconds() {
+		t.Errorf("measured paragon (%g) should beat iPSC (%g)", mp.Microseconds(), mi.Microseconds())
+	}
+	// Cross-machine prediction error stays sane.
+	e := (para.Microseconds() - mp.Microseconds()) / mp.Microseconds() * 100
+	if e > 25 || e < -25 {
+		t.Errorf("paragon prediction error %.1f%%", e)
+	}
+}

@@ -1,0 +1,49 @@
+package hpfperf_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpfperf"
+)
+
+// TestTestdataPrograms compiles, predicts and measures every sample
+// program shipped under testdata/.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.hpf")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := hpfperf.Compile(string(b))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			pred, err := hpfperf.Predict(prog, nil)
+			if err != nil {
+				t.Fatalf("predict: %v", err)
+			}
+			meas, err := hpfperf.Measure(prog, &hpfperf.MeasureOptions{Perturb: -1})
+			if err != nil {
+				t.Fatalf("measure: %v", err)
+			}
+			e, m := pred.Microseconds(), meas.Microseconds()
+			if e <= 0 || m <= 0 {
+				t.Fatalf("est=%g meas=%g", e, m)
+			}
+			if d := (e - m) / m; d > 0.25 || d < -0.25 {
+				t.Errorf("%s: prediction off by %.1f%%", f, d*100)
+			}
+			if len(meas.Printed()) == 0 {
+				t.Error("no program output")
+			}
+		})
+	}
+}

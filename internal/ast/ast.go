@@ -1,0 +1,414 @@
+// Package ast declares the abstract syntax tree of the HPF/Fortran 90D
+// subset: a single PROGRAM unit with type declarations, HPF mapping
+// directives, and executable statements (assignments, DO, IF, FORALL,
+// WHERE, array assignments, intrinsic calls).
+package ast
+
+import (
+	"hpfperf/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a bare name: a scalar variable, a whole array, or a named
+// constant. Names are stored upper-case (Fortran is case-insensitive).
+type Ident struct {
+	Name    string
+	NamePos token.Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value    int64
+	Text     string
+	ValuePos token.Pos
+}
+
+// RealLit is a real literal; Double records a d-exponent (double precision).
+type RealLit struct {
+	Value    float64
+	Text     string
+	Double   bool
+	ValuePos token.Pos
+}
+
+// LogicalLit is .TRUE. or .FALSE.
+type LogicalLit struct {
+	Value    bool
+	ValuePos token.Pos
+}
+
+// StringLit is a character literal (used only by PRINT).
+type StringLit struct {
+	Value    string
+	ValuePos token.Pos
+}
+
+// BinaryExpr is X op Y.
+type BinaryExpr struct {
+	Op    token.Kind
+	X, Y  Expr
+	OpPos token.Pos
+}
+
+// UnaryExpr is op X (unary minus, plus, .NOT.).
+type UnaryExpr struct {
+	Op    token.Kind
+	X     Expr
+	OpPos token.Pos
+}
+
+// Section is a subscript triplet lo:hi:stride appearing in an array
+// reference. Any of the three parts may be nil (defaulted).
+type Section struct {
+	Lo, Hi, Stride Expr
+	ColonPos       token.Pos
+}
+
+// CallOrIndex is NAME(arg, ...). Fortran syntax cannot distinguish an array
+// element/section reference from a function call; semantic analysis resolves
+// the meaning (field Resolved, set by package sem).
+type CallOrIndex struct {
+	Name    string
+	Args    []Expr // each arg is an Expr or *Section
+	NamePos token.Pos
+	// Resolved is set during semantic analysis.
+	Resolved RefKind
+}
+
+// RefKind says what a CallOrIndex turned out to be.
+type RefKind int
+
+const (
+	RefUnknown   RefKind = iota
+	RefArray             // array element or section reference
+	RefIntrinsic         // intrinsic function call
+)
+
+func (x *Ident) Pos() token.Pos       { return x.NamePos }
+func (x *IntLit) Pos() token.Pos      { return x.ValuePos }
+func (x *RealLit) Pos() token.Pos     { return x.ValuePos }
+func (x *LogicalLit) Pos() token.Pos  { return x.ValuePos }
+func (x *StringLit) Pos() token.Pos   { return x.ValuePos }
+func (x *BinaryExpr) Pos() token.Pos  { return x.X.Pos() }
+func (x *UnaryExpr) Pos() token.Pos   { return x.OpPos }
+func (x *Section) Pos() token.Pos     { return x.ColonPos }
+func (x *CallOrIndex) Pos() token.Pos { return x.NamePos }
+
+func (*Ident) exprNode()       {}
+func (*IntLit) exprNode()      {}
+func (*RealLit) exprNode()     {}
+func (*LogicalLit) exprNode()  {}
+func (*StringLit) exprNode()   {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*Section) exprNode()     {}
+func (*CallOrIndex) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all executable statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// AssignStmt is lhs = rhs. The LHS is an *Ident (scalar/whole array) or a
+// *CallOrIndex (element or section).
+type AssignStmt struct {
+	Lhs Expr
+	Rhs Expr
+}
+
+// IfStmt is a block IF / ELSE IF / ELSE / END IF construct, or a logical IF
+// (single-statement Then, no Else, Block=false).
+type IfStmt struct {
+	Cond  Expr
+	Then  []Stmt
+	Else  []Stmt // may hold a single IfStmt for ELSE IF chains
+	Block bool
+	IfPos token.Pos
+}
+
+// DoStmt is a counted DO loop.
+type DoStmt struct {
+	Var   string
+	From  Expr
+	To    Expr
+	Step  Expr // nil means 1
+	Body  []Stmt
+	DoPos token.Pos
+}
+
+// DoWhileStmt is DO WHILE (cond).
+type DoWhileStmt struct {
+	Cond  Expr
+	Body  []Stmt
+	DoPos token.Pos
+}
+
+// ForallIndex is one index-spec of a FORALL header: name = lo:hi[:stride].
+type ForallIndex struct {
+	Name           string
+	Lo, Hi, Stride Expr // Stride may be nil
+}
+
+// ForallStmt is a FORALL statement or construct. Body assignments execute
+// with full right-hand-side evaluation before assignment semantics.
+type ForallStmt struct {
+	Indices   []ForallIndex
+	Mask      Expr // may be nil
+	Body      []Stmt
+	Construct bool // true for FORALL ... END FORALL
+	ForPos    token.Pos
+}
+
+// WhereStmt is a WHERE statement or construct with optional ELSEWHERE.
+type WhereStmt struct {
+	Mask      Expr
+	Body      []Stmt
+	ElseBody  []Stmt
+	Construct bool
+	WherePos  token.Pos
+}
+
+// CallStmt is CALL NAME(args). Only used for a small set of utility
+// subroutines (e.g. RANDOM_NUMBER-like initializers) handled by the runtime.
+type CallStmt struct {
+	Name    string
+	Args    []Expr
+	CallPos token.Pos
+}
+
+// PrintStmt is PRINT *, args. It is a functional no-op for timing purposes
+// but is parsed, abstracted (as host I/O) and executed.
+type PrintStmt struct {
+	Args     []Expr
+	PrintPos token.Pos
+}
+
+// StopStmt terminates the program.
+type StopStmt struct{ StopPos token.Pos }
+
+// ContinueStmt is a no-op.
+type ContinueStmt struct{ ContPos token.Pos }
+
+func (s *AssignStmt) Pos() token.Pos   { return s.Lhs.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *DoStmt) Pos() token.Pos       { return s.DoPos }
+func (s *DoWhileStmt) Pos() token.Pos  { return s.DoPos }
+func (s *ForallStmt) Pos() token.Pos   { return s.ForPos }
+func (s *WhereStmt) Pos() token.Pos    { return s.WherePos }
+func (s *CallStmt) Pos() token.Pos     { return s.CallPos }
+func (s *PrintStmt) Pos() token.Pos    { return s.PrintPos }
+func (s *StopStmt) Pos() token.Pos     { return s.StopPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.ContPos }
+
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*DoStmt) stmtNode()       {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForallStmt) stmtNode()   {}
+func (*WhereStmt) stmtNode()    {}
+func (*CallStmt) stmtNode()     {}
+func (*PrintStmt) stmtNode()    {}
+func (*StopStmt) stmtNode()     {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// BaseType is a Fortran intrinsic type.
+type BaseType int
+
+const (
+	TUnknown BaseType = iota
+	TInteger
+	TReal
+	TDouble
+	TLogical
+	TCharacter
+)
+
+func (t BaseType) String() string {
+	switch t {
+	case TInteger:
+		return "INTEGER"
+	case TReal:
+		return "REAL"
+	case TDouble:
+		return "DOUBLE PRECISION"
+	case TLogical:
+		return "LOGICAL"
+	case TCharacter:
+		return "CHARACTER"
+	}
+	return "UNKNOWN"
+}
+
+// Bytes returns the storage size of one element of the type on the modeled
+// machine (i860: 4-byte INTEGER/REAL/LOGICAL, 8-byte DOUBLE PRECISION).
+func (t BaseType) Bytes() int {
+	if t == TDouble {
+		return 8
+	}
+	return 4
+}
+
+// ArrayBound is one declared dimension lo:hi; Lo may be nil (default 1).
+type ArrayBound struct {
+	Lo, Hi Expr
+}
+
+// Entity is a declared name with optional array bounds.
+type Entity struct {
+	Name string
+	Dims []ArrayBound // nil for scalars
+	Pos  token.Pos
+}
+
+// Decl is implemented by declaration nodes.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// TypeDecl declares entities of a base type: REAL A(N,N), B, C(100).
+type TypeDecl struct {
+	Type     BaseType
+	Entities []Entity
+	TypePos  token.Pos
+}
+
+// ParameterDecl declares named constants: PARAMETER (N=256, PI=3.14159).
+type ParameterDecl struct {
+	Names  []string
+	Values []Expr
+	ParPos token.Pos
+}
+
+// DimensionDecl declares array bounds separately: DIMENSION A(100).
+type DimensionDecl struct {
+	Entities []Entity
+	DimPos   token.Pos
+}
+
+// ImplicitNoneDecl is IMPLICIT NONE.
+type ImplicitNoneDecl struct{ ImpPos token.Pos }
+
+func (d *TypeDecl) Pos() token.Pos         { return d.TypePos }
+func (d *ParameterDecl) Pos() token.Pos    { return d.ParPos }
+func (d *DimensionDecl) Pos() token.Pos    { return d.DimPos }
+func (d *ImplicitNoneDecl) Pos() token.Pos { return d.ImpPos }
+
+func (*TypeDecl) declNode()         {}
+func (*ParameterDecl) declNode()    {}
+func (*DimensionDecl) declNode()    {}
+func (*ImplicitNoneDecl) declNode() {}
+
+// ---------------------------------------------------------------------------
+// HPF directives
+
+// Directive is implemented by !HPF$ directive nodes.
+type Directive interface {
+	Node
+	directiveNode()
+}
+
+// ProcessorsDir is !HPF$ PROCESSORS P(4) or P(2,2).
+type ProcessorsDir struct {
+	Name  string
+	Shape []Expr
+	DPos  token.Pos
+}
+
+// TemplateDir is !HPF$ TEMPLATE T(N,N).
+type TemplateDir struct {
+	Name string
+	Dims []ArrayBound
+	DPos token.Pos
+}
+
+// AlignDir is !HPF$ ALIGN A(I,J) WITH T(I,J) or !HPF$ ALIGN A WITH T.
+// Dummies are the alignment dummy names on the array side (empty for whole
+// array alignment); Target subscripts are expressions over the dummies.
+type AlignDir struct {
+	Array      string
+	Dummies    []string
+	Target     string
+	TargetSubs []Expr
+	DPos       token.Pos
+}
+
+// DistKind is a distribution format for one template dimension.
+type DistKind int
+
+const (
+	DistBlock DistKind = iota
+	DistCyclic
+	DistStar // collapsed (on-processor) dimension, written '*'
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case DistBlock:
+		return "BLOCK"
+	case DistCyclic:
+		return "CYCLIC"
+	case DistStar:
+		return "*"
+	}
+	return "?"
+}
+
+// DistFormat is one per-dimension distribution specifier; Arg is the
+// optional block size of BLOCK(n)/CYCLIC(n).
+type DistFormat struct {
+	Kind DistKind
+	Arg  Expr
+}
+
+// DistributeDir is !HPF$ DISTRIBUTE T(BLOCK,*) ONTO P.
+type DistributeDir struct {
+	Target  string
+	Formats []DistFormat
+	Onto    string // may be empty (implementation chooses)
+	DPos    token.Pos
+}
+
+func (d *ProcessorsDir) Pos() token.Pos { return d.DPos }
+func (d *TemplateDir) Pos() token.Pos   { return d.DPos }
+func (d *AlignDir) Pos() token.Pos      { return d.DPos }
+func (d *DistributeDir) Pos() token.Pos { return d.DPos }
+
+func (*ProcessorsDir) directiveNode() {}
+func (*TemplateDir) directiveNode()   {}
+func (*AlignDir) directiveNode()      {}
+func (*DistributeDir) directiveNode() {}
+
+// ---------------------------------------------------------------------------
+// Program
+
+// Program is a complete HPF/Fortran 90D main program unit.
+type Program struct {
+	Name       string
+	Decls      []Decl
+	Directives []Directive
+	Body       []Stmt
+	NamePos    token.Pos
+}
+
+func (p *Program) Pos() token.Pos { return p.NamePos }

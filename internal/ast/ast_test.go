@@ -1,0 +1,143 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"hpfperf/internal/token"
+)
+
+func TestBaseTypeStringsAndBytes(t *testing.T) {
+	if TReal.String() != "REAL" || TDouble.String() != "DOUBLE PRECISION" {
+		t.Error("type names")
+	}
+	if TReal.Bytes() != 4 || TDouble.Bytes() != 8 || TInteger.Bytes() != 4 {
+		t.Error("type sizes")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &BinaryExpr{
+		Op: token.PLUS,
+		X:  &CallOrIndex{Name: "A", Args: []Expr{&Ident{Name: "I"}}},
+		Y:  &RealLit{Value: 2.5, Text: "2.5"},
+	}
+	if got := ExprString(e); got != "(A(I) + 2.5)" {
+		t.Errorf("expr string = %q", got)
+	}
+	sec := &Section{Lo: &IntLit{Value: 1}, Hi: &Ident{Name: "N"}}
+	if got := ExprString(sec); got != "1:N" {
+		t.Errorf("section string = %q", got)
+	}
+	if ExprString(&LogicalLit{Value: true}) != ".TRUE." {
+		t.Error("logical literal string")
+	}
+	not := &UnaryExpr{Op: token.NOT, X: &Ident{Name: "B"}}
+	if got := ExprString(not); !strings.Contains(got, ".NOT.") {
+		t.Errorf("not string = %q", got)
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	s := &ForallStmt{
+		Indices: []ForallIndex{{Name: "I", Lo: &IntLit{Value: 1}, Hi: &Ident{Name: "N"}}},
+		Mask:    &BinaryExpr{Op: token.GT, X: &Ident{Name: "X"}, Y: &IntLit{Value: 0}},
+	}
+	got := StmtString(s)
+	if !strings.Contains(got, "FORALL") || !strings.Contains(got, "I=1:N") {
+		t.Errorf("forall string = %q", got)
+	}
+	as := &AssignStmt{Lhs: &Ident{Name: "X"}, Rhs: &IntLit{Value: 3}}
+	if StmtString(as) != "X = 3" {
+		t.Errorf("assign string = %q", StmtString(as))
+	}
+	do := &DoStmt{Var: "I", From: &IntLit{Value: 1}, To: &IntLit{Value: 9}, Step: &IntLit{Value: 2}}
+	if got := StmtString(do); !strings.Contains(got, "DO I = 1, 9, 2") {
+		t.Errorf("do string = %q", got)
+	}
+}
+
+func TestInspectVisitsAll(t *testing.T) {
+	prog := &Program{
+		Name: "T",
+		Decls: []Decl{
+			&TypeDecl{Type: TReal, Entities: []Entity{{Name: "A", Dims: []ArrayBound{{Hi: &IntLit{Value: 10}}}}}},
+			&ParameterDecl{Names: []string{"N"}, Values: []Expr{&IntLit{Value: 4}}},
+		},
+		Directives: []Directive{
+			&ProcessorsDir{Name: "P", Shape: []Expr{&IntLit{Value: 4}}},
+			&DistributeDir{Target: "A", Formats: []DistFormat{{Kind: DistBlock}}},
+		},
+		Body: []Stmt{
+			&IfStmt{
+				Cond: &BinaryExpr{Op: token.GT, X: &Ident{Name: "X"}, Y: &IntLit{Value: 0}},
+				Then: []Stmt{&AssignStmt{Lhs: &Ident{Name: "Y"}, Rhs: &IntLit{Value: 1}}},
+				Else: []Stmt{&AssignStmt{Lhs: &Ident{Name: "Y"}, Rhs: &IntLit{Value: 2}}},
+			},
+			&DoStmt{Var: "I", From: &IntLit{Value: 1}, To: &IntLit{Value: 10},
+				Body: []Stmt{
+					&ForallStmt{
+						Indices: []ForallIndex{{Name: "K", Lo: &IntLit{Value: 1}, Hi: &IntLit{Value: 10}}},
+						Body: []Stmt{&AssignStmt{
+							Lhs: &CallOrIndex{Name: "A", Args: []Expr{&Ident{Name: "K"}}},
+							Rhs: &IntLit{Value: 0},
+						}},
+					},
+				}},
+			&WhereStmt{
+				Mask:     &Ident{Name: "M"},
+				Body:     []Stmt{&AssignStmt{Lhs: &Ident{Name: "A"}, Rhs: &IntLit{Value: 0}}},
+				ElseBody: []Stmt{&AssignStmt{Lhs: &Ident{Name: "A"}, Rhs: &IntLit{Value: 1}}},
+			},
+			&PrintStmt{Args: []Expr{&Ident{Name: "Y"}}},
+		},
+	}
+	idents := map[string]int{}
+	ints := 0
+	Inspect(prog, func(n Node) bool {
+		switch x := n.(type) {
+		case *Ident:
+			idents[x.Name]++
+		case *IntLit:
+			ints++
+		}
+		return true
+	})
+	for _, want := range []string{"X", "Y", "K", "M"} {
+		if idents[want] == 0 {
+			t.Errorf("Inspect missed ident %s", want)
+		}
+	}
+	if ints < 10 {
+		t.Errorf("Inspect visited only %d int literals", ints)
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	e := &BinaryExpr{Op: token.PLUS, X: &Ident{Name: "A"}, Y: &Ident{Name: "B"}}
+	seen := 0
+	Inspect(e, func(n Node) bool {
+		seen++
+		return false // prune at the root
+	})
+	if seen != 1 {
+		t.Errorf("prune failed, visited %d nodes", seen)
+	}
+}
+
+func TestDistKindString(t *testing.T) {
+	if DistBlock.String() != "BLOCK" || DistCyclic.String() != "CYCLIC" || DistStar.String() != "*" {
+		t.Error("dist kind names")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	id := &Ident{Name: "X", NamePos: token.Pos{Line: 3, Col: 7}}
+	if id.Pos().Line != 3 {
+		t.Error("position lost")
+	}
+	as := &AssignStmt{Lhs: id, Rhs: &IntLit{Value: 1}}
+	if as.Pos().Line != 3 {
+		t.Error("assign position should come from LHS")
+	}
+}

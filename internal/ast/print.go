@@ -1,0 +1,133 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfperf/internal/token"
+)
+
+// ExprString renders an expression in Fortran-like syntax, primarily for
+// diagnostics and the per-line query output.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.Value)
+	case *RealLit:
+		if x.Text != "" {
+			b.WriteString(x.Text)
+		} else {
+			fmt.Fprintf(b, "%g", x.Value)
+		}
+	case *LogicalLit:
+		if x.Value {
+			b.WriteString(".TRUE.")
+		} else {
+			b.WriteString(".FALSE.")
+		}
+	case *StringLit:
+		fmt.Fprintf(b, "'%s'", x.Value)
+	case *UnaryExpr:
+		b.WriteString(opText(x.Op))
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		b.WriteString(")")
+	case *BinaryExpr:
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		b.WriteString(" ")
+		b.WriteString(opText(x.Op))
+		b.WriteString(" ")
+		writeExpr(b, x.Y)
+		b.WriteString(")")
+	case *Section:
+		if x.Lo != nil {
+			writeExpr(b, x.Lo)
+		}
+		b.WriteString(":")
+		if x.Hi != nil {
+			writeExpr(b, x.Hi)
+		}
+		if x.Stride != nil {
+			b.WriteString(":")
+			writeExpr(b, x.Stride)
+		}
+	case *CallOrIndex:
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+func opText(k token.Kind) string {
+	switch k {
+	case token.AND:
+		return ".AND."
+	case token.OR:
+		return ".OR."
+	case token.NOT:
+		return ".NOT."
+	default:
+		return k.String()
+	}
+}
+
+// StmtString renders a one-line description of a statement (bodies elided).
+func StmtString(s Stmt) string {
+	switch x := s.(type) {
+	case *AssignStmt:
+		return ExprString(x.Lhs) + " = " + ExprString(x.Rhs)
+	case *IfStmt:
+		return "IF (" + ExprString(x.Cond) + ") ..."
+	case *DoStmt:
+		str := fmt.Sprintf("DO %s = %s, %s", x.Var, ExprString(x.From), ExprString(x.To))
+		if x.Step != nil {
+			str += ", " + ExprString(x.Step)
+		}
+		return str
+	case *DoWhileStmt:
+		return "DO WHILE (" + ExprString(x.Cond) + ")"
+	case *ForallStmt:
+		var parts []string
+		for _, ix := range x.Indices {
+			p := fmt.Sprintf("%s=%s:%s", ix.Name, ExprString(ix.Lo), ExprString(ix.Hi))
+			if ix.Stride != nil {
+				p += ":" + ExprString(ix.Stride)
+			}
+			parts = append(parts, p)
+		}
+		if x.Mask != nil {
+			parts = append(parts, ExprString(x.Mask))
+		}
+		return "FORALL (" + strings.Join(parts, ", ") + ") ..."
+	case *WhereStmt:
+		return "WHERE (" + ExprString(x.Mask) + ") ..."
+	case *CallStmt:
+		return "CALL " + x.Name
+	case *PrintStmt:
+		return "PRINT *"
+	case *StopStmt:
+		return "STOP"
+	case *ContinueStmt:
+		return "CONTINUE"
+	}
+	return fmt.Sprintf("<%T>", s)
+}

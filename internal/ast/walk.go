@@ -1,0 +1,99 @@
+package ast
+
+// Inspect traverses the AST rooted at n in depth-first order, calling f for
+// each node. If f returns false, children of the node are not visited.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *BinaryExpr:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *UnaryExpr:
+		Inspect(x.X, f)
+	case *Section:
+		inspectExprs(f, x.Lo, x.Hi, x.Stride)
+	case *CallOrIndex:
+		inspectExprs(f, x.Args...)
+	case *AssignStmt:
+		Inspect(x.Lhs, f)
+		Inspect(x.Rhs, f)
+	case *IfStmt:
+		Inspect(x.Cond, f)
+		inspectStmts(f, x.Then)
+		inspectStmts(f, x.Else)
+	case *DoStmt:
+		inspectExprs(f, x.From, x.To, x.Step)
+		inspectStmts(f, x.Body)
+	case *DoWhileStmt:
+		Inspect(x.Cond, f)
+		inspectStmts(f, x.Body)
+	case *ForallStmt:
+		for _, ix := range x.Indices {
+			inspectExprs(f, ix.Lo, ix.Hi, ix.Stride)
+		}
+		if x.Mask != nil {
+			Inspect(x.Mask, f)
+		}
+		inspectStmts(f, x.Body)
+	case *WhereStmt:
+		Inspect(x.Mask, f)
+		inspectStmts(f, x.Body)
+		inspectStmts(f, x.ElseBody)
+	case *CallStmt:
+		inspectExprs(f, x.Args...)
+	case *PrintStmt:
+		inspectExprs(f, x.Args...)
+	case *TypeDecl:
+		for _, e := range x.Entities {
+			for _, b := range e.Dims {
+				inspectExprs(f, b.Lo, b.Hi)
+			}
+		}
+	case *ParameterDecl:
+		inspectExprs(f, x.Values...)
+	case *DimensionDecl:
+		for _, e := range x.Entities {
+			for _, b := range e.Dims {
+				inspectExprs(f, b.Lo, b.Hi)
+			}
+		}
+	case *ProcessorsDir:
+		inspectExprs(f, x.Shape...)
+	case *TemplateDir:
+		for _, b := range x.Dims {
+			inspectExprs(f, b.Lo, b.Hi)
+		}
+	case *AlignDir:
+		inspectExprs(f, x.TargetSubs...)
+	case *DistributeDir:
+		for _, df := range x.Formats {
+			if df.Arg != nil {
+				Inspect(df.Arg, f)
+			}
+		}
+	case *Program:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+		for _, d := range x.Directives {
+			Inspect(d, f)
+		}
+		inspectStmts(f, x.Body)
+	}
+}
+
+func inspectExprs(f func(Node) bool, exprs ...Expr) {
+	for _, e := range exprs {
+		if e != nil {
+			Inspect(e, f)
+		}
+	}
+}
+
+func inspectStmts(f func(Node) bool, stmts []Stmt) {
+	for _, s := range stmts {
+		Inspect(s, f)
+	}
+}

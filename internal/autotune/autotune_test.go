@@ -1,0 +1,188 @@
+package autotune
+
+import (
+	"strings"
+	"testing"
+
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/core"
+	"hpfperf/internal/exec"
+	"hpfperf/internal/ipsc"
+	"hpfperf/internal/suite"
+)
+
+const tuneSrc = `PROGRAM lap
+PARAMETER (N = 64, MAXIT = 4)
+REAL U(N,N), V(N,N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N,N)
+!HPF$ ALIGN U(I,J) WITH T(I,J)
+!HPF$ ALIGN V(I,J) WITH T(I,J)
+!HPF$ DISTRIBUTE T(BLOCK,*) ONTO P
+FORALL (I=1:N, J=1:N) U(I,J) = 0.0
+DO ITER = 1, MAXIT
+  FORALL (I=2:N-1, J=2:N-1) V(I,J) = 0.25*(U(I-1,J)+U(I+1,J)+U(I,J-1)+U(I,J+1))
+  FORALL (I=2:N-1, J=2:N-1) U(I,J) = V(I,J)
+END DO
+END`
+
+func TestSearchEnumeratesAndRanks(t *testing.T) {
+	cands, err := Search(tuneSrc, Options{Procs: 4, Interp: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 6 {
+		t.Fatalf("candidates = %d, want a real search space", len(cands))
+	}
+	valid := 0
+	for i, c := range cands {
+		if c.Err == nil {
+			valid++
+			if c.EstUS <= 0 {
+				t.Errorf("candidate %d (%s) has no estimate", i, c.Desc())
+			}
+		}
+	}
+	if valid < 4 {
+		t.Fatalf("valid candidates = %d", valid)
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].EstUS > cands[i].EstUS {
+			t.Fatal("candidates not sorted by estimate")
+		}
+	}
+	// The winner must be a 1-D row/column distribution (matching §5.2.1's
+	// conclusion that a 1-D distribution beats (Block,Block)).
+	best := cands[0]
+	f := best.Formats["T"]
+	if !strings.Contains(f, "*") {
+		t.Errorf("best format = %s; expected a collapsed dimension", f)
+	}
+}
+
+func TestSearchBestIsMeasurablyGood(t *testing.T) {
+	cands, err := Search(tuneSrc, Options{Procs: 4, Interp: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst := cands[0], cands[0]
+	for _, c := range cands {
+		if c.Err == nil {
+			worst = c
+		}
+	}
+	measure := func(src string) float64 {
+		prog, err := compiler.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
+		cfg.PerturbAmp = 0
+		cfg.TimerResUS = 0
+		m, _ := ipsc.New(cfg)
+		res, err := exec.Run(prog, m, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeasuredUS
+	}
+	mb, mw := measure(best.Source), measure(worst.Source)
+	if mb > mw*1.02 {
+		t.Errorf("predicted best (%s: %.0fus) measured worse than predicted worst (%s: %.0fus)",
+			best.Desc(), mb, worst.Desc(), mw)
+	}
+}
+
+func TestSearchRewritesSourceCorrectly(t *testing.T) {
+	cands, err := Search(tuneSrc, Options{Procs: 8, NoCyclic: true, Interp: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Err != nil {
+			continue
+		}
+		if !strings.Contains(c.Source, "!HPF$ PROCESSORS P"+c.GridSpec) {
+			t.Errorf("source missing grid spec %s", c.GridSpec)
+		}
+		if !strings.Contains(c.Source, "!HPF$ DISTRIBUTE T"+c.Formats["T"]) {
+			t.Errorf("source missing format %s", c.Formats["T"])
+		}
+		// The rewritten source must still be a valid program.
+		if _, err := compiler.Compile(c.Source); err != nil {
+			t.Errorf("%s: rewritten source does not compile: %v", c.Desc(), err)
+		}
+	}
+}
+
+func TestSearchNoCyclic(t *testing.T) {
+	cands, err := Search(tuneSrc, Options{Procs: 4, NoCyclic: true, Interp: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if strings.Contains(c.Formats["T"], "CYCLIC") {
+			t.Errorf("cyclic candidate %s despite NoCyclic", c.Desc())
+		}
+	}
+}
+
+func TestSearchRequiresDirectives(t *testing.T) {
+	src := "PROGRAM p\n!HPF$ PROCESSORS P(2)\nX = 1.0\nEND"
+	if _, err := Search(src, Options{Procs: 2}); err == nil {
+		t.Error("want error for program without DISTRIBUTE")
+	}
+	src2 := "PROGRAM p\nX = 1.0\nEND"
+	if _, err := Search(src2, Options{Procs: 2}); err == nil {
+		t.Error("want error for program without PROCESSORS")
+	}
+	if _, err := Search(tuneSrc, Options{}); err == nil {
+		t.Error("want error for missing Procs")
+	}
+}
+
+func TestSearchOneDimensionalProgram(t *testing.T) {
+	src := suite.PI().Source(512, 4)
+	cands, err := Search(src, Options{Procs: 4, Interp: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank-1 array: BLOCK and CYCLIC on a 1-D grid.
+	validDescs := map[string]bool{}
+	for _, c := range cands {
+		if c.Err == nil {
+			validDescs[c.Formats["F"]] = true
+		}
+	}
+	if !validDescs["(BLOCK)"] || !validDescs["(CYCLIC)"] {
+		t.Errorf("valid formats = %v", validDescs)
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	got := gridShapes(8, 2)
+	want := map[string]bool{"[8]": true, "[2 4]": true, "[4 2]": true}
+	if len(got) != len(want) {
+		t.Fatalf("shapes = %v", got)
+	}
+	got1 := gridShapes(8, 1)
+	if len(got1) != 1 {
+		t.Errorf("rank-1 shapes = %v", got1)
+	}
+}
+
+func TestFormatCombos(t *testing.T) {
+	// rank 2, 1 distributed dim, no cyclic: (BLOCK,*) and (*,BLOCK).
+	combos := formatCombos(2, 1, true)
+	if len(combos) != 2 {
+		t.Fatalf("combos = %v", combos)
+	}
+	// rank 2, 2 distributed dims, with cyclic: 2×2 kinds = 4.
+	combos = formatCombos(2, 2, false)
+	if len(combos) != 4 {
+		t.Fatalf("combos = %v", combos)
+	}
+	if formatCombos(1, 2, true) != nil {
+		t.Error("cannot distribute 2 dims of a rank-1 target")
+	}
+}

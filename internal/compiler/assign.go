@@ -1,0 +1,254 @@
+package compiler
+
+import (
+	"hpfperf/internal/ast"
+	"hpfperf/internal/hir"
+	"hpfperf/internal/sem"
+)
+
+// lowerAssign dispatches an assignment: scalar assignments stay replicated
+// statements; array-shaped assignments are normalized into forall loops
+// (§4.3: "array assignments are special cases of the forall statement").
+func (lw *lowerer) lowerAssign(x *ast.AssignStmt, env *idxEnv) ([]hir.Stmt, error) {
+	if lw.info.ShapeOf(x.Lhs) == nil {
+		return lw.lowerScalarAssign(x, env)
+	}
+	return lw.lowerArrayAssign(x, nil, env, "ARRAY-ASSIGN")
+}
+
+func (lw *lowerer) lowerScalarAssign(x *ast.AssignStmt, env *idxEnv) ([]hir.Stmt, error) {
+	rhs, pre, err := lw.lowerScalarExpr(x.Rhs, env)
+	if err != nil {
+		return nil, err
+	}
+	var cost hir.OpCount
+	cost.Add(hir.CountExpr(rhs), 1)
+	cost.Store++
+	switch lhs := x.Lhs.(type) {
+	case *ast.Ident:
+		sym := lw.info.Sym(lhs.Name)
+		st := &hir.Assign{
+			Lhs:     &hir.ScalarLV{Name: lhs.Name, Kind: hir.Replicated, Typ: sym.Type},
+			Rhs:     rhs,
+			SrcLine: x.Pos().Line,
+			Cost:    cost,
+		}
+		return append(pre, st), nil
+	case *ast.CallOrIndex:
+		sym := lw.info.Sym(lhs.Name)
+		subs := make([]hir.Expr, len(lhs.Args))
+		for i, a := range lhs.Args {
+			e, p, err := lw.lowerScalarExpr(a, env)
+			if err != nil {
+				return nil, err
+			}
+			pre = append(pre, p...)
+			subs[i] = e
+			cost.Add(hir.CountExpr(e), 1)
+		}
+		guard := sym.Map != nil && !sym.Map.Replicated
+		cost.Elems++
+		st := &hir.Assign{
+			Lhs:     &hir.ElemLV{Array: lhs.Name, Subs: subs, Typ: sym.Type},
+			Rhs:     rhs,
+			Guard:   guard,
+			SrcLine: x.Pos().Line,
+			Cost:    cost,
+		}
+		return append(pre, st), nil
+	}
+	return nil, lw.errf(x.Pos(), "unsupported assignment target")
+}
+
+// ---------------------------------------------------------------------------
+// Shift intrinsic extraction
+
+// rewriteShifts replaces CSHIFT/EOSHIFT/TSHIFT calls in an array-valued
+// expression by references to shifted temporaries, emitting the CShift /
+// EOShift collective statements (the paper's parallel intrinsic library).
+func (lw *lowerer) rewriteShifts(e ast.Expr, env *idxEnv, pre *[]hir.Stmt) (ast.Expr, error) {
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		a, err := lw.rewriteShifts(x.X, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lw.rewriteShifts(x.Y, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		if a == x.X && b == x.Y {
+			return x, nil
+		}
+		n := *x
+		n.X, n.Y = a, b
+		lw.copyShapeType(x, &n)
+		return &n, nil
+	case *ast.UnaryExpr:
+		a, err := lw.rewriteShifts(x.X, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		if a == x.X {
+			return x, nil
+		}
+		n := *x
+		n.X = a
+		lw.copyShapeType(x, &n)
+		return &n, nil
+	case *ast.CallOrIndex:
+		info, isIntr := sem.Intrinsics[x.Name]
+		if x.Resolved == ast.RefIntrinsic && isIntr && info.Class == sem.Shift {
+			return lw.extractShift(x, env, pre)
+		}
+		if x.Resolved == ast.RefIntrinsic && isIntr && info.Class == sem.Elemental {
+			changed := false
+			args := make([]ast.Expr, len(x.Args))
+			for i, a := range x.Args {
+				na, err := lw.rewriteShifts(a, env, pre)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = na
+				if na != a {
+					changed = true
+				}
+			}
+			if !changed {
+				return x, nil
+			}
+			n := *x
+			n.Args = args
+			lw.copyShapeType(x, &n)
+			return &n, nil
+		}
+		return x, nil
+	default:
+		return e, nil
+	}
+}
+
+// copyShapeType propagates recorded sem info to a rewritten node.
+func (lw *lowerer) copyShapeType(old, new ast.Expr) {
+	if t, ok := lw.info.Types[old]; ok {
+		lw.info.Types[new] = t
+	}
+	if s, ok := lw.info.Shapes[old]; ok {
+		lw.info.Shapes[new] = s
+	}
+}
+
+// extractShift materializes one shift intrinsic into a temporary array.
+func (lw *lowerer) extractShift(x *ast.CallOrIndex, env *idxEnv, pre *[]hir.Stmt) (ast.Expr, error) {
+	arg0, err := lw.rewriteShifts(x.Args[0], env, pre)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := arg0.(*ast.Ident)
+	if !ok {
+		return nil, lw.errf(x.Pos(), "%s argument must be a whole array", x.Name)
+	}
+	sym := lw.info.Sym(src.Name)
+	if sym == nil || sym.Kind != sem.SymArray {
+		return nil, lw.errf(x.Pos(), "%s argument %s is not an array", x.Name, src.Name)
+	}
+	shift, p, err := lw.lowerScalarExpr(x.Args[1], env)
+	if err != nil {
+		return nil, err
+	}
+	*pre = append(*pre, p...)
+
+	dimArgPos := 2
+	var boundary hir.Expr
+	if x.Name == "EOSHIFT" && len(x.Args) >= 3 {
+		// EOSHIFT(ARRAY, SHIFT [, BOUNDARY [, DIM]])
+		boundary, p, err = lw.lowerScalarExpr(x.Args[2], env)
+		if err != nil {
+			return nil, err
+		}
+		*pre = append(*pre, p...)
+		dimArgPos = 3
+	}
+	dim := 1
+	if len(x.Args) > dimArgPos {
+		dim, err = sem.EvalConstInt(x.Args[dimArgPos], lw.info.Consts)
+		if err != nil {
+			return nil, lw.errf(x.Pos(), "%s DIM argument must be constant", x.Name)
+		}
+	}
+	if dim < 1 || dim > sym.Rank() {
+		return nil, lw.errf(x.Pos(), "%s DIM %d out of range for rank-%d array", x.Name, dim, sym.Rank())
+	}
+	dst := lw.newTempArray(src.Name)
+	line := x.Pos().Line
+	if x.Name == "CSHIFT" {
+		*pre = append(*pre, &hir.CShift{Dst: dst, Src: src.Name, Dim: dim - 1, Shift: shift, SrcLine: line})
+	} else {
+		*pre = append(*pre, &hir.EOShift{Dst: dst, Src: src.Name, Dim: dim - 1, Shift: shift, Boundary: boundary, SrcLine: line})
+	}
+	id := &ast.Ident{Name: dst, NamePos: x.Pos()}
+	lw.info.Types[id] = sym.Type
+	lw.info.Shapes[id] = &sem.Shape{Dims: sym.Bounds}
+	return id, nil
+}
+
+// directShiftAssign recognizes "B = CSHIFT(A, s [,d])" with identically
+// mapped whole arrays and emits the collective directly.
+func (lw *lowerer) directShiftAssign(x *ast.AssignStmt, env *idxEnv) ([]hir.Stmt, bool, error) {
+	lhs, ok := x.Lhs.(*ast.Ident)
+	if !ok {
+		return nil, false, nil
+	}
+	call, ok := x.Rhs.(*ast.CallOrIndex)
+	if !ok || call.Resolved != ast.RefIntrinsic {
+		return nil, false, nil
+	}
+	info, isIntr := sem.Intrinsics[call.Name]
+	if !isIntr || info.Class != sem.Shift {
+		return nil, false, nil
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, false, nil
+	}
+	lsym, ssym := lw.info.Sym(lhs.Name), lw.info.Sym(src.Name)
+	if lsym == nil || ssym == nil || lsym.Kind != sem.SymArray || ssym.Kind != sem.SymArray {
+		return nil, false, nil
+	}
+	if lhs.Name == src.Name || lsym.Map == nil || ssym.Map == nil || !lsym.Map.SameMapping(ssym.Map) || lsym.Type != ssym.Type {
+		return nil, false, nil
+	}
+	var pre []hir.Stmt
+	shift, p, err := lw.lowerScalarExpr(call.Args[1], env)
+	if err != nil {
+		return nil, false, err
+	}
+	pre = append(pre, p...)
+	dimArgPos := 2
+	var boundary hir.Expr
+	if call.Name == "EOSHIFT" && len(call.Args) >= 3 {
+		boundary, p, err = lw.lowerScalarExpr(call.Args[2], env)
+		if err != nil {
+			return nil, false, err
+		}
+		pre = append(pre, p...)
+		dimArgPos = 3
+	}
+	dim := 1
+	if len(call.Args) > dimArgPos {
+		dim, err = sem.EvalConstInt(call.Args[dimArgPos], lw.info.Consts)
+		if err != nil {
+			return nil, false, nil // fall back to the general path
+		}
+	}
+	if dim < 1 || dim > ssym.Rank() {
+		return nil, false, lw.errf(x.Pos(), "%s DIM %d out of range", call.Name, dim)
+	}
+	line := x.Pos().Line
+	if call.Name == "CSHIFT" {
+		pre = append(pre, &hir.CShift{Dst: lhs.Name, Src: src.Name, Dim: dim - 1, Shift: shift, SrcLine: line})
+	} else {
+		pre = append(pre, &hir.EOShift{Dst: lhs.Name, Src: src.Name, Dim: dim - 1, Shift: shift, Boundary: boundary, SrcLine: line})
+	}
+	return pre, true, nil
+}

@@ -1,0 +1,276 @@
+package compiler
+
+import (
+	"hpfperf/internal/ast"
+	"hpfperf/internal/hir"
+	"hpfperf/internal/sem"
+	"hpfperf/internal/token"
+)
+
+// mapOp converts an AST operator token to an HIR operator.
+func mapOp(k token.Kind) hir.Op {
+	switch k {
+	case token.PLUS:
+		return hir.OpAdd
+	case token.MINUS:
+		return hir.OpSub
+	case token.STAR:
+		return hir.OpMul
+	case token.SLASH:
+		return hir.OpDiv
+	case token.POW:
+		return hir.OpPow
+	case token.EQ:
+		return hir.OpEq
+	case token.NE:
+		return hir.OpNe
+	case token.LT:
+		return hir.OpLt
+	case token.LE:
+		return hir.OpLe
+	case token.GT:
+		return hir.OpGt
+	case token.GE:
+		return hir.OpGe
+	case token.AND:
+		return hir.OpAnd
+	case token.OR:
+		return hir.OpOr
+	case token.NOT:
+		return hir.OpNot
+	}
+	panic("compiler: unmapped operator " + k.String())
+}
+
+// gatherCtx tracks, within an enclosing sequential loop, which arrays are
+// written (and therefore may not use a loop-hoisted gather) and which have
+// already been gathered.
+type gatherCtx struct {
+	written  map[string]bool
+	gathered map[string]bool
+	hoisted  []hir.Stmt
+}
+
+// writtenArrays collects the names of arrays assigned anywhere in stmts.
+func (lw *lowerer) writtenArrays(stmts []ast.Stmt) map[string]bool {
+	w := make(map[string]bool)
+	var scan func(ss []ast.Stmt)
+	scan = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *ast.AssignStmt:
+				switch lhs := x.Lhs.(type) {
+				case *ast.Ident:
+					w[lhs.Name] = true
+				case *ast.CallOrIndex:
+					w[lhs.Name] = true
+				}
+			case *ast.DoStmt:
+				scan(x.Body)
+			case *ast.DoWhileStmt:
+				scan(x.Body)
+			case *ast.IfStmt:
+				scan(x.Then)
+				scan(x.Else)
+			case *ast.ForallStmt:
+				scan(x.Body)
+			case *ast.WhereStmt:
+				scan(x.Body)
+				scan(x.ElseBody)
+			}
+		}
+	}
+	scan(stmts)
+	return w
+}
+
+// lowerScalarExpr lowers a scalar-valued expression in replicated
+// (sequential) context. Reads of distributed array elements become
+// FetchElem broadcasts (or shadow reads after a loop-hoisted AllGather);
+// reduction intrinsics are expanded into partitioned loops + Reduce.
+// The returned statements must execute immediately before the consumer.
+func (lw *lowerer) lowerScalarExpr(e ast.Expr, env *idxEnv) (hir.Expr, []hir.Stmt, error) {
+	var pre []hir.Stmt
+	out, err := lw.scalarExpr(e, env, &pre)
+	return out, pre, err
+}
+
+func (lw *lowerer) scalarExpr(e ast.Expr, env *idxEnv, pre *[]hir.Stmt) (hir.Expr, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return &hir.Const{Val: sem.IntVal(x.Value)}, nil
+	case *ast.RealLit:
+		v := sem.RealVal(x.Value)
+		if x.Double {
+			v.Type = ast.TDouble
+		}
+		return &hir.Const{Val: v}, nil
+	case *ast.LogicalLit:
+		return &hir.Const{Val: sem.LogicalVal(x.Value)}, nil
+	case *ast.StringLit:
+		return nil, lw.errf(x.Pos(), "character values are not supported in expressions")
+	case *ast.Ident:
+		if env.bound(x.Name) {
+			return &hir.Ref{Name: x.Name, Kind: hir.Private, Typ: ast.TInteger}, nil
+		}
+		sym := lw.info.Sym(x.Name)
+		if sym == nil {
+			return nil, lw.errf(x.Pos(), "undeclared name %s", x.Name)
+		}
+		switch sym.Kind {
+		case sem.SymConst:
+			return &hir.Const{Val: sym.Const}, nil
+		case sem.SymScalar:
+			return &hir.Ref{Name: x.Name, Kind: hir.Replicated, Typ: sym.Type}, nil
+		case sem.SymArray:
+			return nil, lw.errf(x.Pos(), "whole array %s in scalar context", x.Name)
+		}
+		return nil, lw.errf(x.Pos(), "%s (%s) cannot appear in an expression", x.Name, sym.Kind)
+	case *ast.UnaryExpr:
+		in, err := lw.scalarExpr(x.X, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		op := hir.OpNeg
+		if x.Op == token.NOT {
+			op = hir.OpNot
+		}
+		return &hir.Un{Op: op, X: in, Typ: in.Type()}, nil
+	case *ast.BinaryExpr:
+		a, err := lw.scalarExpr(x.X, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lw.scalarExpr(x.Y, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		return mkBin(mapOp(x.Op), a, b), nil
+	case *ast.CallOrIndex:
+		return lw.scalarCall(x, env, pre)
+	}
+	return nil, lw.errf(e.Pos(), "unsupported expression %T in scalar context", e)
+}
+
+// mkBin builds a binary node computing the promoted result type.
+func mkBin(op hir.Op, a, b hir.Expr) hir.Expr {
+	t := promoteHIR(a.Type(), b.Type())
+	if op.IsCompare() || op == hir.OpAnd || op == hir.OpOr {
+		t = ast.TLogical
+	}
+	return &hir.Bin{Op: op, X: a, Y: b, Typ: t}
+}
+
+func promoteHIR(a, b ast.BaseType) ast.BaseType {
+	if a == ast.TDouble || b == ast.TDouble {
+		return ast.TDouble
+	}
+	if a == ast.TReal || b == ast.TReal {
+		return ast.TReal
+	}
+	if a == ast.TLogical && b == ast.TLogical {
+		return ast.TLogical
+	}
+	return ast.TInteger
+}
+
+func (lw *lowerer) scalarCall(x *ast.CallOrIndex, env *idxEnv, pre *[]hir.Stmt) (hir.Expr, error) {
+	if x.Resolved == ast.RefArray {
+		return lw.scalarArrayRead(x, env, pre)
+	}
+	info, ok := sem.Intrinsics[x.Name]
+	if !ok {
+		return nil, lw.errf(x.Pos(), "unknown function %s", x.Name)
+	}
+	switch info.Class {
+	case sem.Reduction, sem.Location, sem.Transformational:
+		return lw.lowerReduction(x, env, pre)
+	case sem.Inquiry:
+		return lw.lowerInquiry(x)
+	case sem.Shift:
+		return nil, lw.errf(x.Pos(), "%s in scalar context", x.Name)
+	}
+	// Elemental intrinsic on scalars.
+	args := make([]hir.Expr, len(x.Args))
+	t := ast.TReal
+	for i, a := range x.Args {
+		e, err := lw.scalarExpr(a, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = e
+		if i == 0 {
+			t = e.Type()
+		} else {
+			t = promoteHIR(t, e.Type())
+		}
+	}
+	if info.ReturnsInt {
+		t = ast.TInteger
+	}
+	if x.Name == "REAL" || x.Name == "FLOAT" {
+		t = ast.TReal
+	}
+	if x.Name == "DBLE" {
+		t = ast.TDouble
+	}
+	return &hir.Intr{Name: x.Name, Args: args, Typ: t}, nil
+}
+
+// lowerInquiry folds SIZE(A[,dim]) to a constant.
+func (lw *lowerer) lowerInquiry(x *ast.CallOrIndex) (hir.Expr, error) {
+	arr, ok := x.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, lw.errf(x.Pos(), "SIZE requires a whole-array argument")
+	}
+	sym := lw.info.Sym(arr.Name)
+	if sym == nil || sym.Kind != sem.SymArray {
+		return nil, lw.errf(x.Pos(), "SIZE argument %s is not an array", arr.Name)
+	}
+	if len(x.Args) == 2 {
+		d, err := sem.EvalConstInt(x.Args[1], lw.info.Consts)
+		if err != nil || d < 1 || d > sym.Rank() {
+			return nil, lw.errf(x.Pos(), "SIZE dimension must be a constant in 1..%d", sym.Rank())
+		}
+		return &hir.Const{Val: sem.IntVal(int64(sym.Bounds[d-1][1] - sym.Bounds[d-1][0] + 1))}, nil
+	}
+	return &hir.Const{Val: sem.IntVal(int64(sym.Elems()))}, nil
+}
+
+// scalarArrayRead lowers an element read A(subs) in replicated context.
+func (lw *lowerer) scalarArrayRead(x *ast.CallOrIndex, env *idxEnv, pre *[]hir.Stmt) (hir.Expr, error) {
+	sym := lw.info.Sym(x.Name)
+	subs := make([]hir.Expr, len(x.Args))
+	for i, a := range x.Args {
+		if _, isSec := a.(*ast.Section); isSec {
+			return nil, lw.errf(x.Pos(), "array section %s in scalar context", x.Name)
+		}
+		e, err := lw.scalarExpr(a, env, pre)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = e
+	}
+	if sym.Map == nil || sym.Map.Replicated {
+		return &hir.Elem{Array: x.Name, Subs: subs, Typ: sym.Type}, nil
+	}
+	// Distributed array: inside a sequential loop that does not write the
+	// array, hoist one AllGather and read the shadow; otherwise broadcast
+	// the single element from its owner.
+	if g := lw.gctx; g != nil && !g.written[x.Name] {
+		if !g.gathered[x.Name] {
+			g.gathered[x.Name] = true
+			g.hoisted = append(g.hoisted, &hir.AllGather{Array: x.Name, SrcLine: x.Pos().Line})
+		}
+		return &hir.Elem{Array: x.Name, Subs: subs, Shadow: true, Typ: sym.Type}, nil
+	}
+	dst := lw.newRepl("F", sym.Type)
+	var cost hir.OpCount
+	for _, s := range subs {
+		cost.Add(hir.CountExpr(s), 1)
+	}
+	*pre = append(*pre, &hir.FetchElem{
+		Array: x.Name, Subs: subs, Dst: dst, Typ: sym.Type, SrcLine: x.Pos().Line, Cost: cost,
+	})
+	return &hir.Ref{Name: dst, Kind: hir.Replicated, Typ: sym.Type}, nil
+}

@@ -1,0 +1,151 @@
+package compiler
+
+import (
+	"hpfperf/internal/hir"
+)
+
+// Options control compilation. They correspond to the generated-code
+// optimizations of §4.2 that "can be turned on/off by the user".
+type Options struct {
+	// NoCommOpt disables redundant-communication elimination.
+	NoCommOpt bool
+	// NoLoopReorder disables cache-locality loop re-ordering of
+	// sequentialized nests (column-major innermost).
+	NoLoopReorder bool
+}
+
+// CompileWith compiles with explicit options.
+func CompileWith(src string, opts Options) (*hir.Program, error) {
+	prog, err := compileNoOpt(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoCommOpt {
+		prog.Body = optimizeComm(prog.Body)
+	}
+	return prog, nil
+}
+
+// optimizeComm removes redundant communication at each nesting level: a
+// Shift or AllGather whose array has not been written (nor re-shifted)
+// since an identical earlier operation at the same level is dropped.
+// This mirrors the redundant-communication elimination of the HPF
+// compiler: consecutive foralls reading the same halo exchange it once.
+func optimizeComm(ss []hir.Stmt) []hir.Stmt {
+	type commKey struct {
+		kind   string
+		array  string
+		dim    int
+		offset int
+	}
+	valid := make(map[commKey]bool)
+	// invalidate drops the cached communications of one array.
+	invalidate := func(array string) {
+		for k := range valid {
+			if k.array == array {
+				delete(valid, k)
+			}
+		}
+	}
+	invalidateAll := func() {
+		for k := range valid {
+			delete(valid, k)
+		}
+	}
+
+	out := ss[:0]
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *hir.Shift:
+			k := commKey{kind: "shift", array: x.Array, dim: x.Dim, offset: x.Offset}
+			if valid[k] {
+				continue // redundant halo exchange
+			}
+			valid[k] = true
+			out = append(out, s)
+		case *hir.AllGather:
+			k := commKey{kind: "gather", array: x.Array}
+			if valid[k] {
+				continue
+			}
+			valid[k] = true
+			out = append(out, s)
+		case *hir.Assign:
+			if lv, ok := x.Lhs.(*hir.ElemLV); ok {
+				invalidate(lv.Array)
+			}
+			out = append(out, s)
+		case *hir.CShift:
+			invalidate(x.Dst)
+			out = append(out, s)
+		case *hir.EOShift:
+			invalidate(x.Dst)
+			out = append(out, s)
+		case *hir.Loop:
+			// Writes inside the loop invalidate before AND after: before,
+			// because the loop body may consume halos refreshed inside;
+			// after, because the final iteration leaves arrays modified.
+			for _, w := range writtenArraysHIR(x.Body) {
+				invalidate(w)
+			}
+			x.Body = optimizeComm(x.Body)
+			for _, w := range writtenArraysHIR(x.Body) {
+				invalidate(w)
+			}
+			out = append(out, s)
+		case *hir.While:
+			for _, w := range writtenArraysHIR(x.Body) {
+				invalidate(w)
+			}
+			x.Body = optimizeComm(x.Body)
+			for _, w := range writtenArraysHIR(x.Body) {
+				invalidate(w)
+			}
+			out = append(out, s)
+		case *hir.If:
+			// Branches execute conditionally: their communications cannot
+			// be assumed afterwards, and their writes invalidate.
+			x.Then = optimizeComm(x.Then)
+			x.Else = optimizeComm(x.Else)
+			invalidateAll()
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// writtenArraysHIR collects arrays assigned (or shift targets) in a
+// statement subtree.
+func writtenArraysHIR(ss []hir.Stmt) []string {
+	seen := make(map[string]bool)
+	var scan func(ss []hir.Stmt)
+	scan = func(ss []hir.Stmt) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *hir.Assign:
+				if lv, ok := x.Lhs.(*hir.ElemLV); ok {
+					seen[lv.Array] = true
+				}
+			case *hir.CShift:
+				seen[x.Dst] = true
+			case *hir.EOShift:
+				seen[x.Dst] = true
+			case *hir.Loop:
+				scan(x.Body)
+			case *hir.While:
+				scan(x.Body)
+			case *hir.If:
+				scan(x.Then)
+				scan(x.Else)
+			}
+		}
+	}
+	scan(ss)
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	return out
+}

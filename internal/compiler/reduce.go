@@ -1,0 +1,196 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"hpfperf/internal/ast"
+	"hpfperf/internal/hir"
+	"hpfperf/internal/sem"
+	"hpfperf/internal/token"
+)
+
+// lowerReduction expands a reduction intrinsic (SUM, PRODUCT, MAXVAL,
+// MINVAL, COUNT, MAXLOC, MINLOC, DOT_PRODUCT) into a partitioned
+// accumulation loop followed by a global Reduce collective (the paper's
+// global sum / product / maxloc library operations). The result is a
+// replicated scalar reference.
+func (lw *lowerer) lowerReduction(x *ast.CallOrIndex, env *idxEnv, pre *[]hir.Stmt) (hir.Expr, error) {
+	arg := x.Args[0]
+	if x.Name == "DOT_PRODUCT" {
+		// DOT_PRODUCT(X, Y) == SUM(X*Y).
+		mul := &ast.BinaryExpr{Op: token.STAR, X: x.Args[0], Y: x.Args[1], OpPos: x.Pos()}
+		lw.info.Types[mul] = promoteHIR(lw.info.TypeOf(x.Args[0]), lw.info.TypeOf(x.Args[1]))
+		if s := lw.info.ShapeOf(x.Args[0]); s != nil {
+			lw.info.Shapes[mul] = s
+		}
+		arg = mul
+	}
+	shape := lw.info.ShapeOf(arg)
+	if shape == nil {
+		return nil, lw.errf(x.Pos(), "%s requires an array-valued argument", x.Name)
+	}
+	argAst, err := lw.rewriteShifts(arg, env, pre)
+	if err != nil {
+		return nil, err
+	}
+
+	line := x.Pos().Line
+	ctx := newNestCtx(lw, env, line)
+	ctx.pickDriver = true
+	one := &hir.Const{Val: sem.IntVal(1)}
+	bounds := make([][3]hir.Expr, shape.Rank())
+	for d := 0; d < shape.Rank(); d++ {
+		lw.tmpN++
+		ctx.addIndex(fmt.Sprintf("$I%d", lw.tmpN))
+		ext := shape.Dims[d][1] - shape.Dims[d][0] + 1
+		bounds[d] = [3]hir.Expr{one, &hir.Const{Val: sem.IntVal(int64(ext))}, one}
+	}
+	elem, err := ctx.elementize(argAst)
+	if err != nil {
+		return nil, err
+	}
+
+	t := elem.Type()
+	if t == ast.TLogical && x.Name != "COUNT" {
+		return nil, lw.errf(x.Pos(), "%s of a LOGICAL array", x.Name)
+	}
+
+	var op hir.ReduceOp
+	var init sem.Value
+	accType := t
+	switch x.Name {
+	case "SUM", "DOT_PRODUCT":
+		op, init = hir.RSum, zeroOf(t)
+	case "PRODUCT":
+		op, init = hir.RProd, oneOf(t)
+	case "MAXVAL":
+		op, init = hir.RMax, hugeOf(t, -1)
+	case "MINVAL":
+		op, init = hir.RMin, hugeOf(t, +1)
+	case "COUNT":
+		op, init, accType = hir.RSum, sem.IntVal(0), ast.TInteger
+	case "MAXLOC":
+		op, init = hir.RMaxLoc, hugeOf(t, -1)
+	case "MINLOC":
+		op, init = hir.RMinLoc, hugeOf(t, +1)
+	default:
+		return nil, lw.errf(x.Pos(), "unsupported reduction %s", x.Name)
+	}
+	isLoc := op == hir.RMaxLoc || op == hir.RMinLoc
+	if isLoc && shape.Rank() != 1 {
+		return nil, lw.errf(x.Pos(), "%s supports rank-1 arrays only", x.Name)
+	}
+
+	acc := lw.newPriv("ACC", accType)
+	accLV := &hir.ScalarLV{Name: acc, Kind: hir.Private, Typ: accType}
+	accRef := &hir.Ref{Name: acc, Kind: hir.Private, Typ: accType}
+	ctx.pre = append([]hir.Stmt{&hir.Assign{
+		Lhs: accLV, Rhs: &hir.Const{Val: init}, SrcLine: line, Cost: hir.OpCount{Store: 1},
+	}}, ctx.pre...)
+
+	var loc string
+	var body []hir.Stmt
+	elemCost := hir.CountExpr(elem)
+	switch {
+	case op == hir.RSum && x.Name == "COUNT":
+		inc := &hir.Assign{Lhs: accLV, Rhs: mkBin(hir.OpAdd, accRef, one), SrcLine: line, Cost: hir.OpCount{IntOp: 1, Load: 1, Store: 1}}
+		body = []hir.Stmt{&hir.If{Cond: elem, Then: []hir.Stmt{inc}, SrcLine: line, Cost: elemCost}}
+	case op == hir.RSum:
+		var c hir.OpCount
+		c.Add(elemCost, 1)
+		c.FAdd, c.Load, c.Store = c.FAdd+1, c.Load+1, c.Store+1
+		body = []hir.Stmt{&hir.Assign{Lhs: accLV, Rhs: mkBin(hir.OpAdd, accRef, elem), SrcLine: line, Cost: c}}
+	case op == hir.RProd:
+		var c hir.OpCount
+		c.Add(elemCost, 1)
+		c.FMul, c.Load, c.Store = c.FMul+1, c.Load+1, c.Store+1
+		body = []hir.Stmt{&hir.Assign{Lhs: accLV, Rhs: mkBin(hir.OpMul, accRef, elem), SrcLine: line, Cost: c}}
+	case op == hir.RMax || op == hir.RMaxLoc || op == hir.RMin || op == hir.RMinLoc:
+		cmpOp := hir.OpGt
+		if op == hir.RMin || op == hir.RMinLoc {
+			cmpOp = hir.OpLt
+		}
+		var c hir.OpCount
+		c.Add(elemCost, 1)
+		c.Store++
+		upd := []hir.Stmt{&hir.Assign{Lhs: accLV, Rhs: elem, SrcLine: line, Cost: c}}
+		if isLoc {
+			loc = lw.newPriv("LOC", ast.TInteger)
+			// Global index of the current element in the single dimension.
+			gidx := mkBin(hir.OpAdd, idxRef(ctx.idxNames[0]),
+				&hir.Const{Val: sem.IntVal(int64(shape.Dims[0][0] - 1))})
+			upd = append(upd, &hir.Assign{
+				Lhs: &hir.ScalarLV{Name: loc, Kind: hir.Private, Typ: ast.TInteger},
+				Rhs: gidx, SrcLine: line, Cost: hir.OpCount{IntOp: 1, Store: 1},
+			})
+		}
+		var cc hir.OpCount
+		cc.Add(elemCost, 1)
+		cc.Cmp++
+		body = []hir.Stmt{&hir.If{Cond: mkBin(cmpOp, elem, accRef), Then: upd, SrcLine: line, Cost: cc}}
+	}
+
+	ctx.permuteForLocality(bounds)
+	loops := ctx.buildLoops(body, bounds, ctx.parSpecs(ctx.lhsArray, nil), "REDUCTION")
+	*pre = append(*pre, ctx.nestStmts(loops)...)
+
+	resType := accType
+	if isLoc {
+		resType = ast.TInteger
+	}
+	dst := lw.newRepl("R", resType)
+	if ctx.lhsArray == "" {
+		// No distributed driver: every processor computed the full
+		// reduction redundantly; no collective is needed.
+		var src hir.Expr = accRef
+		if isLoc {
+			src = &hir.Ref{Name: loc, Kind: hir.Private, Typ: ast.TInteger}
+		}
+		*pre = append(*pre, &hir.Assign{
+			Lhs: &hir.ScalarLV{Name: dst, Kind: hir.Replicated, Typ: resType},
+			Rhs: src, SrcLine: line, Cost: hir.OpCount{Load: 1, Store: 1},
+		})
+		return &hir.Ref{Name: dst, Kind: hir.Replicated, Typ: resType}, nil
+	}
+	red := &hir.Reduce{Op: op, Dst: dst, Src: acc, Typ: accType, SrcLine: line}
+	if isLoc {
+		// The value partial travels with the location; Dst receives the
+		// location, the combined value is discarded into a dummy.
+		red.LocSrc = loc
+		red.LocDst = dst
+		red.Dst = lw.newRepl("RV", accType)
+	}
+	*pre = append(*pre, red)
+	return &hir.Ref{Name: dst, Kind: hir.Replicated, Typ: resType}, nil
+}
+
+func zeroOf(t ast.BaseType) sem.Value {
+	if t == ast.TInteger {
+		return sem.IntVal(0)
+	}
+	v := sem.RealVal(0)
+	v.Type = t
+	return v
+}
+
+func oneOf(t ast.BaseType) sem.Value {
+	if t == ast.TInteger {
+		return sem.IntVal(1)
+	}
+	v := sem.RealVal(1)
+	v.Type = t
+	return v
+}
+
+func hugeOf(t ast.BaseType, sign int) sem.Value {
+	if t == ast.TInteger {
+		if sign < 0 {
+			return sem.IntVal(math.MinInt64 / 2)
+		}
+		return sem.IntVal(math.MaxInt64 / 2)
+	}
+	v := sem.RealVal(float64(sign) * math.MaxFloat64)
+	v.Type = t
+	return v
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/exec"
+	"hpfperf/internal/hir"
+	"hpfperf/internal/ipsc"
+)
+
+// TestAbstractEvalMatchesVM cross-validates the two independent
+// evaluators: the interpreter's critical-variable tracer (abstract
+// evaluation over the HIR) must compute the same scalar values as the
+// executing VM for randomly generated straight-line integer programs.
+// Divergence would mean predicted trip counts silently drift from real
+// execution.
+func TestAbstractEvalMatchesVM(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		src, expectVar := randomScalarProgram(rng, trial)
+		prog, err := compiler.Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+
+		// VM execution result.
+		cfg := ipsc.DefaultConfig(1)
+		cfg.PerturbAmp = 0
+		cfg.TimerResUS = 0
+		m, _ := ipsc.New(cfg)
+		res, err := exec.Run(prog, m, exec.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: run: %v\n%s", trial, err, src)
+		}
+		if len(res.Printed) != 1 {
+			t.Fatalf("trial %d: printed %v", trial, res.Printed)
+		}
+		vmVal, err := strconv.ParseInt(strings.TrimSpace(res.Printed[0]), 10, 64)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, res.Printed[0], err)
+		}
+
+		// Abstract evaluation, as the interpretation engine traces it.
+		env := make(absEnv)
+		for _, s := range prog.Body {
+			as, ok := s.(*hir.Assign)
+			if !ok {
+				continue
+			}
+			lv, ok := as.Lhs.(*hir.ScalarLV)
+			if !ok {
+				continue
+			}
+			if v, ok2 := evalScalar(as.Rhs, env); ok2 {
+				env[lv.Name] = v
+			} else {
+				delete(env, lv.Name)
+			}
+		}
+		got, ok := env[expectVar]
+		if !ok {
+			t.Fatalf("trial %d: abstract evaluation failed to resolve %s\n%s", trial, expectVar, src)
+		}
+		if got.AsInt() != vmVal {
+			t.Fatalf("trial %d: abstract %d != VM %d\n%s", trial, got.AsInt(), vmVal, src)
+		}
+	}
+}
+
+// randomScalarProgram builds a straight-line integer program:
+//
+//	K0 = <const expr>
+//	K1 = <expr over constants and earlier Ks>
+//	...
+//	PRINT *, K<last>
+func randomScalarProgram(rng *rand.Rand, trial int) (src, lastVar string) {
+	var b strings.Builder
+	nv := 3 + rng.Intn(5)
+	fmt.Fprintf(&b, "PROGRAM rnd%d\n!HPF$ PROCESSORS P(1)\nINTEGER ", trial)
+	for i := 0; i < nv; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "K%d", i)
+	}
+	b.WriteString("\n")
+	for i := 0; i < nv; i++ {
+		fmt.Fprintf(&b, "K%d = %s\n", i, randomIntExpr(rng, i, 3))
+	}
+	lastVar = fmt.Sprintf("K%d", nv-1)
+	fmt.Fprintf(&b, "PRINT *, %s\nEND\n", lastVar)
+	return b.String(), lastVar
+}
+
+func randomIntExpr(rng *rand.Rand, avail, depth int) string {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if avail > 0 && rng.Intn(2) == 0 {
+			return fmt.Sprintf("K%d", rng.Intn(avail))
+		}
+		return strconv.Itoa(rng.Intn(19) - 9)
+	}
+	a := randomIntExpr(rng, avail, depth-1)
+	bx := randomIntExpr(rng, avail, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return "(" + a + " + " + bx + ")"
+	case 1:
+		return "(" + a + " - " + bx + ")"
+	case 2:
+		return "(" + a + " * " + bx + ")"
+	case 3:
+		return fmt.Sprintf("MAX(%s, %s)", a, bx)
+	case 4:
+		return fmt.Sprintf("MIN(%s, %s)", a, bx)
+	default:
+		return fmt.Sprintf("ABS(%s)", a)
+	}
+}

@@ -1,0 +1,350 @@
+// Package dist implements the HPF data-mapping algebra used by the
+// partitioning step of compilation (§4.1 step 2): processor arrangements,
+// BLOCK / CYCLIC / collapsed dimension distributions, and the global↔local
+// index transformations needed for owner-computes partitioning.
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grid is a rectilinear arrangement of abstract processors, as declared by
+// a PROCESSORS directive. Ranks are row-major over the shape.
+type Grid struct {
+	Name  string
+	Shape []int
+}
+
+// NewGrid builds a grid, validating that all extents are positive.
+func NewGrid(name string, shape ...int) (*Grid, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("dist: processor grid %s has no dimensions", name)
+	}
+	for i, e := range shape {
+		if e <= 0 {
+			return nil, fmt.Errorf("dist: processor grid %s dimension %d extent %d must be positive", name, i+1, e)
+		}
+	}
+	return &Grid{Name: name, Shape: append([]int(nil), shape...)}, nil
+}
+
+// Size returns the total number of processors in the grid.
+func (g *Grid) Size() int {
+	n := 1
+	for _, e := range g.Shape {
+		n *= e
+	}
+	return n
+}
+
+// Rank converts grid coordinates (0-based) to a linear rank (row-major).
+func (g *Grid) Rank(coords []int) int {
+	if len(coords) != len(g.Shape) {
+		panic(fmt.Sprintf("dist: coords rank %d != grid rank %d", len(coords), len(g.Shape)))
+	}
+	r := 0
+	for i, c := range coords {
+		if c < 0 || c >= g.Shape[i] {
+			panic(fmt.Sprintf("dist: coordinate %d out of range [0,%d)", c, g.Shape[i]))
+		}
+		r = r*g.Shape[i] + c
+	}
+	return r
+}
+
+// Coords converts a linear rank to grid coordinates.
+func (g *Grid) Coords(rank int) []int {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("dist: rank %d out of range [0,%d)", rank, g.Size()))
+	}
+	coords := make([]int, len(g.Shape))
+	for i := len(g.Shape) - 1; i >= 0; i-- {
+		coords[i] = rank % g.Shape[i]
+		rank /= g.Shape[i]
+	}
+	return coords
+}
+
+func (g *Grid) String() string {
+	parts := make([]string, len(g.Shape))
+	for i, e := range g.Shape {
+		parts[i] = fmt.Sprint(e)
+	}
+	return fmt.Sprintf("%s(%s)", g.Name, strings.Join(parts, ","))
+}
+
+// Kind is the distribution format of one dimension.
+type Kind int
+
+const (
+	Collapsed Kind = iota // '*': whole dimension on every owning processor
+	Block                 // BLOCK: contiguous chunks of size ceil(N/P)
+	Cyclic                // CYCLIC: round-robin single elements
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Collapsed:
+		return "*"
+	case Block:
+		return "BLOCK"
+	case Cyclic:
+		return "CYCLIC"
+	}
+	return "?"
+}
+
+// DimDist describes how one array/template dimension is mapped.
+//
+// A Collapsed dimension lives whole on each processor that owns the other
+// dimensions (ProcDim is -1). Block and Cyclic dimensions are spread over
+// grid dimension ProcDim with NProc processors.
+type DimDist struct {
+	Kind    Kind
+	Lo, Hi  int // global index bounds (inclusive)
+	ProcDim int // grid dimension this maps to; -1 for Collapsed
+	NProc   int // extent of that grid dimension;  1 for Collapsed
+	// Blk is an explicit BLOCK(n) chunk size; 0 selects the default
+	// ceil(extent/nproc). Must satisfy Blk*NProc >= extent.
+	Blk int
+}
+
+// Extent returns the global number of elements in the dimension.
+func (d DimDist) Extent() int { return d.Hi - d.Lo + 1 }
+
+// BlockSize returns the per-processor chunk size for Block distributions
+// (ceil(extent/nproc)); it is the full extent for Collapsed and 1-ish for
+// Cyclic (where it is not meaningful and returns 1).
+func (d DimDist) BlockSize() int {
+	switch d.Kind {
+	case Collapsed:
+		return d.Extent()
+	case Block:
+		if d.Blk > 0 {
+			return d.Blk
+		}
+		return ceilDiv(d.Extent(), d.NProc)
+	default:
+		return 1
+	}
+}
+
+// Owner returns the processor coordinate (within grid dimension ProcDim)
+// owning global index g.
+func (d DimDist) Owner(g int) int {
+	d.check(g)
+	switch d.Kind {
+	case Collapsed:
+		return 0
+	case Block:
+		return (g - d.Lo) / d.BlockSize()
+	case Cyclic:
+		return (g - d.Lo) % d.NProc
+	}
+	panic("dist: bad kind")
+}
+
+// ToLocal converts a global index to the owner's local 0-based offset.
+func (d DimDist) ToLocal(g int) int {
+	d.check(g)
+	switch d.Kind {
+	case Collapsed:
+		return g - d.Lo
+	case Block:
+		return (g - d.Lo) % d.BlockSize()
+	case Cyclic:
+		return (g - d.Lo) / d.NProc
+	}
+	panic("dist: bad kind")
+}
+
+// ToGlobal converts a processor coordinate and local offset back to the
+// global index. It is the inverse of (Owner, ToLocal) for owned elements.
+func (d DimDist) ToGlobal(p, l int) int {
+	switch d.Kind {
+	case Collapsed:
+		return d.Lo + l
+	case Block:
+		return d.Lo + p*d.BlockSize() + l
+	case Cyclic:
+		return d.Lo + l*d.NProc + p
+	}
+	panic("dist: bad kind")
+}
+
+// LocalSize returns the number of elements of the dimension owned by
+// processor coordinate p.
+func (d DimDist) LocalSize(p int) int {
+	switch d.Kind {
+	case Collapsed:
+		return d.Extent()
+	case Block:
+		b := d.BlockSize()
+		lo := d.Lo + p*b
+		hi := lo + b - 1
+		if hi > d.Hi {
+			hi = d.Hi
+		}
+		if lo > d.Hi {
+			return 0
+		}
+		return hi - lo + 1
+	case Cyclic:
+		n := d.Extent()
+		size := n / d.NProc
+		if p < n%d.NProc {
+			size++
+		}
+		return size
+	}
+	panic("dist: bad kind")
+}
+
+// MaxLocalSize returns the largest per-processor share (the share of the
+// most loaded processor). The interpretation engine models loosely
+// synchronous execution time with the maximum-loaded processor.
+func (d DimDist) MaxLocalSize() int {
+	switch d.Kind {
+	case Collapsed:
+		return d.Extent()
+	case Block:
+		return min(d.BlockSize(), d.Extent())
+	case Cyclic:
+		return ceilDiv(d.Extent(), d.NProc)
+	}
+	panic("dist: bad kind")
+}
+
+// OwnedRange returns the inclusive global range [lo,hi] owned by processor
+// p for Block/Collapsed distributions. ok is false when p owns nothing.
+// For Cyclic dimensions the owned set is not contiguous and ok is false.
+func (d DimDist) OwnedRange(p int) (lo, hi int, ok bool) {
+	switch d.Kind {
+	case Collapsed:
+		return d.Lo, d.Hi, true
+	case Block:
+		b := d.BlockSize()
+		lo = d.Lo + p*b
+		hi = lo + b - 1
+		if hi > d.Hi {
+			hi = d.Hi
+		}
+		if lo > d.Hi {
+			return 0, 0, false
+		}
+		return lo, hi, true
+	}
+	return 0, 0, false
+}
+
+// LoopCount returns how many iterations of the global loop lo:hi:step fall
+// on processor coordinate p (owner-computes partitioning of a parallel
+// loop aligned with this dimension). Unit-stride loops use closed forms so
+// that interpretation cost is independent of the problem size (the
+// framework's cost-effectiveness property, §5.3).
+func (d DimDist) LoopCount(p, lo, hi, step int) int {
+	if step == 0 {
+		return 0
+	}
+	if step == 1 {
+		// Clip to the dimension bounds.
+		if lo < d.Lo {
+			lo = d.Lo
+		}
+		if hi > d.Hi {
+			hi = d.Hi
+		}
+		if hi < lo {
+			return 0
+		}
+		switch d.Kind {
+		case Collapsed:
+			if p != 0 {
+				return 0
+			}
+			return hi - lo + 1
+		case Block:
+			oLo, oHi, ok := d.OwnedRange(p)
+			if !ok {
+				return 0
+			}
+			if lo > oLo {
+				oLo = lo
+			}
+			if hi < oHi {
+				oHi = hi
+			}
+			if oHi < oLo {
+				return 0
+			}
+			return oHi - oLo + 1
+		case Cyclic:
+			// Count g in [lo,hi] with (g-d.Lo) mod NProc == p.
+			count := func(upTo int) int {
+				// Number of g in [d.Lo, upTo] owned by p.
+				n := upTo - d.Lo + 1
+				if n <= 0 {
+					return 0
+				}
+				full := n / d.NProc
+				if n%d.NProc > p {
+					full++
+				}
+				return full
+			}
+			return count(hi) - count(lo-1)
+		}
+	}
+	n := 0
+	if step > 0 {
+		for g := lo; g <= hi; g += step {
+			if d.contains(g) && d.Owner(g) == p {
+				n++
+			}
+		}
+	} else {
+		for g := lo; g >= hi; g += step {
+			if d.contains(g) && d.Owner(g) == p {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MaxLoopCount returns the largest per-processor iteration count of the
+// global loop lo:hi:step over this dimension.
+func (d DimDist) MaxLoopCount(lo, hi, step int) int {
+	maxN := 0
+	for p := 0; p < d.procCount(); p++ {
+		if n := d.LoopCount(p, lo, hi, step); n > maxN {
+			maxN = n
+		}
+	}
+	return maxN
+}
+
+func (d DimDist) procCount() int {
+	if d.Kind == Collapsed {
+		return 1
+	}
+	return d.NProc
+}
+
+func (d DimDist) contains(g int) bool { return g >= d.Lo && g <= d.Hi }
+
+func (d DimDist) check(g int) {
+	if !d.contains(g) {
+		panic(fmt.Sprintf("dist: global index %d outside [%d,%d]", g, d.Lo, d.Hi))
+	}
+}
+
+func (d DimDist) String() string {
+	if d.Kind == Collapsed {
+		return "*"
+	}
+	return fmt.Sprintf("%s/p%d", d.Kind, d.ProcDim)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,445 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridRankCoordsRoundTrip(t *testing.T) {
+	g, err := NewGrid("P", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 8 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	for r := 0; r < g.Size(); r++ {
+		if got := g.Rank(g.Coords(r)); got != r {
+			t.Errorf("rank(coords(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestGridRowMajor(t *testing.T) {
+	g, _ := NewGrid("P", 2, 3)
+	if g.Rank([]int{0, 0}) != 0 || g.Rank([]int{0, 2}) != 2 || g.Rank([]int{1, 0}) != 3 {
+		t.Error("grid ranks not row-major")
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid("P"); err == nil {
+		t.Error("want error for empty shape")
+	}
+	if _, err := NewGrid("P", 4, 0); err == nil {
+		t.Error("want error for zero extent")
+	}
+}
+
+func blockDist(lo, hi, nproc int) DimDist {
+	return DimDist{Kind: Block, Lo: lo, Hi: hi, ProcDim: 0, NProc: nproc}
+}
+
+func cyclicDist(lo, hi, nproc int) DimDist {
+	return DimDist{Kind: Cyclic, Lo: lo, Hi: hi, ProcDim: 0, NProc: nproc}
+}
+
+func TestBlockBasics(t *testing.T) {
+	d := blockDist(1, 10, 4) // blocksize ceil(10/4)=3: procs own 3,3,3,1
+	wantSizes := []int{3, 3, 3, 1}
+	for p, want := range wantSizes {
+		if got := d.LocalSize(p); got != want {
+			t.Errorf("LocalSize(%d) = %d, want %d", p, got, want)
+		}
+	}
+	if d.Owner(1) != 0 || d.Owner(3) != 0 || d.Owner(4) != 1 || d.Owner(10) != 3 {
+		t.Error("block owners wrong")
+	}
+	if d.MaxLocalSize() != 3 {
+		t.Errorf("MaxLocalSize = %d", d.MaxLocalSize())
+	}
+	lo, hi, ok := d.OwnedRange(1)
+	if !ok || lo != 4 || hi != 6 {
+		t.Errorf("OwnedRange(1) = %d..%d %v", lo, hi, ok)
+	}
+}
+
+func TestBlockEmptyProcessor(t *testing.T) {
+	d := blockDist(1, 4, 8) // blocksize 1; procs 4..7 own nothing
+	if d.LocalSize(6) != 0 {
+		t.Errorf("LocalSize(6) = %d, want 0", d.LocalSize(6))
+	}
+	if _, _, ok := d.OwnedRange(6); ok {
+		t.Error("OwnedRange should report empty")
+	}
+}
+
+func TestCyclicBasics(t *testing.T) {
+	d := cyclicDist(1, 10, 4) // sizes 3,3,2,2
+	wantSizes := []int{3, 3, 2, 2}
+	for p, want := range wantSizes {
+		if got := d.LocalSize(p); got != want {
+			t.Errorf("LocalSize(%d) = %d, want %d", p, got, want)
+		}
+	}
+	if d.Owner(1) != 0 || d.Owner(2) != 1 || d.Owner(5) != 0 {
+		t.Error("cyclic owners wrong")
+	}
+}
+
+func TestCollapsedBasics(t *testing.T) {
+	d := DimDist{Kind: Collapsed, Lo: 0, Hi: 9, ProcDim: -1, NProc: 1}
+	if d.LocalSize(0) != 10 || d.Owner(5) != 0 || d.ToLocal(5) != 5 {
+		t.Error("collapsed semantics wrong")
+	}
+}
+
+func TestNonUnitLowerBound(t *testing.T) {
+	d := blockDist(0, 255, 4) // e.g. REAL A(0:255)
+	if d.Owner(0) != 0 || d.Owner(255) != 3 {
+		t.Error("owners with lb 0 wrong")
+	}
+	if d.ToLocal(64) != 0 || d.Owner(64) != 1 {
+		t.Error("boundary element wrong")
+	}
+}
+
+// Property: global -> (owner, local) -> global round-trips, and sizes sum
+// to the extent, for both block and cyclic over a range of configurations.
+func TestDistRoundTripProperty(t *testing.T) {
+	f := func(extent8 uint8, nproc4 uint8, kindBit bool, lo8 int8) bool {
+		extent := int(extent8%200) + 1
+		nproc := int(nproc4%16) + 1
+		lo := int(lo8 % 3)
+		kind := Block
+		if kindBit {
+			kind = Cyclic
+		}
+		d := DimDist{Kind: kind, Lo: lo, Hi: lo + extent - 1, ProcDim: 0, NProc: nproc}
+		total := 0
+		for p := 0; p < nproc; p++ {
+			total += d.LocalSize(p)
+		}
+		if total != extent {
+			return false
+		}
+		for g := d.Lo; g <= d.Hi; g++ {
+			p := d.Owner(g)
+			l := d.ToLocal(g)
+			if p < 0 || p >= nproc || l < 0 || l >= d.LocalSize(p) {
+				return false
+			}
+			if d.ToGlobal(p, l) != g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LoopCount over all processors covers exactly the iteration
+// space of the loop.
+func TestLoopCountPartitionProperty(t *testing.T) {
+	f := func(extent8 uint8, nproc4 uint8, step4 uint8, kindBit bool) bool {
+		extent := int(extent8%100) + 2
+		nproc := int(nproc4%8) + 1
+		step := int(step4%3) + 1
+		kind := Block
+		if kindBit {
+			kind = Cyclic
+		}
+		d := DimDist{Kind: kind, Lo: 1, Hi: extent, ProcDim: 0, NProc: nproc}
+		lo, hi := 2, extent-1
+		want := 0
+		for g := lo; g <= hi; g += step {
+			want++
+		}
+		got := 0
+		for p := 0; p < nproc; p++ {
+			got += d.LoopCount(p, lo, hi, step)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLoopCount(t *testing.T) {
+	d := blockDist(1, 16, 4)
+	if got := d.MaxLoopCount(2, 15, 1); got != 4 {
+		t.Errorf("MaxLoopCount = %d, want 4", got)
+	}
+	if got := d.MaxLoopCount(1, 16, 1); got != 4 {
+		t.Errorf("MaxLoopCount full = %d, want 4", got)
+	}
+}
+
+func TestLoopCountNegativeStep(t *testing.T) {
+	d := blockDist(1, 8, 2)
+	total := 0
+	for p := 0; p < 2; p++ {
+		total += d.LoopCount(p, 8, 1, -1)
+	}
+	if total != 8 {
+		t.Errorf("downward loop total = %d, want 8", total)
+	}
+}
+
+func grid22(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid("P", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestArrayMapBlockBlock(t *testing.T) {
+	g := grid22(t)
+	m := &ArrayMap{
+		Name: "A", ElemBytes: 4, Grid: g,
+		Dims: []DimDist{
+			{Kind: Block, Lo: 1, Hi: 8, ProcDim: 0, NProc: 2},
+			{Kind: Block, Lo: 1, Hi: 8, ProcDim: 1, NProc: 2},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.GlobalCount() != 64 || m.MaxLocalCount() != 16 {
+		t.Errorf("counts: global %d local %d", m.GlobalCount(), m.MaxLocalCount())
+	}
+	if o := m.PrimaryOwner([]int{1, 1}); o != 0 {
+		t.Errorf("owner(1,1) = %d", o)
+	}
+	if o := m.PrimaryOwner([]int{8, 8}); o != 3 {
+		t.Errorf("owner(8,8) = %d", o)
+	}
+	if o := m.PrimaryOwner([]int{1, 8}); o != 1 {
+		t.Errorf("owner(1,8) = %d", o)
+	}
+}
+
+func TestArrayMapBlockStar(t *testing.T) {
+	g, _ := NewGrid("P", 4)
+	m := &ArrayMap{
+		Name: "A", ElemBytes: 4, Grid: g,
+		Dims: []DimDist{
+			{Kind: Block, Lo: 1, Hi: 8, ProcDim: 0, NProc: 4},
+			{Kind: Collapsed, Lo: 1, Hi: 8, ProcDim: -1, NProc: 1},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row i goes entirely to processor (i-1)/2.
+	if o := m.PrimaryOwner([]int{3, 7}); o != 1 {
+		t.Errorf("owner(3,7) = %d", o)
+	}
+	shape := m.LocalShape(0)
+	if shape[0] != 2 || shape[1] != 8 {
+		t.Errorf("local shape = %v", shape)
+	}
+}
+
+func TestReplicatedMap(t *testing.T) {
+	g := grid22(t)
+	m := NewReplicated("S", 8, g, [][2]int{{1, 10}})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	owners := m.OwnerRanks([]int{5})
+	if len(owners) != 4 {
+		t.Errorf("replicated owners = %v", owners)
+	}
+	for r := 0; r < 4; r++ {
+		if !m.Owns(r, []int{5}) {
+			t.Errorf("rank %d should own replicated element", r)
+		}
+	}
+}
+
+func TestOwnsMatchesOwnerRanks(t *testing.T) {
+	g := grid22(t)
+	m := &ArrayMap{
+		Name: "A", ElemBytes: 4, Grid: g,
+		Dims: []DimDist{
+			{Kind: Block, Lo: 1, Hi: 6, ProcDim: 0, NProc: 2},
+			{Kind: Collapsed, Lo: 1, Hi: 6, ProcDim: -1, NProc: 1},
+		},
+	}
+	for i := 1; i <= 6; i++ {
+		for j := 1; j <= 6; j++ {
+			ranks := m.OwnerRanks([]int{i, j})
+			owned := make(map[int]bool)
+			for _, r := range ranks {
+				owned[r] = true
+			}
+			for r := 0; r < 4; r++ {
+				if owned[r] != m.Owns(r, []int{i, j}) {
+					t.Fatalf("Owns(%d, [%d %d]) inconsistent with OwnerRanks %v", r, i, j, ranks)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadMaps(t *testing.T) {
+	g := grid22(t)
+	bad := &ArrayMap{
+		Name: "A", ElemBytes: 4, Grid: g,
+		Dims: []DimDist{
+			{Kind: Block, Lo: 1, Hi: 8, ProcDim: 0, NProc: 2},
+			{Kind: Block, Lo: 1, Hi: 8, ProcDim: 0, NProc: 2}, // same grid dim twice
+		},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for duplicate grid dim")
+	}
+	bad2 := &ArrayMap{
+		Name: "A", ElemBytes: 4, Grid: g,
+		Dims: []DimDist{{Kind: Block, Lo: 1, Hi: 8, ProcDim: 0, NProc: 3}},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Error("want error for NProc mismatch")
+	}
+}
+
+func TestSameMapping(t *testing.T) {
+	g := grid22(t)
+	mk := func() *ArrayMap {
+		return &ArrayMap{
+			Name: "A", ElemBytes: 4, Grid: g,
+			Dims: []DimDist{
+				{Kind: Block, Lo: 1, Hi: 8, ProcDim: 0, NProc: 2},
+				{Kind: Block, Lo: 1, Hi: 8, ProcDim: 1, NProc: 2},
+			},
+		}
+	}
+	a, b := mk(), mk()
+	if !a.SameMapping(b) {
+		t.Error("identical maps should compare equal")
+	}
+	b.Dims[1].Kind = Cyclic
+	if a.SameMapping(b) {
+		t.Error("different kinds should not compare equal")
+	}
+}
+
+func TestAsciiDecomposition(t *testing.T) {
+	g := grid22(t)
+	m := &ArrayMap{
+		Name: "A", ElemBytes: 4, Grid: g,
+		Dims: []DimDist{
+			{Kind: Block, Lo: 1, Hi: 8, ProcDim: 0, NProc: 2},
+			{Kind: Block, Lo: 1, Hi: 8, ProcDim: 1, NProc: 2},
+		},
+	}
+	s := m.AsciiDecomposition(4)
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestLocalCountsSumToGlobal(t *testing.T) {
+	g, _ := NewGrid("P", 2, 4)
+	m := &ArrayMap{
+		Name: "A", ElemBytes: 8, Grid: g,
+		Dims: []DimDist{
+			{Kind: Block, Lo: 1, Hi: 13, ProcDim: 0, NProc: 2},
+			{Kind: Cyclic, Lo: 1, Hi: 9, ProcDim: 1, NProc: 4},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for r := 0; r < g.Size(); r++ {
+		total += m.LocalCount(r)
+	}
+	if total != m.GlobalCount() {
+		t.Errorf("sum local = %d, global = %d", total, m.GlobalCount())
+	}
+}
+
+func TestExplicitBlockSize(t *testing.T) {
+	d := DimDist{Kind: Block, Lo: 1, Hi: 32, ProcDim: 0, NProc: 4, Blk: 10}
+	if d.BlockSize() != 10 {
+		t.Fatalf("block size = %d", d.BlockSize())
+	}
+	wantSizes := []int{10, 10, 10, 2}
+	for p, want := range wantSizes {
+		if got := d.LocalSize(p); got != want {
+			t.Errorf("LocalSize(%d) = %d, want %d", p, got, want)
+		}
+	}
+	if d.Owner(10) != 0 || d.Owner(11) != 1 || d.Owner(31) != 3 {
+		t.Error("explicit block owners wrong")
+	}
+	for g := 1; g <= 32; g++ {
+		if d.ToGlobal(d.Owner(g), d.ToLocal(g)) != g {
+			t.Fatalf("round trip failed at %d", g)
+		}
+	}
+}
+
+func TestValidateExplicitBlockTooSmall(t *testing.T) {
+	g, _ := NewGrid("P", 4)
+	m := &ArrayMap{
+		Name: "A", ElemBytes: 4, Grid: g,
+		Dims: []DimDist{{Kind: Block, Lo: 1, Hi: 32, ProcDim: 0, NProc: 4, Blk: 2}},
+	}
+	if err := m.Validate(); err == nil {
+		t.Error("want validation error for undersized explicit block")
+	}
+}
+
+// Property: the closed-form unit-stride LoopCount agrees with explicit
+// enumeration for every kind, bound and processor.
+func TestLoopCountClosedFormProperty(t *testing.T) {
+	enumerate := func(d DimDist, p, lo, hi int) int {
+		n := 0
+		for g := lo; g <= hi; g++ {
+			if g >= d.Lo && g <= d.Hi && d.Owner(g) == p {
+				n++
+			}
+		}
+		return n
+	}
+	f := func(extent8, nproc4, blk4 uint8, kindSel uint8, loOff, hiOff int8) bool {
+		extent := int(extent8%60) + 1
+		nproc := int(nproc4%6) + 1
+		d := DimDist{Lo: 1, Hi: extent, ProcDim: 0, NProc: nproc}
+		switch kindSel % 3 {
+		case 0:
+			d.Kind = Block
+		case 1:
+			d.Kind = Cyclic
+		default:
+			d.Kind = Collapsed
+			d.ProcDim, d.NProc = -1, 1
+		}
+		if d.Kind == Block && blk4%2 == 0 {
+			blk := (extent + nproc - 1) / nproc
+			d.Blk = blk + int(blk4%3) // explicit, possibly oversized
+		}
+		lo := 1 + int(loOff%5)
+		hi := extent - int(hiOff%5)
+		if lo < 1 {
+			lo = 1
+		}
+		for p := 0; p < d.procCount(); p++ {
+			if d.LoopCount(p, lo, hi, 1) != enumerate(d, p, lo, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"hpfperf/internal/ast"
+	"hpfperf/internal/hir"
+)
+
+// runtimeError is an execution error with source line context.
+type runtimeError struct {
+	line int
+	msg  string
+}
+
+func (e *runtimeError) Error() string {
+	if e.line > 0 {
+		return fmt.Sprintf("runtime error at line %d: %s", e.line, e.msg)
+	}
+	return "runtime error: " + e.msg
+}
+
+func (vm *VM) rtErrf(format string, args ...any) error {
+	return &runtimeError{line: vm.curLine, msg: fmt.Sprintf(format, args...)}
+}
+
+// eval evaluates an HIR expression against the global program state.
+func (vm *VM) eval(e hir.Expr) (val, error) {
+	switch x := e.(type) {
+	case *hir.Const:
+		return fromSem(x.Val), nil
+	case *hir.Ref:
+		if v, ok := vm.env[x.Name]; ok {
+			return v, nil
+		}
+		// Fortran leaves uninitialized variables undefined; model as zero.
+		return convertTo(val{}, x.Typ), nil
+	case *hir.Elem:
+		a, ok := vm.arrays[x.Array]
+		if !ok {
+			return val{}, vm.rtErrf("array %s has no storage", x.Array)
+		}
+		idx, err := vm.evalSubs(x.Subs)
+		if err != nil {
+			return val{}, err
+		}
+		v, err := a.get(idx)
+		if err != nil {
+			return val{}, vm.rtErrf("%v", err)
+		}
+		return v, nil
+	case *hir.Bin:
+		return vm.evalBin(x)
+	case *hir.Un:
+		v, err := vm.eval(x.X)
+		if err != nil {
+			return val{}, err
+		}
+		switch x.Op {
+		case hir.OpNot:
+			return boolV(!v.asB()), nil
+		case hir.OpNeg:
+			if x.Typ == ast.TInteger {
+				return intV(-v.asI()), nil
+			}
+			return floatV(-v.asF()), nil
+		}
+		return val{}, vm.rtErrf("bad unary op %v", x.Op)
+	case *hir.Intr:
+		return vm.evalIntr(x)
+	}
+	return val{}, vm.rtErrf("unsupported expression %T", e)
+}
+
+func (vm *VM) evalSubs(subs []hir.Expr) ([]int, error) {
+	idx := make([]int, len(subs))
+	for i, s := range subs {
+		v, err := vm.eval(s)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = int(v.asI())
+	}
+	return idx, nil
+}
+
+func (vm *VM) evalBin(x *hir.Bin) (val, error) {
+	a, err := vm.eval(x.X)
+	if err != nil {
+		return val{}, err
+	}
+	b, err := vm.eval(x.Y)
+	if err != nil {
+		return val{}, err
+	}
+	switch x.Op {
+	case hir.OpAnd:
+		return boolV(a.asB() && b.asB()), nil
+	case hir.OpOr:
+		return boolV(a.asB() || b.asB()), nil
+	}
+	if x.Op.IsCompare() {
+		var cmp int
+		if a.isInt && b.isInt {
+			ai, bi := a.asI(), b.asI()
+			switch {
+			case ai < bi:
+				cmp = -1
+			case ai > bi:
+				cmp = 1
+			}
+		} else {
+			af, bf := a.asF(), b.asF()
+			switch {
+			case af < bf:
+				cmp = -1
+			case af > bf:
+				cmp = 1
+			}
+		}
+		switch x.Op {
+		case hir.OpEq:
+			return boolV(cmp == 0), nil
+		case hir.OpNe:
+			return boolV(cmp != 0), nil
+		case hir.OpLt:
+			return boolV(cmp < 0), nil
+		case hir.OpLe:
+			return boolV(cmp <= 0), nil
+		case hir.OpGt:
+			return boolV(cmp > 0), nil
+		case hir.OpGe:
+			return boolV(cmp >= 0), nil
+		}
+	}
+	if x.Typ == ast.TInteger {
+		ai, bi := a.asI(), b.asI()
+		switch x.Op {
+		case hir.OpAdd:
+			return intV(ai + bi), nil
+		case hir.OpSub:
+			return intV(ai - bi), nil
+		case hir.OpMul:
+			return intV(ai * bi), nil
+		case hir.OpDiv:
+			if bi == 0 {
+				return val{}, vm.rtErrf("integer division by zero")
+			}
+			return intV(ai / bi), nil
+		case hir.OpPow:
+			if bi < 0 {
+				return intV(0), nil // Fortran i**(-j) truncates to 0 for |i|>1
+			}
+			r := int64(1)
+			for k := int64(0); k < bi; k++ {
+				r *= ai
+			}
+			return intV(r), nil
+		}
+	}
+	af, bf := a.asF(), b.asF()
+	switch x.Op {
+	case hir.OpAdd:
+		return floatV(af + bf), nil
+	case hir.OpSub:
+		return floatV(af - bf), nil
+	case hir.OpMul:
+		return floatV(af * bf), nil
+	case hir.OpDiv:
+		return floatV(af / bf), nil
+	case hir.OpPow:
+		return floatV(math.Pow(af, bf)), nil
+	}
+	return val{}, vm.rtErrf("bad binary op %v", x.Op)
+}
+
+func (vm *VM) evalIntr(x *hir.Intr) (val, error) {
+	args := make([]val, len(x.Args))
+	for i, a := range x.Args {
+		v, err := vm.eval(a)
+		if err != nil {
+			return val{}, err
+		}
+		args[i] = v
+	}
+	f1 := func(fn func(float64) float64) (val, error) {
+		return floatV(fn(args[0].asF())), nil
+	}
+	switch x.Name {
+	case "ABS":
+		if args[0].isInt {
+			v := args[0].asI()
+			if v < 0 {
+				v = -v
+			}
+			return intV(v), nil
+		}
+		return f1(math.Abs)
+	case "SQRT":
+		return f1(math.Sqrt)
+	case "EXP":
+		return f1(math.Exp)
+	case "LOG":
+		return f1(math.Log)
+	case "SIN":
+		return f1(math.Sin)
+	case "COS":
+		return f1(math.Cos)
+	case "TAN":
+		return f1(math.Tan)
+	case "ATAN":
+		return f1(math.Atan)
+	case "MOD":
+		if args[0].isInt && args[1].isInt {
+			if args[1].asI() == 0 {
+				return val{}, vm.rtErrf("MOD by zero")
+			}
+			return intV(args[0].asI() % args[1].asI()), nil
+		}
+		return floatV(math.Mod(args[0].asF(), args[1].asF())), nil
+	case "MIN":
+		out := args[0]
+		for _, a := range args[1:] {
+			if a.asF() < out.asF() {
+				out = a
+			}
+		}
+		return out, nil
+	case "MAX":
+		out := args[0]
+		for _, a := range args[1:] {
+			if a.asF() > out.asF() {
+				out = a
+			}
+		}
+		return out, nil
+	case "SIGN":
+		m := math.Abs(args[0].asF())
+		if args[1].asF() < 0 {
+			m = -m
+		}
+		return floatV(m), nil
+	case "INT":
+		return intV(args[0].asI()), nil
+	case "REAL", "FLOAT", "DBLE":
+		return floatV(args[0].asF()), nil
+	}
+	return val{}, vm.rtErrf("unsupported intrinsic %s", x.Name)
+}

@@ -1,0 +1,317 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/ipsc"
+)
+
+// Integration tests: whole-feature paths through parser → sem → compiler
+// → VM, checked against closed-form results.
+
+func TestAlignmentOffsetEndToEnd(t *testing.T) {
+	// A(I) aligned with T(I+1): ownership shifts by one template cell,
+	// but element values must be unaffected.
+	src := `PROGRAM off
+PARAMETER (N = 16)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(0:N)
+!HPF$ ALIGN A(I) WITH T(I-1)
+!HPF$ ALIGN B(I) WITH T(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+FORALL (K=1:N) A(K) = REAL(K)
+FORALL (K=1:N) B(K) = A(K) * 2.0
+S = SUM(B)
+PRINT *, S
+END`
+	res := run(t, src, 4)
+	wantNear(t, lastPrinted(t, res), 2*16*17/2, 1e-9)
+}
+
+func TestAlignmentChainEndToEnd(t *testing.T) {
+	src := `PROGRAM chain
+PARAMETER (N = 32)
+REAL A(N), B(N), C(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN A(I) WITH T(I)
+!HPF$ ALIGN B(I) WITH A(I)
+!HPF$ ALIGN C(I) WITH B(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+FORALL (K=1:N) A(K) = 1.0
+FORALL (K=1:N) B(K) = A(K) + 1.0
+FORALL (K=1:N) C(K) = B(K) + 1.0
+S = SUM(C)
+PRINT *, S
+END`
+	res := run(t, src, 4)
+	wantNear(t, lastPrinted(t, res), 3*32, 1e-9)
+	if res.Stats.Collectives > 1 {
+		// Only the final SUM should communicate: the chain is aligned.
+		t.Errorf("aligned chain performed %d collectives", res.Stats.Collectives)
+	}
+}
+
+func TestDoublePrecisionEndToEnd(t *testing.T) {
+	src := `PROGRAM dp
+PARAMETER (N = 64)
+DOUBLE PRECISION X(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE X(BLOCK) ONTO P
+FORALL (K=1:N) X(K) = 1.0 / REAL(K)
+S = SUM(X)
+PRINT *, S
+END`
+	res := run(t, src, 4)
+	want := 0.0
+	for k := 1; k <= 64; k++ {
+		want += 1.0 / float64(k)
+	}
+	wantNear(t, lastPrinted(t, res), want, 1e-6)
+}
+
+func TestEoshiftNegative(t *testing.T) {
+	src := sumHdr + `FORALL (K=1:N) A(K) = REAL(K)
+B = EOSHIFT(A, -1, 0.0)
+X = B(1)
+Y = B(2)
+PRINT *, X
+PRINT *, Y
+END`
+	res := run(t, src, 4)
+	// EOSHIFT(A,-1): B(i) = A(i-1), B(1) = boundary.
+	if res.Printed[0] != "0" || res.Printed[1] != "1" {
+		t.Errorf("eoshift -1 = %v", res.Printed)
+	}
+}
+
+func TestCshiftByTwo(t *testing.T) {
+	src := sumHdr + `FORALL (K=1:N) A(K) = REAL(K)
+B = CSHIFT(A, 2)
+X = B(63)
+PRINT *, X
+END`
+	res := run(t, src, 4)
+	// B(63) = A(65 mod 64) = A(1) = 1.
+	wantNear(t, lastPrinted(t, res), 1, 0)
+}
+
+func TestNegativeStepDo(t *testing.T) {
+	src := `PROGRAM neg
+!HPF$ PROCESSORS P(1)
+S = 0.0
+DO I = 10, 1, -2
+  S = S + REAL(I)
+END DO
+PRINT *, S
+END`
+	res := run(t, src, 1)
+	wantNear(t, lastPrinted(t, res), 10+8+6+4+2, 1e-9)
+}
+
+func TestIntegerArrayMod(t *testing.T) {
+	src := `PROGRAM im
+PARAMETER (N = 24)
+INTEGER IV(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE IV(BLOCK) ONTO P
+FORALL (K=1:N) IV(K) = MOD(K, 5)
+M = MAXVAL(IV)
+PRINT *, M
+END`
+	res := run(t, src, 4)
+	wantNear(t, lastPrinted(t, res), 4, 0)
+}
+
+func TestMinvalAndMinloc(t *testing.T) {
+	src := sumHdr + `FORALL (K=1:N) A(K) = ABS(REAL(K) - 40.0) + 3.0
+X = MINVAL(A)
+K = MINLOC(A)
+PRINT *, X
+PRINT *, K
+END`
+	res := run(t, src, 4)
+	if res.Printed[0] != "3" || res.Printed[1] != "40" {
+		t.Errorf("minval/minloc = %v", res.Printed)
+	}
+}
+
+func TestCountIntrinsic(t *testing.T) {
+	src := sumHdr + `FORALL (K=1:N) A(K) = REAL(K) - 10.5
+NC = COUNT(A .GT. 0.0)
+PRINT *, NC
+END`
+	res := run(t, src, 4)
+	wantNear(t, lastPrinted(t, res), 54, 0) // K=11..64
+}
+
+func TestNestedWhereAndForall(t *testing.T) {
+	src := `PROGRAM nw
+PARAMETER (N = 32)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN A(I) WITH T(I)
+!HPF$ ALIGN B(I) WITH T(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+FORALL (K=1:N) A(K) = REAL(K) - 16.0
+DO IPASS = 1, 2
+  WHERE (A .GT. 0.0)
+    B = A
+  ELSEWHERE
+    B = -A
+  END WHERE
+  FORALL (K=1:N) A(K) = B(K) - 1.0
+END DO
+S = SUM(B)
+PRINT *, S
+END`
+	res := run(t, src, 4)
+	// Verify against a direct Go reimplementation.
+	a := make([]float64, 33)
+	b := make([]float64, 33)
+	for k := 1; k <= 32; k++ {
+		a[k] = float64(k) - 16
+	}
+	for pass := 0; pass < 2; pass++ {
+		for k := 1; k <= 32; k++ {
+			if a[k] > 0 {
+				b[k] = a[k]
+			} else {
+				b[k] = -a[k]
+			}
+		}
+		for k := 1; k <= 32; k++ {
+			a[k] = b[k] - 1
+		}
+	}
+	want := 0.0
+	for k := 1; k <= 32; k++ {
+		want += b[k]
+	}
+	wantNear(t, lastPrinted(t, res), want, 1e-9)
+}
+
+func TestTrapezoidMatchesClosedForm(t *testing.T) {
+	// PBS 1 shape: integral of exp(-x^2) over [0,2] by trapezoid.
+	src := `PROGRAM trap
+PARAMETER (N = 512)
+REAL F(N)
+!HPF$ PROCESSORS P(8)
+!HPF$ DISTRIBUTE F(BLOCK) ONTO P
+A = 0.0
+B = 2.0
+H = (B - A)/REAL(N-1)
+FORALL (K=1:N) F(K) = EXP(-(A + REAL(K-1)*H)**2)
+T1 = SUM(F)
+E1 = F(1)
+E2 = F(N)
+TRAP = H*(T1 - 0.5*E1 - 0.5*E2)
+PRINT *, TRAP
+END`
+	res := run(t, src, 8)
+	// Reference trapezoid in Go.
+	n := 512
+	h := 2.0 / float64(n-1)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		x := float64(k-1) * h
+		sum += math.Exp(-x * x)
+	}
+	want := h * (sum - 0.5*math.Exp(0) - 0.5*math.Exp(-4))
+	wantNear(t, lastPrinted(t, res), want, 1e-4)
+}
+
+func TestTwoDimCollapsedSecondDim(t *testing.T) {
+	// PBS 3 shape: (BLOCK,*) alignment of a 2-D array to a 1-D template.
+	src := `PROGRAM p3
+PARAMETER (N = 16, M = 4)
+REAL A2(N,M), PRD(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN PRD(I) WITH T(I)
+!HPF$ ALIGN A2(I,J) WITH T(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+FORALL (I=1:N, J=1:M) A2(I,J) = 2.0
+FORALL (I=1:N) PRD(I) = 1.0
+DO J = 1, M
+  FORALL (I=1:N) PRD(I) = PRD(I)*A2(I,J)
+END DO
+S = SUM(PRD)
+PRINT *, S
+END`
+	res := run(t, src, 4)
+	wantNear(t, lastPrinted(t, res), 16*16, 1e-9) // 2^4 per row × 16 rows
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	src := `PROGRAM inf
+!HPF$ PROCESSORS P(1)
+S = 0.0
+DO I = 1, 100000
+  S = S + 1.0
+END DO
+PRINT *, S
+END`
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ipsc.DefaultConfig(1)
+	m, _ := ipsc.New(cfg)
+	if _, err := Run(prog, m, Options{MaxSteps: 1000}); err == nil {
+		t.Error("want MaxSteps error")
+	}
+}
+
+func TestExplicitBlockSizeEndToEnd(t *testing.T) {
+	// BLOCK(10) over 4 processors for 32 elements: shares 10,10,10,2.
+	src := `PROGRAM eb
+PARAMETER (N = 32)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN A(I) WITH T(I)
+!HPF$ ALIGN B(I) WITH T(I)
+!HPF$ DISTRIBUTE T(BLOCK(10)) ONTO P
+FORALL (K=1:N) A(K) = REAL(K)
+FORALL (K=2:N-1) B(K) = A(K-1) + A(K+1)
+S = SUM(B)
+PRINT *, S
+END`
+	res := run(t, src, 4)
+	want := 0.0
+	for k := 2; k <= 31; k++ {
+		want += float64(k-1) + float64(k+1)
+	}
+	wantNear(t, lastPrinted(t, res), want, 1e-9)
+}
+
+func TestExplicitBlockTooSmallRejected(t *testing.T) {
+	src := `PROGRAM eb
+PARAMETER (N = 32)
+REAL A(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE A(BLOCK(2)) ONTO P
+A(1) = 0.0
+END`
+	if _, err := compiler.Compile(src); err == nil {
+		t.Error("BLOCK(2)×4 cannot hold 32 elements; want error")
+	}
+}
+
+func TestBlockCyclicRejected(t *testing.T) {
+	src := `PROGRAM bc
+PARAMETER (N = 32)
+REAL A(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE A(CYCLIC(2)) ONTO P
+A(1) = 0.0
+END`
+	if _, err := compiler.Compile(src); err == nil {
+		t.Error("CYCLIC(n) is outside the subset; want error")
+	}
+}

@@ -1,0 +1,478 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§5):
+//
+//	Table 1  — the validation application set (package suite)
+//	Table 2  — accuracy: min/max absolute error between estimated and
+//	           measured times over problem and system sizes
+//	Figure 3 — the three Laplace data decompositions
+//	Figure 4 — Laplace estimated/measured times on 4 processors
+//	Figure 5 — Laplace estimated/measured times on 8 processors
+//	Figure 7 — interpreted per-phase profile of the stock option pricing
+//	           model (with Figure 6's phase structure)
+//	Figure 8 — experimentation time: interpreter vs. iPSC/860 measurement
+//
+// "Measured" times come from executing the compiled SPMD program on the
+// simulated iPSC/860 (packages exec and ipsc); "estimated" times come
+// from the interpretation engine (package core).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/core"
+	"hpfperf/internal/exec"
+	"hpfperf/internal/ipsc"
+	"hpfperf/internal/report"
+	"hpfperf/internal/suite"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Quick restricts sweeps to a small subset (for tests and smoke runs).
+	Quick bool
+	// Runs is the number of perturbed measured runs to average
+	// (the paper averaged 1000; the deterministic simulator converges with
+	// a handful). Default 3.
+	Runs int
+	// Perturb enables measured-run load fluctuation. Default true via
+	// DefaultConfig.
+	Perturb float64
+	// Log receives progress output (may be nil).
+	Log io.Writer
+}
+
+// DefaultConfig returns the full-fidelity experiment configuration.
+func DefaultConfig() Config {
+	return Config{Runs: 3, Perturb: 0.01}
+}
+
+// QuickConfig returns a reduced configuration for smoke tests.
+func QuickConfig() Config {
+	return Config{Quick: true, Runs: 1, Perturb: 0.01}
+}
+
+var logMu sync.Mutex
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		logMu.Lock()
+		defer logMu.Unlock()
+		fmt.Fprintf(c.Log, format, args...)
+	}
+}
+
+// EstimateAndMeasure compiles one source, interprets it and runs it on
+// the simulated machine, returning (estimated, measured) microseconds.
+func EstimateAndMeasure(src string, cfg Config) (estUS, measUS float64, err error) {
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	it, err := core.New(prog, nil, core.DefaultOptions())
+	if err != nil {
+		return 0, 0, err
+	}
+	rep, err := it.Interpret()
+	if err != nil {
+		return 0, 0, err
+	}
+	mcfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
+	mcfg.PerturbAmp = cfg.Perturb
+	m, err := ipsc.New(mcfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	res, err := exec.Run(prog, m, exec.Options{Runs: runs})
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.TotalUS(), res.MeasuredUS, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — accuracy of the performance prediction framework
+
+// AccuracyPoint is one (problem size, system size) comparison.
+type AccuracyPoint struct {
+	Size   int
+	Procs  int
+	EstUS  float64
+	MeasUS float64
+}
+
+// ErrPct is the absolute error as a percentage of the measured time.
+func (p AccuracyPoint) ErrPct() float64 {
+	if p.MeasUS == 0 {
+		return 0
+	}
+	return math.Abs(p.EstUS-p.MeasUS) / p.MeasUS * 100
+}
+
+// AccuracyRow is one program's row of Table 2.
+type AccuracyRow struct {
+	Name      string
+	SizeRange string
+	ProcRange string
+	Points    []AccuracyPoint
+}
+
+// MinErrPct returns the minimum absolute error over all points.
+func (r AccuracyRow) MinErrPct() float64 {
+	m := math.Inf(1)
+	for _, p := range r.Points {
+		if e := p.ErrPct(); e < m {
+			m = e
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// MaxErrPct returns the maximum absolute error over all points.
+func (r AccuracyRow) MaxErrPct() float64 {
+	m := 0.0
+	for _, p := range r.Points {
+		if e := p.ErrPct(); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Table2 reproduces the accuracy validation (§5.1): for every program of
+// the validation set, estimated and measured times are compared while
+// varying the problem size and the number of processing elements.
+// Programs are swept concurrently (each sweep is independent); rows come
+// back in Table 1 order.
+func Table2(cfg Config) ([]AccuracyRow, error) {
+	progs := suite.All()
+	rows := make([]AccuracyRow, len(progs))
+	errs := make([]error, len(progs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range progs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *suite.Program) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			row, err := Table2Row(p, cfg)
+			rows[i], errs[i] = row, err
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", progs[i].Name, err)
+		}
+	}
+	return rows, nil
+}
+
+// Table2Row runs the accuracy sweep for one program.
+func Table2Row(p *suite.Program, cfg Config) (AccuracyRow, error) {
+	sizes := p.Sizes
+	procs := p.Procs
+	if cfg.Quick {
+		sizes = sizes[:min(2, len(sizes))]
+		procs = []int{1, 4}
+	}
+	row := AccuracyRow{
+		Name:      p.Name,
+		SizeRange: fmt.Sprintf("%d - %d", sizes[0], sizes[len(sizes)-1]),
+		ProcRange: fmt.Sprintf("%d - %d", procs[0], procs[len(procs)-1]),
+	}
+	for _, n := range sizes {
+		for _, np := range procs {
+			est, meas, err := EstimateAndMeasure(p.Source(n, np), cfg)
+			if err != nil {
+				return row, fmt.Errorf("size %d procs %d: %w", n, np, err)
+			}
+			pt := AccuracyPoint{Size: n, Procs: np, EstUS: est, MeasUS: meas}
+			cfg.logf("%-18s n=%-6d p=%d est=%-12s meas=%-12s err=%.2f%%\n",
+				p.Name, n, np, report.FormatUS(est), report.FormatUS(meas), pt.ErrPct())
+			row.Points = append(row.Points, pt)
+		}
+	}
+	return row, nil
+}
+
+// RenderTable2 renders rows in the layout of the paper's Table 2.
+func RenderTable2(rows []AccuracyRow) string {
+	headers := []string{"Name", "Problem Sizes", "System Size", "Min Abs Error", "Max Abs Error"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Name, r.SizeRange + " (data elements)", r.ProcRange + " (# procs)",
+			fmt.Sprintf("%.2f%%", r.MinErrPct()), fmt.Sprintf("%.2f%%", r.MaxErrPct()),
+		})
+	}
+	return "Table 2: Accuracy of the Performance Prediction Framework\n" +
+		report.Table(headers, body)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — Laplace solver data distributions
+
+// Figure3 renders the three template distributions of the Laplace solver
+// on 4 processors as ownership pictures.
+func Figure3() (string, error) {
+	out := "Figure 3: Laplace Solver - Data Distributions (4 processors)\n\n"
+	for _, cse := range []struct {
+		name string
+		prog *suite.Program
+	}{
+		{"(Block,Block)", suite.LaplaceBB()},
+		{"(Block,*)", suite.LaplaceBX()},
+		{"(*,Block)", suite.LaplaceXB()},
+	} {
+		prog, err := compiler.Compile(cse.prog.Source(16, 4))
+		if err != nil {
+			return "", err
+		}
+		m := prog.Info.ArrayMap("U")
+		out += cse.name + ":\n" + m.AsciiDecomposition(8) + "\n"
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4 and 5 — Laplace estimated/measured times
+
+// LaplaceSeries is one curve of Figures 4/5.
+type LaplaceSeries struct {
+	Label  string
+	Kind   string // "Estimated" or "Measured"
+	Sizes  []int
+	TimeUS []float64
+}
+
+// Figure45 reproduces Figure 4 (procs = 4) or Figure 5 (procs = 8): the
+// estimated and measured execution times of the three Laplace variants
+// over the problem-size sweep.
+func Figure45(procs int, cfg Config) ([]LaplaceSeries, error) {
+	sizes := []int{16, 64, 128, 192, 256}
+	if cfg.Quick {
+		sizes = []int{16, 64}
+	}
+	var out []LaplaceSeries
+	for _, cse := range []struct {
+		label string
+		prog  *suite.Program
+		grid  string
+	}{
+		{"(Blk,Blk) - " + gridLabel(procs), suite.LaplaceBB(), "2D"},
+		{"(Blk,*) - " + fmt.Sprintf("%d Procs", procs), suite.LaplaceBX(), "1D"},
+		{"(*,Blk) - " + fmt.Sprintf("%d Procs", procs), suite.LaplaceXB(), "1D"},
+	} {
+		est := LaplaceSeries{Label: cse.label, Kind: "Estimated", Sizes: sizes}
+		mea := LaplaceSeries{Label: cse.label, Kind: "Measured", Sizes: sizes}
+		for _, n := range sizes {
+			e, m, err := EstimateAndMeasure(cse.prog.Source(n, procs), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", cse.label, n, err)
+			}
+			cfg.logf("laplace %-22s n=%-4d est=%-12s meas=%-12s\n",
+				cse.label, n, report.FormatUS(e), report.FormatUS(m))
+			est.TimeUS = append(est.TimeUS, e)
+			mea.TimeUS = append(mea.TimeUS, m)
+		}
+		out = append(out, est, mea)
+	}
+	return out, nil
+}
+
+func gridLabel(procs int) string {
+	return fmt.Sprintf("%s Proc Grid", map[int]string{1: "1x1", 2: "1x2", 4: "2x2", 8: "2x4"}[procs])
+}
+
+// RenderFigure45 renders the series as a text chart plus a value table.
+func RenderFigure45(fig int, procs int, series []LaplaceSeries) string {
+	var cs []report.Series
+	for _, s := range series {
+		xs := make([]float64, len(s.Sizes))
+		ys := make([]float64, len(s.TimeUS))
+		for i := range s.Sizes {
+			xs[i] = float64(s.Sizes[i])
+			ys[i] = s.TimeUS[i] / 1e6
+		}
+		cs = append(cs, report.Series{Label: s.Kind + " " + s.Label, X: xs, Y: ys})
+	}
+	title := fmt.Sprintf("Figure %d: Laplace Solver (%d Procs) - Estimated/Measured Times", fig, procs)
+	out := report.Chart(title, "Problem Size", "Execution Time (sec)", cs)
+	headers := []string{"series", "kind"}
+	for _, n := range series[0].Sizes {
+		headers = append(headers, fmt.Sprint(n))
+	}
+	var rows [][]string
+	for _, s := range series {
+		row := []string{s.Label, s.Kind}
+		for _, t := range s.TimeUS {
+			row = append(row, report.FormatUS(t))
+		}
+		rows = append(rows, row)
+	}
+	return out + "\n" + report.Table(headers, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — Financial model interpreted performance profile
+
+// Figure7 interprets the stock option pricing model (4 processors,
+// size 256) and returns its per-phase profile (Figure 6 defines the two
+// phases: lattice creation with shift communication, then call price
+// computation without communication).
+func Figure7(cfg Config) ([]report.PhaseBreakdown, error) {
+	p := suite.Finance()
+	size := 256
+	if cfg.Quick {
+		size = 64
+	}
+	src := p.Source(size, 4)
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	it, err := core.New(prog, nil, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	rep, err := it.Interpret()
+	if err != nil {
+		return nil, err
+	}
+	l1 := suite.LineOf(src, suite.FinancePhase1Marker)
+	l2 := suite.LineOf(src, suite.FinancePhase2Marker)
+	lend := suite.LineOf(src, "CHK =")
+	phases := []report.Phase{
+		{Name: "Phase 1", FromLine: l1, ToLine: l2 - 1},
+		{Name: "Phase 2", FromLine: l2, ToLine: lend - 1},
+	}
+	return report.PhaseProfile(rep, phases), nil
+}
+
+// RenderFigure7 renders the phase profile.
+func RenderFigure7(phases []report.PhaseBreakdown) string {
+	return report.RenderPhaseProfile(
+		"Figure 7: Stock Option Pricing - Interpreted Performance Profile (Procs = 4; Size = 256)",
+		phases)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — experimentation time
+
+// WorkflowModel parameterizes the cost (in minutes) of one experimentation
+// cycle, following §5.3's description of the two workflows. The iPSC/860
+// cycle is: edit code, compile and link with a cross compiler, transfer
+// the executable to the front end, load it onto the i860 nodes, and run
+// it (1000 timed runs per instance), repeated for each problem size; the
+// machine is shared, adding a queue wait per instance. The interpreter
+// cycle is: adjust directives/parameters in the interface and re-run the
+// source-driven interpretation on a workstation.
+type WorkflowModel struct {
+	// Measured workflow (per experiment instance).
+	EditMin      float64
+	CompileMin   float64
+	TransferMin  float64
+	LoadMin      float64
+	QueueWaitMin float64
+	TimedRuns    int
+	// Interpreted workflow.
+	InterpEditMin   float64
+	InterpPerRunMin float64
+	InterpSetupMin  float64
+}
+
+// DefaultWorkflow returns the model calibrated to the paper's reported
+// experimentation times (≈10 min per variant interpreted; 27–60 min
+// measured).
+func DefaultWorkflow() WorkflowModel {
+	return WorkflowModel{
+		EditMin:         1.0,
+		CompileMin:      2.5,
+		TransferMin:     1.0,
+		LoadMin:         0.5,
+		QueueWaitMin:    1.0,
+		TimedRuns:       1000,
+		InterpEditMin:   1.5,
+		InterpPerRunMin: 0.5,
+		InterpSetupMin:  2.0,
+	}
+}
+
+// ExperimentTime is one bar pair of Figure 8.
+type ExperimentTime struct {
+	Impl           string
+	InterpreterMin float64
+	IPSCMin        float64
+}
+
+// Figure8 reproduces the experimentation-time comparison for the three
+// Laplace implementations: each variant is evaluated over the problem
+// size sweep, measured runs costing real (simulated) machine time.
+func Figure8(cfg Config) ([]ExperimentTime, error) {
+	wm := DefaultWorkflow()
+	sizes := []int{16, 64, 128, 256}
+	if cfg.Quick {
+		sizes = []int{16, 64}
+	}
+	var out []ExperimentTime
+	for _, cse := range []struct {
+		label string
+		prog  *suite.Program
+	}{
+		{"(Blk,Blk)", suite.LaplaceBB()},
+		{"(Blk,*)", suite.LaplaceBX()},
+		{"(*,Blk)", suite.LaplaceXB()},
+	} {
+		et := ExperimentTime{Impl: cse.label}
+		et.InterpreterMin = wm.InterpSetupMin
+		for _, n := range sizes {
+			src := cse.prog.Source(n, 4)
+			_, meas, err := EstimateAndMeasure(src, cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Measured workflow: full edit-compile-transfer-load cycle plus
+			// the timed runs on the machine.
+			runMin := meas / 1e6 / 60 * float64(wm.TimedRuns)
+			et.IPSCMin += wm.EditMin + wm.CompileMin + wm.TransferMin + wm.LoadMin + wm.QueueWaitMin + runMin
+			// Interpreted workflow: directive edit plus an interpretation run.
+			et.InterpreterMin += wm.InterpEditMin + wm.InterpPerRunMin
+		}
+		cfg.logf("figure8 %-10s interp=%.1fmin ipsc=%.1fmin\n", et.Impl, et.InterpreterMin, et.IPSCMin)
+		out = append(out, et)
+	}
+	return out, nil
+}
+
+// RenderFigure8 renders the experimentation-time bars.
+func RenderFigure8(times []ExperimentTime) string {
+	var labels []string
+	var values []float64
+	for _, t := range times {
+		labels = append(labels, t.Impl+" interpreter")
+		values = append(values, t.InterpreterMin)
+		labels = append(labels, t.Impl+" iPSC/860")
+		values = append(values, t.IPSCMin)
+	}
+	return report.Bars("Figure 8: Experimentation Time - Laplace Solver", "min", labels, values)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

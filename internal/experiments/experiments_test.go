@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hpfperf/internal/suite"
+)
+
+func TestEstimateAndMeasure(t *testing.T) {
+	src := suite.PI().Source(512, 4)
+	est, meas, err := EstimateAndMeasure(src, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 || meas <= 0 {
+		t.Fatalf("est=%g meas=%g", est, meas)
+	}
+}
+
+func TestTable2RowQuick(t *testing.T) {
+	row, err := Table2Row(suite.PI(), QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Points) != 4 { // 2 sizes × 2 proc counts
+		t.Fatalf("points = %d", len(row.Points))
+	}
+	if row.MaxErrPct() > 25 {
+		t.Errorf("PI max error %.1f%% exceeds the paper's worst case band", row.MaxErrPct())
+	}
+	if row.MinErrPct() > row.MaxErrPct() {
+		t.Error("min > max")
+	}
+}
+
+func TestTable2AccuracyBandsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite sweep in -short mode")
+	}
+	cfg := QuickConfig()
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	worst := 0.0
+	worstName := ""
+	for _, r := range rows {
+		if e := r.MaxErrPct(); e > worst {
+			worst, worstName = e, r.Name
+		}
+	}
+	// Paper: "in the worst case, the interpreted performance is within 20%
+	// of the measured value".
+	if worst > 30 {
+		t.Errorf("worst-case error %.1f%% (%s) far outside the paper's band", worst, worstName)
+	}
+	text := RenderTable2(rows)
+	if !strings.Contains(text, "LFK 1") || !strings.Contains(text, "Max Abs Error") {
+		t.Errorf("table rendering incomplete:\n%s", text)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	out, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(Block,Block)", "(Block,*)", "(*,Block)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 3 missing %s", want)
+		}
+	}
+	// The (Block,Block) picture must show 4 distinct owners.
+	if !strings.Contains(out, " 3 ") {
+		t.Error("figure 3 should show processor 3 owning a tile")
+	}
+}
+
+func TestFigure45Quick(t *testing.T) {
+	series, err := Figure45(4, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 { // 3 variants × (estimated + measured)
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		for i, v := range s.TimeUS {
+			if v <= 0 {
+				t.Errorf("%s %s size %d: nonpositive time", s.Kind, s.Label, s.Sizes[i])
+			}
+		}
+		// Times must grow with the problem size.
+		if s.TimeUS[len(s.TimeUS)-1] <= s.TimeUS[0] {
+			t.Errorf("%s %s: no growth across sizes", s.Kind, s.Label)
+		}
+	}
+	txt := RenderFigure45(4, 4, series)
+	if !strings.Contains(txt, "Figure 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure45EstimatesTrackMeasurements(t *testing.T) {
+	series, err := Figure45(4, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair estimated/measured per variant and check the relative error at
+	// the largest size (the paper reports <1% for Laplace; we accept a
+	// wider simulator band).
+	for i := 0; i < len(series); i += 2 {
+		est := series[i]
+		mea := series[i+1]
+		last := len(est.TimeUS) - 1
+		e := est.TimeUS[last]
+		m := mea.TimeUS[last]
+		if d := abs(e-m) / m * 100; d > 15 {
+			t.Errorf("%s: est %.0f vs meas %.0f (%.1f%%)", est.Label, e, m, d)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFigure7PhaseShape(t *testing.T) {
+	phases, err := Figure7(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	p1, p2 := phases[0].Metrics, phases[1].Metrics
+	// Figure 6/7 structure: Phase 1 communicates (shift); Phase 2 does not.
+	if p1.CommUS <= 0 {
+		t.Error("phase 1 should include shift communication")
+	}
+	if p2.CommUS != 0 {
+		t.Errorf("phase 2 should be communication-free, got %.1fus", p2.CommUS)
+	}
+	if p2.CompUS <= 0 {
+		t.Error("phase 2 should compute call prices")
+	}
+	txt := RenderFigure7(phases)
+	if !strings.Contains(txt, "Phase 1") || !strings.Contains(txt, "Phase 2") {
+		t.Error("render missing phases")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	times, err := Figure8(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("variants = %d", len(times))
+	}
+	for _, e := range times {
+		// §5.3: the interpretive approach is significantly more
+		// cost-effective than measurement on the shared machine.
+		if e.InterpreterMin >= e.IPSCMin {
+			t.Errorf("%s: interpreter %.1fmin not cheaper than iPSC %.1fmin",
+				e.Impl, e.InterpreterMin, e.IPSCMin)
+		}
+	}
+	txt := RenderFigure8(times)
+	if !strings.Contains(txt, "Figure 8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Every ablation must make the model measurably worse.
+		if abs(r.VariantErr) <= abs(r.DefaultErr) {
+			t.Errorf("%s: ablated %.1f%% not worse than default %.1f%%",
+				r.Name, r.VariantErr, r.DefaultErr)
+		}
+	}
+	txt := RenderAblations(rows)
+	if !strings.Contains(txt, "memory model") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,164 @@
+package hir
+
+import (
+	"strings"
+	"testing"
+
+	"hpfperf/internal/ast"
+	"hpfperf/internal/sem"
+)
+
+func intC(v int64) *Const    { return &Const{Val: sem.IntVal(v)} }
+func realC(v float64) *Const { return &Const{Val: sem.RealVal(v)} }
+
+func TestOpStrings(t *testing.T) {
+	if OpAdd.String() != "+" || OpPow.String() != "**" || OpNot.String() != ".NOT." {
+		t.Error("operator names wrong")
+	}
+	if !OpLt.IsCompare() || OpMul.IsCompare() {
+		t.Error("IsCompare wrong")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := &Bin{Op: OpAdd, X: &Ref{Name: "X", Typ: ast.TReal}, Y: realC(1.5), Typ: ast.TReal}
+	if got := e.String(); got != "(X + 1.5)" {
+		t.Errorf("bin string = %q", got)
+	}
+	el := &Elem{Array: "A", Subs: []Expr{intC(3)}, Typ: ast.TReal}
+	if el.String() != "A(3)" {
+		t.Errorf("elem string = %q", el.String())
+	}
+	sh := &Elem{Array: "A", Subs: []Expr{intC(3)}, Shadow: true, Typ: ast.TReal}
+	if !strings.HasPrefix(sh.String(), "$") {
+		t.Error("shadow marker missing")
+	}
+}
+
+func TestCountExprBasics(t *testing.T) {
+	// A(I) * B(I+1) + 2.0  (reals)
+	i := &Ref{Name: "I", Kind: Private, Typ: ast.TInteger}
+	e := &Bin{
+		Op: OpAdd,
+		X: &Bin{
+			Op: OpMul,
+			X:  &Elem{Array: "A", Subs: []Expr{i}, Typ: ast.TReal},
+			Y: &Elem{Array: "B", Subs: []Expr{
+				&Bin{Op: OpAdd, X: i, Y: intC(1), Typ: ast.TInteger},
+			}, Typ: ast.TReal},
+			Typ: ast.TReal,
+		},
+		Y:   realC(2.0),
+		Typ: ast.TReal,
+	}
+	c := CountExpr(e)
+	if c.FAdd != 1 || c.FMul != 1 {
+		t.Errorf("float ops = %d/%d", c.FAdd, c.FMul)
+	}
+	if c.Elems != 2 {
+		t.Errorf("elems = %d", c.Elems)
+	}
+	// Loads: 2 elements + 1 subscript Ref (I) + 1 Ref inside I+1.
+	if c.Load != 4 {
+		t.Errorf("loads = %d", c.Load)
+	}
+	// IntOp: address arithmetic (1 per sub) ×2 + the I+1 addition.
+	if c.IntOp != 3 {
+		t.Errorf("intops = %d", c.IntOp)
+	}
+}
+
+func TestCountExprIntrinsicsAndShadow(t *testing.T) {
+	e := &Intr{Name: "SQRT", Args: []Expr{
+		&Elem{Array: "A", Subs: []Expr{intC(1)}, Shadow: true, Typ: ast.TReal},
+	}, Typ: ast.TReal}
+	c := CountExpr(e)
+	if c.Intrinsics["SQRT"] != 1 {
+		t.Errorf("intrinsics = %v", c.Intrinsics)
+	}
+	if c.ShadowLoad != 1 {
+		t.Errorf("shadow loads = %d", c.ShadowLoad)
+	}
+}
+
+func TestCountExprLogicalAndCompare(t *testing.T) {
+	e := &Bin{
+		Op:  OpAnd,
+		X:   &Bin{Op: OpGt, X: realC(1), Y: realC(0), Typ: ast.TLogical},
+		Y:   &Un{Op: OpNot, X: &Ref{Name: "B", Typ: ast.TLogical}, Typ: ast.TLogical},
+		Typ: ast.TLogical,
+	}
+	c := CountExpr(e)
+	if c.Cmp != 1 || c.Logical != 2 {
+		t.Errorf("cmp=%d logical=%d", c.Cmp, c.Logical)
+	}
+}
+
+func TestOpCountAddScaling(t *testing.T) {
+	var a OpCount
+	b := OpCount{FAdd: 2, Load: 3, Elems: 1, Intrinsics: map[string]int{"EXP": 1}}
+	a.Add(b, 4)
+	if a.FAdd != 8 || a.Load != 12 || a.Elems != 4 || a.Intrinsics["EXP"] != 4 {
+		t.Errorf("scaled add = %+v", a)
+	}
+}
+
+func TestReduceOpString(t *testing.T) {
+	if RSum.String() != "SUM" || RMaxLoc.String() != "MAXLOC" {
+		t.Error("reduce op names")
+	}
+}
+
+func TestDumpCoversStatements(t *testing.T) {
+	p := &Program{
+		Name: "T",
+		Info: &sem.Info{},
+		Body: []Stmt{
+			&Assign{Lhs: &ScalarLV{Name: "X", Typ: ast.TReal}, Rhs: realC(1)},
+			&Loop{Var: "I", Lo: intC(1), Hi: intC(10), Step: intC(1), Label: "DO",
+				Body: []Stmt{
+					&If{Cond: &Ref{Name: "B", Typ: ast.TLogical}, Then: []Stmt{
+						&Assign{Lhs: &ElemLV{Array: "A", Subs: []Expr{intC(1)}, Typ: ast.TReal}, Rhs: realC(0), Guard: true},
+					}},
+				}},
+			&Shift{Array: "A", Dim: 0, Offset: 1},
+			&AllGather{Array: "A"},
+			&CShift{Dst: "B", Src: "A", Dim: 0, Shift: intC(1)},
+			&EOShift{Dst: "B", Src: "A", Dim: 0, Shift: intC(1)},
+			&Reduce{Op: RSum, Dst: "S", Src: "$ACC"},
+			&FetchElem{Array: "A", Subs: []Expr{intC(1)}, Dst: "$F", Typ: ast.TReal},
+			&Print{Args: []Expr{realC(3)}},
+			&While{Cond: &Ref{Name: "B", Typ: ast.TLogical}},
+		},
+	}
+	// Info.Grid is needed by Dump's header.
+	p.Info.Grid = nil
+	d := p.Dump()
+	for _, want := range []string{"X = 1", "LOOP I", "[owner]", "SHIFT A", "ALLGATHER",
+		"CSHIFT", "EOSHIFT", "REDUCE SUM", "FETCH", "PRINT", "WHILE", "IF"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestStmtLines(t *testing.T) {
+	stmts := []Stmt{
+		&Assign{SrcLine: 5},
+		&Loop{SrcLine: 6},
+		&While{SrcLine: 7},
+		&If{SrcLine: 8},
+		&Reduce{SrcLine: 9},
+		&Shift{SrcLine: 10},
+		&AllGather{SrcLine: 11},
+		&CShift{SrcLine: 12},
+		&EOShift{SrcLine: 13},
+		&FetchElem{SrcLine: 14},
+		&Print{SrcLine: 15},
+	}
+	for i, s := range stmts {
+		if s.Line() != 5+i {
+			t.Errorf("stmt %d line = %d", i, s.Line())
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package ipsc
+
+import "hpfperf/internal/sysmodel"
+
+// This file reproduces the paper's off-line system characterization
+// methodology (§4.4): "The communication component was parameterized
+// using benchmarking runs. These parameters abstracted both low-level
+// primitives as well as the high-level collective communication library
+// used by the compiler."
+//
+// Calibrate runs the simulator's collective library over a range of
+// message sizes and fits linear cost models t = A + B·bytes, which the
+// interpretation engine then uses as the SAU communication parameters.
+
+// LinModel is a fitted linear cost model in microseconds per operation.
+type LinModel struct {
+	A float64 // fixed cost (startup, tree stages)
+	B float64 // per-byte cost
+}
+
+// Eval returns the modeled cost for a payload of n bytes.
+func (m LinModel) Eval(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return m.A + m.B*float64(n)
+}
+
+// Piecewise is a two-segment linear model capturing the short/long
+// message protocol switch of the NX communication layer.
+type Piecewise struct {
+	Short     LinModel
+	Long      LinModel
+	Threshold int
+}
+
+// Eval returns the modeled cost for a payload of n bytes.
+func (p Piecewise) Eval(n int) float64 {
+	if n <= p.Threshold {
+		return p.Short.Eval(n)
+	}
+	return p.Long.Eval(n)
+}
+
+// CommLibrary holds the benchmarked models of the collective library for
+// one machine configuration (number of nodes).
+type CommLibrary struct {
+	Nodes int
+	// Shift is the nearest-neighbour exchange (halo / cshift transfer)
+	// as a function of the per-node strip volume.
+	Shift Piecewise
+	// Reduce is the global combining tree (sum/product/maxloc) as a
+	// function of the element payload (always short messages).
+	Reduce LinModel
+	// Bcast is the one-to-all broadcast as a function of payload.
+	Bcast Piecewise
+	// Gather is the all-to-all concatenation as a function of the total
+	// array volume.
+	Gather Piecewise
+}
+
+// fitLine least-squares fits y = A + B·x.
+func fitLine(xs, ys []float64) LinModel {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinModel{A: sy / n}
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	if a < 0 {
+		a = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	return LinModel{A: a, B: b}
+}
+
+// Calibrate benchmarks the collective library of the iPSC/860 (see
+// CalibrateMachine).
+func Calibrate(n int) (*CommLibrary, error) {
+	return CalibrateMachine(nil, n)
+}
+
+// CalibrateMachine benchmarks the collective library on a noise-free
+// simulated machine (base nil = iPSC/860) with n nodes and fits the
+// linear models. It mirrors the paper's one-time off-line system
+// abstraction step.
+func CalibrateMachine(base *sysmodel.Machine, n int) (*CommLibrary, error) {
+	cfg := DefaultConfig(n)
+	cfg.Base = base
+	cfg.PerturbAmp = 0
+	cfg.TimerResUS = 0
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lib := &CommLibrary{Nodes: n}
+	if n == 1 {
+		return lib, nil // single node: all collectives are free
+	}
+	threshold := m.Node().C.LongThresholdBytes
+	shortSizes := []int{4, 16, 48, 96}
+	longSizes := []int{128, 512, 4096, 16384, 65536}
+
+	time := func(f func()) float64 {
+		m.NewRun()
+		f()
+		return m.MaxTime()
+	}
+
+	fitBoth := func(bench func(s int) float64) Piecewise {
+		var xs, ys []float64
+		for _, s := range shortSizes {
+			xs = append(xs, float64(s))
+			ys = append(ys, bench(s))
+		}
+		short := fitLine(xs, ys)
+		xs, ys = nil, nil
+		for _, s := range longSizes {
+			xs = append(xs, float64(s))
+			ys = append(ys, bench(s))
+		}
+		return Piecewise{Short: short, Long: fitLine(xs, ys), Threshold: threshold}
+	}
+
+	lib.Shift = fitBoth(func(s int) float64 {
+		return time(func() {
+			m.ShiftExchange(
+				func(rank int) int { return s },
+				func(rank int) int {
+					if rank+1 < n {
+						return rank + 1
+					}
+					return -1
+				})
+		})
+	})
+
+	var xs, ys []float64
+	for _, s := range []int{4, 8, 16, 32} {
+		xs = append(xs, float64(s))
+		ys = append(ys, time(func() { m.AllReduce(s) }))
+	}
+	lib.Reduce = fitLine(xs, ys)
+
+	lib.Bcast = fitBoth(func(s int) float64 {
+		return time(func() { m.Broadcast(0, s) })
+	})
+
+	lib.Gather = fitBoth(func(s int) float64 {
+		local := s / n
+		if local < 1 {
+			local = 1
+		}
+		return time(func() {
+			m.AllGatherV(func(rank int) int { return local })
+		})
+	})
+	// The gather model is indexed by total volume; rescale thresholds so
+	// small totals still use the short fit.
+	lib.Gather.Threshold = threshold * n
+	return lib, nil
+}

@@ -1,0 +1,293 @@
+// Package report implements the Output Module of the interpretive
+// framework (§3.4, §4.2): cumulative execution-time profiles with their
+// computation / communication / overhead breakup, per-AAU and sub-AAG
+// views, per-source-line queries, and plain-text tables and charts used
+// by the experiment harnesses.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpfperf/internal/core"
+)
+
+// FormatUS renders a microsecond quantity with an adaptive unit.
+func FormatUS(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.3fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.1fus", us)
+	}
+}
+
+// Profile renders the generic performance profile of an interpretation
+// report: the total estimate and its breakup.
+func Profile(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Program %s on %d processor(s)\n", rep.Program, rep.Procs)
+	fmt.Fprintf(&b, "Estimated execution time: %s\n", FormatUS(rep.TotalUS()))
+	t := rep.TotalUS()
+	if t <= 0 {
+		t = 1
+	}
+	fmt.Fprintf(&b, "  computation:   %12s  (%5.1f%%)\n", FormatUS(rep.Total.CompUS), rep.Total.CompUS/t*100)
+	fmt.Fprintf(&b, "  communication: %12s  (%5.1f%%)\n", FormatUS(rep.Total.CommUS), rep.Total.CommUS/t*100)
+	fmt.Fprintf(&b, "  overhead:      %12s  (%5.1f%%)\n", FormatUS(rep.Total.OvhdUS), rep.Total.OvhdUS/t*100)
+	for _, w := range rep.Warnings {
+		fmt.Fprintf(&b, "  warning: %s\n", w)
+	}
+	return b.String()
+}
+
+// Phase names a contiguous source-line region for per-phase profiling
+// (the application-phase analysis of §5.2.2).
+type Phase struct {
+	Name     string
+	FromLine int
+	ToLine   int
+}
+
+// PhaseBreakdown is the interpreted profile of one phase.
+type PhaseBreakdown struct {
+	Phase   string
+	Metrics core.Metrics
+}
+
+// PhaseProfile computes per-phase breakdowns from the line-indexed
+// metrics of a report.
+func PhaseProfile(rep *core.Report, phases []Phase) []PhaseBreakdown {
+	out := make([]PhaseBreakdown, 0, len(phases))
+	for _, p := range phases {
+		out = append(out, PhaseBreakdown{Phase: p.Name, Metrics: rep.LineRangeMetrics(p.FromLine, p.ToLine)})
+	}
+	return out
+}
+
+// RenderPhaseProfile renders per-phase stacked breakdowns (Figure 7).
+func RenderPhaseProfile(title string, phases []PhaseBreakdown) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxT := 0.0
+	for _, p := range phases {
+		if t := p.Metrics.TotalUS(); t > maxT {
+			maxT = t
+		}
+	}
+	if maxT <= 0 {
+		maxT = 1
+	}
+	const width = 44
+	for _, p := range phases {
+		m := p.Metrics
+		fmt.Fprintf(&b, "%-10s total %10s  comp %10s  comm %10s  ovhd %10s\n",
+			p.Phase, FormatUS(m.TotalUS()), FormatUS(m.CompUS), FormatUS(m.CommUS), FormatUS(m.OvhdUS))
+		nComp := int(m.CompUS / maxT * width)
+		nComm := int(m.CommUS / maxT * width)
+		nOvhd := int(m.OvhdUS / maxT * width)
+		fmt.Fprintf(&b, "%-10s [%s%s%s]\n", "",
+			strings.Repeat("#", nComp), strings.Repeat("~", nComm), strings.Repeat(".", nOvhd))
+	}
+	b.WriteString("legend: # computation, ~ communication, . overhead\n")
+	return b.String()
+}
+
+// CommTable renders the communication table of the SAAG with its
+// interpreted volumes and costs.
+func CommTable(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-10s %-12s %6s %12s %12s %10s\n",
+		"id", "kind", "array", "line", "bytes/op", "cost/op", "count")
+	for _, rec := range rep.SAAG.Table {
+		fmt.Fprintf(&b, "%-4d %-10s %-12s %6d %12.0f %12s %10.0f\n",
+			rec.ID, rec.Kind, rec.Array, rec.Line, rec.Bytes, FormatUS(rec.CostUS), rec.Count)
+	}
+	return b.String()
+}
+
+// AAGView renders the interpreted AAG tree down to the given depth
+// (0 = unlimited).
+func AAGView(rep *core.Report, maxDepth int) string {
+	var b strings.Builder
+	var walk func(a *core.AAU, depth int)
+	walk = func(a *core.AAU, depth int) {
+		if maxDepth > 0 && depth > maxDepth {
+			return
+		}
+		m := a.Metrics
+		fmt.Fprintf(&b, "%s[%s] %-30s %10s (comp %s, comm %s, ovhd %s)\n",
+			strings.Repeat("  ", depth), a.Kind, a.Label,
+			FormatUS(m.TotalUS()), FormatUS(m.CompUS), FormatUS(m.CommUS), FormatUS(m.OvhdUS))
+		for _, c := range a.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(rep.SAAG.Root, 0)
+	return b.String()
+}
+
+// AAUQuery renders the cumulative metrics of the sub-AAG rooted at the
+// AAU with the given ID (the per-AAU / sub-AAG query of §3.4).
+func AAUQuery(rep *core.Report, id int) string {
+	a := rep.SAAG.FindAAU(id)
+	if a == nil {
+		return fmt.Sprintf("AAU %d: not found", id)
+	}
+	m := core.SubgraphMetrics(a)
+	return fmt.Sprintf("AAU %d [%s] %s (line %d): total %s (comp %s, comm %s, ovhd %s), clock %s",
+		a.ID, a.Kind, a.Label, a.Line,
+		FormatUS(m.TotalUS()), FormatUS(m.CompUS), FormatUS(m.CommUS), FormatUS(m.OvhdUS),
+		FormatUS(a.ClockUS))
+}
+
+// LineQuery renders the metrics of one source line.
+func LineQuery(rep *core.Report, line int) string {
+	m := rep.LineMetrics(line)
+	return fmt.Sprintf("line %d: total %s (comp %s, comm %s, ovhd %s, execs %.0f)",
+		line, FormatUS(m.TotalUS()), FormatUS(m.CompUS), FormatUS(m.CommUS), FormatUS(m.OvhdUS), m.Execs)
+}
+
+// HotLines lists the top-n source lines by total time (performance
+// debugging aid).
+func HotLines(rep *core.Report, n int) string {
+	type lm struct {
+		line int
+		m    *core.Metrics
+	}
+	var all []lm
+	for l, m := range rep.ByLine {
+		all = append(all, lm{l, m})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].m.TotalUS() > all[j].m.TotalUS() })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	var b strings.Builder
+	for _, e := range all {
+		fmt.Fprintf(&b, "%s\n", LineQuery(rep, e.line))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Generic tables and charts
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one line of an XY chart.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Chart renders series as a text-mode scatter/line chart (used for the
+// estimated-vs-measured figures).
+func Chart(title, xlabel, ylabel string, series []Series) string {
+	const w, h = 64, 18
+	minX, maxX := series[0].X[0], series[0].X[0]
+	minY, maxY := 0.0, series[0].Y[0]
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	marks := "ox+*sdvA"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(h-1))
+			row := h - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s (max %.4g)\n", ylabel, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&b, " %-10.4g%*s%.4g  (%s)\n", minX, w-20, "", maxX, xlabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Label)
+	}
+	return b.String()
+}
+
+// Bars renders labeled horizontal bars (used for Figure 8).
+func Bars(title, unit string, labels []string, values []float64) string {
+	const width = 48
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, l := range labels {
+		n := int(values[i] / maxV * width)
+		fmt.Fprintf(&b, "%-22s %8.1f %s |%s\n", l, values[i], unit, strings.Repeat("#", n))
+	}
+	return b.String()
+}

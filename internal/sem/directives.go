@@ -1,0 +1,438 @@
+package sem
+
+import (
+	"fmt"
+	"sort"
+
+	"hpfperf/internal/ast"
+	"hpfperf/internal/dist"
+	"hpfperf/internal/token"
+)
+
+// alignTerm is the resolved mapping of one source-array dimension onto a
+// target (array or template) dimension: srcDim ↦ targetDim with an
+// additive constant offset (A(I) WITH T(I+off)).
+type alignTerm struct {
+	srcDim, dstDim, off int
+}
+
+// alignRec records an ALIGN directive after syntactic resolution.
+type alignRec struct {
+	target string
+	terms  []alignTerm
+	pos    token.Pos
+}
+
+// resolveDirectives processes PROCESSORS, TEMPLATE, ALIGN and DISTRIBUTE
+// directives, producing the processor grid and a dist.ArrayMap for every
+// array symbol (replicated by default, per the paper's compiler).
+func (a *analyzer) resolveDirectives() {
+	prog := a.info.Prog
+	aligns := make(map[string]alignRec)
+	type distRec struct {
+		dir *ast.DistributeDir
+	}
+	var distributes []distRec
+
+	// Pass 1: PROCESSORS and TEMPLATE.
+	for _, d := range prog.Directives {
+		switch x := d.(type) {
+		case *ast.ProcessorsDir:
+			if a.info.Grid != nil {
+				a.errorf(x.Pos(), "multiple PROCESSORS directives (already have %s)", a.info.Grid.Name)
+				continue
+			}
+			shape := make([]int, 0, len(x.Shape))
+			for _, e := range x.Shape {
+				v, err := EvalConstInt(e, a.info.Consts)
+				if err != nil {
+					a.errorf(x.Pos(), "PROCESSORS %s: %v", x.Name, err)
+					return
+				}
+				shape = append(shape, v)
+			}
+			if len(shape) == 0 {
+				shape = []int{1}
+			}
+			g, err := dist.NewGrid(x.Name, shape...)
+			if err != nil {
+				a.errorf(x.Pos(), "%v", err)
+				continue
+			}
+			a.info.Grid = g
+			a.info.Symbols[x.Name] = &Symbol{Name: x.Name, Kind: SymProcs}
+		case *ast.TemplateDir:
+			if _, dup := a.info.Templates[x.Name]; dup {
+				a.errorf(x.Pos(), "template %s declared twice", x.Name)
+				continue
+			}
+			var dims []dist.DimDist
+			for i, b := range x.Dims {
+				lo := 1
+				if b.Lo != nil {
+					v, err := EvalConstInt(b.Lo, a.info.Consts)
+					if err != nil {
+						a.errorf(x.Pos(), "template %s dim %d: %v", x.Name, i+1, err)
+						return
+					}
+					lo = v
+				}
+				hi, err := EvalConstInt(b.Hi, a.info.Consts)
+				if err != nil {
+					a.errorf(x.Pos(), "template %s dim %d: %v", x.Name, i+1, err)
+					return
+				}
+				dims = append(dims, dist.DimDist{Kind: dist.Collapsed, Lo: lo, Hi: hi, ProcDim: -1, NProc: 1})
+			}
+			a.info.Templates[x.Name] = dims
+			a.info.Symbols[x.Name] = &Symbol{Name: x.Name, Kind: SymTemplate}
+		}
+	}
+
+	// Pass 2: collect ALIGN and DISTRIBUTE.
+	for _, d := range prog.Directives {
+		switch x := d.(type) {
+		case *ast.AlignDir:
+			rec, ok := a.resolveAlignSyntax(x)
+			if ok {
+				aligns[x.Array] = rec
+			}
+		case *ast.DistributeDir:
+			distributes = append(distributes, distRec{dir: x})
+		}
+	}
+
+	// Default grid when distributions exist without PROCESSORS: one
+	// processor per distributed dimension count (degenerate but legal).
+	if a.info.Grid == nil {
+		nd := 1
+		if len(distributes) > 0 {
+			nd = 0
+			for _, f := range distributes[0].dir.Formats {
+				if f.Kind != ast.DistStar {
+					nd++
+				}
+			}
+			if nd == 0 {
+				nd = 1
+			}
+		}
+		shape := make([]int, nd)
+		for i := range shape {
+			shape[i] = 1
+		}
+		g, _ := dist.NewGrid("P_DEFAULT", shape...)
+		a.info.Grid = g
+	}
+
+	// Pass 3: apply DISTRIBUTE to templates (or directly to arrays, which
+	// get an implicit identity template).
+	for _, dr := range distributes {
+		a.applyDistribute(dr.dir, aligns)
+	}
+
+	// Pass 4: build per-array maps.
+	names := make([]string, 0, len(a.info.Symbols))
+	for name := range a.info.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sym := a.info.Symbols[name]
+		if sym.Kind != SymArray {
+			continue
+		}
+		m := a.buildArrayMap(sym, aligns, make(map[string]bool))
+		if m == nil {
+			bounds := append([][2]int(nil), sym.Bounds...)
+			m = dist.NewReplicated(sym.Name, sym.Type.Bytes(), a.info.Grid, bounds)
+		}
+		if err := m.Validate(); err != nil {
+			a.errorf(token.Pos{Line: 1, Col: 1}, "mapping of %s: %v", sym.Name, err)
+			continue
+		}
+		sym.Map = m
+	}
+}
+
+// resolveAlignSyntax checks an ALIGN directive and extracts its terms.
+func (a *analyzer) resolveAlignSyntax(x *ast.AlignDir) (alignRec, bool) {
+	rec := alignRec{target: x.Target, pos: x.Pos()}
+	dummyDim := make(map[string]int)
+	for i, d := range x.Dummies {
+		if _, dup := dummyDim[d]; dup {
+			a.errorf(x.Pos(), "ALIGN %s: duplicate dummy %s", x.Array, d)
+			return rec, false
+		}
+		dummyDim[d] = i
+	}
+	if len(x.Dummies) == 0 && len(x.TargetSubs) == 0 {
+		// Whole-array identity alignment: ALIGN A WITH T.
+		sym := a.info.Symbols[x.Array]
+		rank := 0
+		if sym != nil {
+			rank = sym.Rank()
+		}
+		for i := 0; i < rank; i++ {
+			rec.terms = append(rec.terms, alignTerm{srcDim: i, dstDim: i})
+		}
+		return rec, true
+	}
+	for k, sub := range x.TargetSubs {
+		if sub == nil { // '*': replicate over that target dimension
+			continue
+		}
+		srcDim, off, ok := alignSubscript(sub, dummyDim)
+		if !ok {
+			a.errorf(x.Pos(), "ALIGN %s: unsupported target subscript %s (must be dummy ± constant)",
+				x.Array, ast.ExprString(sub))
+			return rec, false
+		}
+		rec.terms = append(rec.terms, alignTerm{srcDim: srcDim, dstDim: k, off: off})
+	}
+	return rec, true
+}
+
+// alignSubscript decomposes an alignment subscript of the form
+// dummy, dummy+c, dummy-c, or c+dummy.
+func alignSubscript(e ast.Expr, dummyDim map[string]int) (srcDim, off int, ok bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		d, ok := dummyDim[x.Name]
+		return d, 0, ok
+	case *ast.BinaryExpr:
+		if id, isIdent := x.X.(*ast.Ident); isIdent {
+			if c, isInt := x.Y.(*ast.IntLit); isInt {
+				d, found := dummyDim[id.Name]
+				if !found {
+					return 0, 0, false
+				}
+				switch x.Op {
+				case token.PLUS:
+					return d, int(c.Value), true
+				case token.MINUS:
+					return d, -int(c.Value), true
+				}
+			}
+		}
+		if c, isInt := x.X.(*ast.IntLit); isInt && x.Op == token.PLUS {
+			if id, isIdent := x.Y.(*ast.Ident); isIdent {
+				d, found := dummyDim[id.Name]
+				return d, int(c.Value), found
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// applyDistribute resolves a DISTRIBUTE directive onto its target.
+func (a *analyzer) applyDistribute(x *ast.DistributeDir, aligns map[string]alignRec) {
+	grid := a.info.Grid
+	// Validate ONTO.
+	if x.Onto != "" && grid != nil && x.Onto != grid.Name {
+		a.errorf(x.Pos(), "DISTRIBUTE ONTO %s: unknown processor arrangement (have %s)", x.Onto, grid.Name)
+		return
+	}
+	dims, isTemplate := a.info.Templates[x.Target]
+	if !isTemplate {
+		// Direct distribution of an array: create an implicit template with
+		// the array's bounds and an identity alignment.
+		sym := a.info.Symbols[x.Target]
+		if sym == nil || sym.Kind != SymArray {
+			a.errorf(x.Pos(), "DISTRIBUTE target %s is not a template or array", x.Target)
+			return
+		}
+		tname := "$TMPL_" + x.Target
+		for i, b := range sym.Bounds {
+			_ = i
+			dims = append(dims, dist.DimDist{Kind: dist.Collapsed, Lo: b[0], Hi: b[1], ProcDim: -1, NProc: 1})
+		}
+		a.info.Templates[tname] = dims
+		var terms []alignTerm
+		for i := range sym.Bounds {
+			terms = append(terms, alignTerm{srcDim: i, dstDim: i})
+		}
+		aligns[x.Target] = alignRec{target: tname, terms: terms, pos: x.Pos()}
+		x = &ast.DistributeDir{Target: tname, Formats: x.Formats, Onto: x.Onto, DPos: x.DPos}
+		dims = a.info.Templates[tname]
+	}
+	if len(x.Formats) != len(dims) {
+		a.errorf(x.Pos(), "DISTRIBUTE %s: %d formats for rank-%d target", x.Target, len(x.Formats), len(dims))
+		return
+	}
+	// Count distributed dims and match against grid rank.
+	nDist := 0
+	for _, f := range x.Formats {
+		if f.Kind != ast.DistStar {
+			nDist++
+		}
+	}
+	if nDist != len(grid.Shape) {
+		a.errorf(x.Pos(), "DISTRIBUTE %s: %d distributed dimensions but processor grid %s has rank %d",
+			x.Target, nDist, grid, len(grid.Shape))
+		return
+	}
+	gdim := 0
+	for i, f := range x.Formats {
+		switch f.Kind {
+		case ast.DistStar:
+			dims[i].Kind = dist.Collapsed
+			dims[i].ProcDim = -1
+			dims[i].NProc = 1
+		case ast.DistBlock:
+			dims[i].Kind = dist.Block
+			dims[i].ProcDim = gdim
+			dims[i].NProc = grid.Shape[gdim]
+			if f.Arg != nil {
+				blk, err := EvalConstInt(f.Arg, a.info.Consts)
+				if err != nil || blk <= 0 {
+					a.errorf(x.Pos(), "DISTRIBUTE %s: BLOCK size must be a positive constant", x.Target)
+					return
+				}
+				if blk*dims[i].NProc < dims[i].Extent() {
+					a.errorf(x.Pos(), "DISTRIBUTE %s: BLOCK(%d) over %d processors cannot hold %d elements",
+						x.Target, blk, dims[i].NProc, dims[i].Extent())
+					return
+				}
+				dims[i].Blk = blk
+			}
+			gdim++
+		case ast.DistCyclic:
+			dims[i].Kind = dist.Cyclic
+			dims[i].ProcDim = gdim
+			dims[i].NProc = grid.Shape[gdim]
+			gdim++
+			if f.Arg != nil {
+				a.errorf(x.Pos(), "DISTRIBUTE %s: CYCLIC(n) block-cyclic distributions are outside the supported subset", x.Target)
+				return
+			}
+		}
+	}
+	a.info.Templates[x.Target] = dims
+}
+
+// buildArrayMap follows the ALIGN chain from an array to a template and
+// constructs its ArrayMap. Returns nil when the array is not aligned
+// (caller applies the replicated default).
+func (a *analyzer) buildArrayMap(sym *Symbol, aligns map[string]alignRec, visiting map[string]bool) *dist.ArrayMap {
+	rec, ok := aligns[sym.Name]
+	if !ok {
+		return nil
+	}
+	if visiting[sym.Name] {
+		a.errorf(rec.pos, "ALIGN cycle involving %s", sym.Name)
+		return nil
+	}
+	visiting[sym.Name] = true
+	defer delete(visiting, sym.Name)
+
+	// Resolve the chain to (template, per-dim terms).
+	tname, terms, ok := a.chainToTemplate(sym.Name, aligns, visiting)
+	if !ok {
+		return nil
+	}
+	tdims := a.info.Templates[tname]
+	m := &dist.ArrayMap{Name: sym.Name, ElemBytes: sym.Type.Bytes(), Grid: a.info.Grid}
+	m.Dims = make([]dist.DimDist, sym.Rank())
+	mapped := make([]bool, sym.Rank())
+	for _, t := range terms {
+		if t.srcDim >= sym.Rank() || t.dstDim >= len(tdims) {
+			a.errorf(rec.pos, "ALIGN %s: dimension out of range", sym.Name)
+			return nil
+		}
+		td := tdims[t.dstDim]
+		m.Dims[t.srcDim] = dist.DimDist{
+			Kind:    td.Kind,
+			Lo:      td.Lo - t.off,
+			Hi:      td.Hi - t.off,
+			ProcDim: td.ProcDim,
+			NProc:   td.NProc,
+			Blk:     td.Blk,
+		}
+		mapped[t.srcDim] = true
+		// The array must fit within the aligned template section.
+		b := sym.Bounds[t.srcDim]
+		if b[0] < td.Lo-t.off || b[1] > td.Hi-t.off {
+			a.errorf(rec.pos, "ALIGN %s: array bounds [%d,%d] outside template %s range [%d,%d] (offset %d)",
+				sym.Name, b[0], b[1], tname, td.Lo-t.off, td.Hi-t.off, t.off)
+			return nil
+		}
+	}
+	// Unmapped array dimensions stay on-processor (collapsed over the
+	// array's own bounds).
+	distributedAny := false
+	for i := range m.Dims {
+		if !mapped[i] {
+			b := sym.Bounds[i]
+			m.Dims[i] = dist.DimDist{Kind: dist.Collapsed, Lo: b[0], Hi: b[1], ProcDim: -1, NProc: 1}
+		}
+		if m.Dims[i].Kind != dist.Collapsed {
+			distributedAny = true
+		}
+	}
+	// Distributed template dims not used by the array would leave partial
+	// replication; reject as unsupported.
+	used := make(map[int]bool)
+	for _, t := range terms {
+		used[t.dstDim] = true
+	}
+	for k, td := range tdims {
+		if td.Kind != dist.Collapsed && !used[k] {
+			a.errorf(rec.pos, "ALIGN %s WITH %s: distributed template dimension %d is not aligned (partial replication unsupported)",
+				sym.Name, tname, k+1)
+			return nil
+		}
+	}
+	if !distributedAny {
+		m.Replicated = true
+	}
+	return m
+}
+
+// chainToTemplate composes alignment records until a template is reached.
+func (a *analyzer) chainToTemplate(array string, aligns map[string]alignRec, visiting map[string]bool) (string, []alignTerm, bool) {
+	rec := aligns[array]
+	terms := rec.terms
+	target := rec.target
+	for {
+		if _, isTemplate := a.info.Templates[target]; isTemplate {
+			return target, terms, true
+		}
+		next, ok := aligns[target]
+		if !ok {
+			// Aligned to an unaligned array: both share the default
+			// replicated mapping; treat as unaligned.
+			tsym := a.info.Symbols[target]
+			if tsym == nil || tsym.Kind != SymArray {
+				a.errorf(rec.pos, "ALIGN %s WITH %s: target is not a template or array", array, target)
+			}
+			return "", nil, false
+		}
+		if visiting[target] {
+			a.errorf(rec.pos, "ALIGN cycle involving %s", target)
+			return "", nil, false
+		}
+		visiting[target] = true
+		// Compose terms: src ↦ mid (terms), mid ↦ dst (next.terms).
+		midToDst := make(map[int]alignTerm)
+		for _, t := range next.terms {
+			midToDst[t.srcDim] = t
+		}
+		var composed []alignTerm
+		for _, t := range terms {
+			if u, ok := midToDst[t.dstDim]; ok {
+				composed = append(composed, alignTerm{srcDim: t.srcDim, dstDim: u.dstDim, off: t.off + u.off})
+			}
+		}
+		terms = composed
+		target = next.target
+	}
+}
+
+// GridString returns a printable description of the processor grid.
+func (in *Info) GridString() string {
+	if in.Grid == nil {
+		return "<no grid>"
+	}
+	return fmt.Sprint(in.Grid)
+}

@@ -1,0 +1,89 @@
+package sem
+
+// IntrinsicClass groups intrinsics by their abstraction/interpretation
+// behaviour.
+type IntrinsicClass int
+
+const (
+	// Elemental intrinsics apply element-wise and return the argument
+	// shape (SQRT, EXP, ...). Numeric type follows the argument.
+	Elemental IntrinsicClass = iota
+	// Reduction intrinsics collapse an array to a scalar and require
+	// global communication when the array is distributed (SUM, MAXVAL...).
+	Reduction
+	// Shift intrinsics move whole distributed arrays (CSHIFT, EOSHIFT,
+	// TSHIFT) and require boundary exchange.
+	Shift
+	// Location intrinsics return the index of an extremum (MAXLOC/MINLOC);
+	// treated as a reduction with index bookkeeping.
+	Location
+	// Transformational covers DOT_PRODUCT and similar fused forms.
+	Transformational
+	// Inquiry intrinsics are compile-time (SIZE).
+	Inquiry
+)
+
+// IntrinsicInfo describes one supported intrinsic.
+type IntrinsicInfo struct {
+	Name  string
+	Class IntrinsicClass
+	// MinArgs/MaxArgs bound the accepted argument count.
+	MinArgs, MaxArgs int
+	// ReturnsInt forces INTEGER result type (INT, MAXLOC, SIZE, MOD on ints
+	// is handled specially).
+	ReturnsInt bool
+	// ReturnsLogical forces LOGICAL result.
+	ReturnsLogical bool
+	// Flops is the modeled floating-point cost of one elemental
+	// application, in equivalent multiply operations (used by the
+	// characterization of the processing component).
+	Flops int
+}
+
+// Intrinsics is the table of intrinsics supported by the HPF/Fortran 90D
+// subset. Costs (Flops) are the i860 equivalents used when building the
+// SAU processing component.
+var Intrinsics = map[string]IntrinsicInfo{
+	"ABS":   {Name: "ABS", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 1},
+	"SQRT":  {Name: "SQRT", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 14},
+	"EXP":   {Name: "EXP", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 22},
+	"LOG":   {Name: "LOG", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 24},
+	"SIN":   {Name: "SIN", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 20},
+	"COS":   {Name: "COS", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 20},
+	"TAN":   {Name: "TAN", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 26},
+	"ATAN":  {Name: "ATAN", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 24},
+	"MOD":   {Name: "MOD", Class: Elemental, MinArgs: 2, MaxArgs: 2, Flops: 3},
+	"MIN":   {Name: "MIN", Class: Elemental, MinArgs: 2, MaxArgs: 8, Flops: 1},
+	"MAX":   {Name: "MAX", Class: Elemental, MinArgs: 2, MaxArgs: 8, Flops: 1},
+	"SIGN":  {Name: "SIGN", Class: Elemental, MinArgs: 2, MaxArgs: 2, Flops: 1},
+	"INT":   {Name: "INT", Class: Elemental, MinArgs: 1, MaxArgs: 1, ReturnsInt: true, Flops: 1},
+	"REAL":  {Name: "REAL", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 1},
+	"FLOAT": {Name: "FLOAT", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 1},
+	"DBLE":  {Name: "DBLE", Class: Elemental, MinArgs: 1, MaxArgs: 1, Flops: 1},
+
+	"SUM":     {Name: "SUM", Class: Reduction, MinArgs: 1, MaxArgs: 1, Flops: 1},
+	"PRODUCT": {Name: "PRODUCT", Class: Reduction, MinArgs: 1, MaxArgs: 1, Flops: 1},
+	"MAXVAL":  {Name: "MAXVAL", Class: Reduction, MinArgs: 1, MaxArgs: 1, Flops: 1},
+	"MINVAL":  {Name: "MINVAL", Class: Reduction, MinArgs: 1, MaxArgs: 1, Flops: 1},
+	"COUNT":   {Name: "COUNT", Class: Reduction, MinArgs: 1, MaxArgs: 1, ReturnsInt: true, Flops: 1},
+
+	"MAXLOC": {Name: "MAXLOC", Class: Location, MinArgs: 1, MaxArgs: 1, ReturnsInt: true, Flops: 1},
+	"MINLOC": {Name: "MINLOC", Class: Location, MinArgs: 1, MaxArgs: 1, ReturnsInt: true, Flops: 1},
+
+	"CSHIFT":  {Name: "CSHIFT", Class: Shift, MinArgs: 2, MaxArgs: 3},
+	"EOSHIFT": {Name: "EOSHIFT", Class: Shift, MinArgs: 2, MaxArgs: 4},
+	// TSHIFT is the Fortran 90D "shift to temporary" intrinsic of the
+	// paper's parallel intrinsic library; semantically EOSHIFT with a zero
+	// boundary.
+	"TSHIFT": {Name: "TSHIFT", Class: Shift, MinArgs: 2, MaxArgs: 3},
+
+	"DOT_PRODUCT": {Name: "DOT_PRODUCT", Class: Transformational, MinArgs: 2, MaxArgs: 2, Flops: 2},
+
+	"SIZE": {Name: "SIZE", Class: Inquiry, MinArgs: 1, MaxArgs: 2, ReturnsInt: true},
+}
+
+// IsIntrinsic reports whether name is a supported intrinsic.
+func IsIntrinsic(name string) bool {
+	_, ok := Intrinsics[name]
+	return ok
+}

@@ -1,0 +1,239 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"hpfperf/internal/ast"
+	"hpfperf/internal/parser"
+)
+
+func TestDimensionDeclUpgradesScalar(t *testing.T) {
+	info := analyze(t, "PROGRAM d\nREAL A\nDIMENSION A(10)\nA(1) = 0.0\nEND")
+	s := info.Sym("A")
+	if s.Kind != SymArray || s.Rank() != 1 || s.Type != ast.TReal {
+		t.Errorf("A = %+v", s)
+	}
+}
+
+func TestDimensionDeclImplicitType(t *testing.T) {
+	info := analyze(t, "PROGRAM d\nDIMENSION KV(5)\nKV(1) = 2\nEND")
+	s := info.Sym("KV")
+	if s.Type != ast.TInteger {
+		t.Errorf("KV type = %v, want INTEGER (implicit)", s.Type)
+	}
+}
+
+func TestEmptyArrayDimension(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nREAL A(5:2)\nA(1) = 0.0\nEND")
+}
+
+func TestParameterChain(t *testing.T) {
+	info := analyze(t, "PROGRAM d\nPARAMETER (A=2, B=A*A, C=B+A)\nX = 1.0\nEND")
+	if info.Consts["C"].I != 6 {
+		t.Errorf("C = %v", info.Consts["C"])
+	}
+}
+
+func TestParameterForwardReferenceFails(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nPARAMETER (A=B+1, B=2)\nX = 1.0\nEND")
+}
+
+func TestConstDivisionByZero(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nPARAMETER (A=1/0)\nX = 1.0\nEND")
+}
+
+func TestConstModByZero(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nPARAMETER (A=MOD(3,0))\nX = 1.0\nEND")
+}
+
+func TestConstLogicalOps(t *testing.T) {
+	info := analyze(t, "PROGRAM d\nPARAMETER (B = 1 .LT. 2 .AND. .NOT. (3 .GT. 4))\nX = 1.0\nEND")
+	if !info.Consts["B"].B {
+		t.Error("B should be true")
+	}
+}
+
+func TestConstPow(t *testing.T) {
+	info := analyze(t, "PROGRAM d\nPARAMETER (A=2**10, B=2.0**0.5)\nX = 1.0\nEND")
+	if info.Consts["A"].I != 1024 {
+		t.Errorf("A = %v", info.Consts["A"])
+	}
+	if b := info.Consts["B"].R; b < 1.41 || b > 1.42 {
+		t.Errorf("B = %v", info.Consts["B"])
+	}
+}
+
+func TestUnaryMinusConst(t *testing.T) {
+	info := analyze(t, "PROGRAM d\nPARAMETER (A=-5, B=-2.5)\nX = 1.0\nEND")
+	if info.Consts["A"].I != -5 || info.Consts["B"].R != -2.5 {
+		t.Errorf("consts = %v %v", info.Consts["A"], info.Consts["B"])
+	}
+}
+
+func TestIntrinsicArgCountErrors(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nX = SQRT(1.0, 2.0)\nEND")
+	analyzeErr(t, "PROGRAM d\nX = MOD(1.0)\nEND")
+}
+
+func TestReductionNeedsArray(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nX = SUM(1.0)\nEND")
+}
+
+func TestShiftNeedsArray(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nX = 2.0\nY = CSHIFT(X, 1)\nEND")
+}
+
+func TestNotOnNumeric(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nLOGICAL B\nB = .NOT. 1.5\nEND")
+}
+
+func TestLogicalOperandsChecked(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nLOGICAL B\nB = 1.0 .AND. 2.0\nEND")
+}
+
+func TestUnaryMinusOnLogical(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nLOGICAL B\nX = -B\nEND")
+}
+
+func TestNumericOperandRequired(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nLOGICAL B\nX = B + 1.0\nEND")
+}
+
+func TestSubscriptMustBeInteger(t *testing.T) {
+	analyzeErr(t, "PROGRAM d\nREAL A(10)\nX = A(1.5)\nEND")
+}
+
+func TestWhereBodyNonAssignment(t *testing.T) {
+	analyzeErr(t, `PROGRAM d
+REAL A(8)
+WHERE (A .GT. 0.0)
+PRINT *, 1
+END WHERE
+END`)
+}
+
+func TestAlignDuplicateDummy(t *testing.T) {
+	analyzeErr(t, `PROGRAM d
+REAL A(4,4)
+!HPF$ PROCESSORS P(2)
+!HPF$ TEMPLATE T(4,4)
+!HPF$ ALIGN A(I,I) WITH T(I,I)
+!HPF$ DISTRIBUTE T(BLOCK,*) ONTO P
+A(1,1) = 0.0
+END`)
+}
+
+func TestAlignToNothing(t *testing.T) {
+	err := analyzeErr(t, `PROGRAM d
+REAL A(4)
+!HPF$ PROCESSORS P(2)
+!HPF$ ALIGN A(I) WITH NOPE(I)
+A(1) = 0.0
+END`)
+	if !strings.Contains(err.Error(), "not a template or array") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPartialReplicationRejected(t *testing.T) {
+	// A rank-1 array aligned into one dim of a fully distributed 2-D
+	// template would be partially replicated.
+	analyzeErr(t, `PROGRAM d
+REAL A(4)
+!HPF$ PROCESSORS P(2,2)
+!HPF$ TEMPLATE T(4,4)
+!HPF$ ALIGN A(I) WITH T(I,*)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK) ONTO P
+A(1) = 0.0
+END`)
+}
+
+func TestStarAlignToCollapsedDimOK(t *testing.T) {
+	info := analyze(t, `PROGRAM d
+REAL A(4)
+!HPF$ PROCESSORS P(2)
+!HPF$ TEMPLATE T(4,4)
+!HPF$ ALIGN A(I) WITH T(I,*)
+!HPF$ DISTRIBUTE T(BLOCK,*) ONTO P
+A(1) = 0.0
+END`)
+	m := info.ArrayMap("A")
+	if m == nil || m.Replicated {
+		t.Errorf("A map = %v", m)
+	}
+}
+
+func TestGridStringHelpers(t *testing.T) {
+	info := analyze(t, "PROGRAM d\n!HPF$ PROCESSORS P(2,3)\nX = 1.0\nEND")
+	if got := info.GridString(); got != "P(2,3)" {
+		t.Errorf("grid string = %q", got)
+	}
+	var empty Info
+	if empty.GridString() != "<no grid>" {
+		t.Error("empty grid string")
+	}
+}
+
+func TestSymKindStrings(t *testing.T) {
+	for k, want := range map[SymKind]string{
+		SymScalar: "scalar", SymArray: "array", SymConst: "constant",
+		SymTemplate: "template", SymProcs: "processors",
+	} {
+		if k.String() != want {
+			t.Errorf("%v = %q", k, k.String())
+		}
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if IntVal(3).String() != "3" || LogicalVal(true).String() != ".TRUE." {
+		t.Error("value strings")
+	}
+	if RealVal(2.5).String() != "2.5" {
+		t.Errorf("real string = %q", RealVal(2.5).String())
+	}
+	if LogicalVal(false).String() != ".FALSE." {
+		t.Error("false string")
+	}
+}
+
+func TestShapeHelpers(t *testing.T) {
+	var nilShape *Shape
+	if nilShape.Rank() != 0 || nilShape.Elems() != 1 {
+		t.Error("nil shape semantics")
+	}
+	s := &Shape{Dims: [][2]int{{1, 4}, {0, 2}}}
+	if s.Rank() != 2 || s.Elems() != 12 {
+		t.Errorf("shape = rank %d elems %d", s.Rank(), s.Elems())
+	}
+	o := &Shape{Dims: [][2]int{{2, 5}, {1, 3}}}
+	if !s.Conforms(o) {
+		t.Error("extent-equal shapes should conform")
+	}
+	if s.Conforms(nilShape) {
+		t.Error("array should not conform to scalar")
+	}
+}
+
+func TestSectionWithStrideShape(t *testing.T) {
+	info := analyze(t, "PROGRAM d\nPARAMETER (N=10)\nREAL A(N), B(5)\nB = A(1:N:2)\nEND")
+	rhs := info.Prog.Body[0].(*ast.AssignStmt).Rhs
+	if sh := info.ShapeOf(rhs); sh.Elems() != 5 {
+		t.Errorf("strided section shape = %+v", sh)
+	}
+}
+
+func TestIntegerParameterInBounds(t *testing.T) {
+	// Attribute-form parameter feeding an array bound.
+	info := analyze(t, "PROGRAM d\nINTEGER, PARAMETER :: N = 7\nREAL A(N)\nA(1) = 0.0\nEND")
+	if info.Sym("A").Bounds[0] != [2]int{1, 7} {
+		t.Errorf("bounds = %v", info.Sym("A").Bounds)
+	}
+}
+
+func TestAnalyzeParseErrorPropagates(t *testing.T) {
+	if _, err := parser.Parse("PROGRAM d\nX = ("); err == nil {
+		t.Error("want parse error")
+	}
+}

@@ -1,0 +1,418 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"hpfperf/internal/ast"
+	"hpfperf/internal/dist"
+	"hpfperf/internal/parser"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Analyze(prog)
+	if err == nil {
+		t.Fatal("want semantic error")
+	}
+	return err
+}
+
+const laplaceHeader = `PROGRAM lap
+PARAMETER (N = 16)
+REAL U(N,N), V(N,N)
+!HPF$ PROCESSORS P(2,2)
+!HPF$ TEMPLATE T(N,N)
+!HPF$ ALIGN U(I,J) WITH T(I,J)
+!HPF$ ALIGN V(I,J) WITH T(I,J)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK) ONTO P
+`
+
+func TestSymbolsAndConsts(t *testing.T) {
+	info := analyze(t, laplaceHeader+"U(1,1) = 0.0\nEND")
+	if v, ok := info.Consts["N"]; !ok || v.I != 16 {
+		t.Errorf("N = %v", v)
+	}
+	u := info.Sym("U")
+	if u == nil || u.Kind != SymArray || u.Type != ast.TReal || u.Rank() != 2 {
+		t.Fatalf("U symbol = %+v", u)
+	}
+	if u.Bounds[0] != [2]int{1, 16} {
+		t.Errorf("U bounds = %v", u.Bounds)
+	}
+}
+
+func TestGridResolution(t *testing.T) {
+	info := analyze(t, laplaceHeader+"U(1,1) = 0.0\nEND")
+	if info.Grid == nil || info.Grid.Size() != 4 || len(info.Grid.Shape) != 2 {
+		t.Fatalf("grid = %v", info.Grid)
+	}
+}
+
+func TestBlockBlockMapping(t *testing.T) {
+	info := analyze(t, laplaceHeader+"U(1,1) = 0.0\nEND")
+	m := info.ArrayMap("U")
+	if m == nil {
+		t.Fatal("no map for U")
+	}
+	if m.Replicated {
+		t.Error("U should be distributed")
+	}
+	if m.Dims[0].Kind != dist.Block || m.Dims[1].Kind != dist.Block {
+		t.Errorf("dims = %v,%v", m.Dims[0].Kind, m.Dims[1].Kind)
+	}
+	if m.Dims[0].ProcDim != 0 || m.Dims[1].ProcDim != 1 {
+		t.Errorf("procdims = %d,%d", m.Dims[0].ProcDim, m.Dims[1].ProcDim)
+	}
+	if m.MaxLocalCount() != 64 {
+		t.Errorf("max local = %d, want 64", m.MaxLocalCount())
+	}
+}
+
+func TestBlockStarMapping(t *testing.T) {
+	src := `PROGRAM lap
+PARAMETER (N = 16)
+REAL U(N,N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N,N)
+!HPF$ ALIGN U(I,J) WITH T(I,J)
+!HPF$ DISTRIBUTE T(BLOCK,*) ONTO P
+U(1,1) = 0.0
+END`
+	info := analyze(t, src)
+	m := info.ArrayMap("U")
+	if m.Dims[0].Kind != dist.Block || m.Dims[1].Kind != dist.Collapsed {
+		t.Errorf("dims = %v,%v", m.Dims[0].Kind, m.Dims[1].Kind)
+	}
+	if m.Dims[0].NProc != 4 {
+		t.Errorf("nproc = %d", m.Dims[0].NProc)
+	}
+}
+
+func TestCyclicMapping(t *testing.T) {
+	src := `PROGRAM c
+PARAMETER (N = 12)
+REAL X(N)
+!HPF$ PROCESSORS P(3)
+!HPF$ DISTRIBUTE X(CYCLIC) ONTO P
+X(1) = 0.0
+END`
+	info := analyze(t, src)
+	m := info.ArrayMap("X")
+	if m.Dims[0].Kind != dist.Cyclic {
+		t.Errorf("kind = %v", m.Dims[0].Kind)
+	}
+}
+
+func TestDirectArrayDistribute(t *testing.T) {
+	src := `PROGRAM c
+REAL X(100)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE X(BLOCK) ONTO P
+X(1) = 0.0
+END`
+	info := analyze(t, src)
+	m := info.ArrayMap("X")
+	if m == nil || m.Dims[0].Kind != dist.Block {
+		t.Fatalf("map = %v", m)
+	}
+	if m.Dims[0].BlockSize() != 25 {
+		t.Errorf("block size = %d", m.Dims[0].BlockSize())
+	}
+}
+
+func TestUnmappedArrayReplicated(t *testing.T) {
+	src := `PROGRAM c
+REAL X(10), Y(10)
+!HPF$ PROCESSORS P(2)
+!HPF$ DISTRIBUTE X(BLOCK) ONTO P
+Y(1) = 0.0
+END`
+	info := analyze(t, src)
+	if m := info.ArrayMap("Y"); m == nil || !m.Replicated {
+		t.Errorf("Y map = %v", m)
+	}
+}
+
+func TestAlignToAlignedArrayChain(t *testing.T) {
+	src := `PROGRAM c
+REAL A(8), B(8)
+!HPF$ PROCESSORS P(2)
+!HPF$ TEMPLATE T(8)
+!HPF$ ALIGN A(I) WITH T(I)
+!HPF$ ALIGN B(I) WITH A(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+A(1) = 0.0
+END`
+	info := analyze(t, src)
+	bm := info.ArrayMap("B")
+	if bm == nil || bm.Replicated || bm.Dims[0].Kind != dist.Block {
+		t.Fatalf("B map = %v", bm)
+	}
+	if !bm.SameMapping(info.ArrayMap("A")) {
+		t.Error("B should share A's mapping")
+	}
+}
+
+func TestAlignOffset(t *testing.T) {
+	src := `PROGRAM c
+REAL A(8)
+!HPF$ PROCESSORS P(2)
+!HPF$ TEMPLATE T(0:9)
+!HPF$ ALIGN A(I) WITH T(I+1)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+A(1) = 0.0
+END`
+	info := analyze(t, src)
+	m := info.ArrayMap("A")
+	// T owner of g is (g-0)/5; A(i) lives where T(i+1) lives.
+	if m.Dims[0].Owner(1) != dist.DimDist.Owner(dist.DimDist{Kind: dist.Block, Lo: 0, Hi: 9, ProcDim: 0, NProc: 2}, 2) {
+		t.Error("offset alignment owner mismatch")
+	}
+	if m.Dims[0].Owner(4) != 1 { // T(5): second half
+		t.Errorf("owner(4) = %d, want 1", m.Dims[0].Owner(4))
+	}
+}
+
+func TestWholeArrayAlign(t *testing.T) {
+	src := `PROGRAM c
+REAL A(8,8), B(8,8)
+!HPF$ PROCESSORS P(2,2)
+!HPF$ TEMPLATE T(8,8)
+!HPF$ ALIGN A(I,J) WITH T(I,J)
+!HPF$ ALIGN B WITH T
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK) ONTO P
+A(1,1) = 0.0
+END`
+	info := analyze(t, src)
+	if !info.ArrayMap("B").SameMapping(info.ArrayMap("A")) {
+		t.Error("whole-array alignment should match identity alignment")
+	}
+}
+
+func TestTransposedAlign(t *testing.T) {
+	src := `PROGRAM c
+REAL A(4,8)
+!HPF$ PROCESSORS P(2)
+!HPF$ TEMPLATE T(8,4)
+!HPF$ ALIGN A(I,J) WITH T(J,I)
+!HPF$ DISTRIBUTE T(BLOCK,*) ONTO P
+A(1,1) = 0.0
+END`
+	info := analyze(t, src)
+	m := info.ArrayMap("A")
+	// A's second dim follows T's first (distributed) dim.
+	if m.Dims[1].Kind != dist.Block || m.Dims[0].Kind != dist.Collapsed {
+		t.Errorf("dims = %v,%v", m.Dims[0].Kind, m.Dims[1].Kind)
+	}
+}
+
+func TestTypingPromotion(t *testing.T) {
+	src := `PROGRAM c
+INTEGER I
+REAL X
+X = I + 1.5
+I = 2 * 3
+X = X / 2
+END`
+	info := analyze(t, src)
+	for _, s := range info.Prog.Body {
+		as := s.(*ast.AssignStmt)
+		_ = as
+	}
+	// Find the first RHS: I + 1.5 must be REAL.
+	rhs := info.Prog.Body[0].(*ast.AssignStmt).Rhs
+	if tp := info.TypeOf(rhs); tp != ast.TReal {
+		t.Errorf("I + 1.5 type = %v, want REAL", tp)
+	}
+	rhs2 := info.Prog.Body[1].(*ast.AssignStmt).Rhs
+	if tp := info.TypeOf(rhs2); tp != ast.TInteger {
+		t.Errorf("2*3 type = %v, want INTEGER", tp)
+	}
+}
+
+func TestImplicitTyping(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nK = 1\nX = 2.0\nEND")
+	if info.Sym("K").Type != ast.TInteger {
+		t.Error("K should be INTEGER")
+	}
+	if info.Sym("X").Type != ast.TReal {
+		t.Error("X should be REAL")
+	}
+}
+
+func TestImplicitNoneRejectsUndeclared(t *testing.T) {
+	err := analyzeErr(t, "PROGRAM c\nIMPLICIT NONE\nK = 1\nEND")
+	if !strings.Contains(err.Error(), "not declared") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestArrayShapeOfWholeArray(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nREAL A(4,5)\nS = SUM(A)\nEND")
+	sum := info.Prog.Body[0].(*ast.AssignStmt).Rhs.(*ast.CallOrIndex)
+	if sum.Resolved != ast.RefIntrinsic {
+		t.Error("SUM should resolve to intrinsic")
+	}
+	sh := info.ShapeOf(sum.Args[0])
+	if sh.Rank() != 2 || sh.Elems() != 20 {
+		t.Errorf("shape = %+v", sh)
+	}
+	if info.ShapeOf(sum) != nil {
+		t.Error("SUM(A) should be scalar")
+	}
+}
+
+func TestSectionShape(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nPARAMETER (N=10)\nREAL A(N), B(N)\nA(2:N-1) = B(2:N-1)\nEND")
+	lhs := info.Prog.Body[0].(*ast.AssignStmt).Lhs
+	sh := info.ShapeOf(lhs)
+	if sh.Rank() != 1 || sh.Elems() != 8 {
+		t.Errorf("section shape = %+v", sh)
+	}
+}
+
+func TestElementRefIsScalar(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nREAL A(10)\nX = A(3)\nEND")
+	rhs := info.Prog.Body[0].(*ast.AssignStmt).Rhs.(*ast.CallOrIndex)
+	if rhs.Resolved != ast.RefArray {
+		t.Error("A(3) should resolve to array ref")
+	}
+	if info.ShapeOf(rhs) != nil {
+		t.Error("A(3) should be scalar")
+	}
+}
+
+func TestCshiftShape(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nREAL A(10), B(10)\nB = CSHIFT(A, 1)\nEND")
+	rhs := info.Prog.Body[0].(*ast.AssignStmt).Rhs
+	if sh := info.ShapeOf(rhs); sh.Rank() != 1 || sh.Elems() != 10 {
+		t.Errorf("CSHIFT shape = %+v", sh)
+	}
+}
+
+func TestRankMismatchError(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nREAL A(10)\nX = A(1,2)\nEND")
+}
+
+func TestUnknownFunctionError(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nX = FROBNICATE(1)\nEND")
+}
+
+func TestNonConformingAssignment(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nREAL A(10), B(9)\nA = B\nEND")
+}
+
+func TestArrayToScalarAssignmentError(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nREAL A(10)\nX = A\nEND")
+}
+
+func TestAssignToConstError(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nPARAMETER (N=4)\nN = 5\nEND")
+}
+
+func TestLogicalMixError(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nLOGICAL B\nB = 1 + 2\nEND")
+}
+
+func TestIfConditionMustBeLogical(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nIF (1 + 2) THEN\nX = 1\nEND IF\nEND")
+}
+
+func TestForallMaskMustBeLogical(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nREAL A(10)\nFORALL (I=1:10, A(I)) A(I) = 0.0\nEND")
+}
+
+func TestForallBodyOnlyAssignments(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nREAL A(10)\nFORALL (I=1:10)\nPRINT *, A(I)\nEND FORALL\nEND")
+}
+
+func TestDistributeGridRankMismatch(t *testing.T) {
+	err := analyzeErr(t, `PROGRAM c
+REAL A(8,8)
+!HPF$ PROCESSORS P(2,2)
+!HPF$ DISTRIBUTE A(BLOCK,*) ONTO P
+A(1,1) = 0.0
+END`)
+	if !strings.Contains(err.Error(), "rank") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAlignCycleError(t *testing.T) {
+	analyzeErr(t, `PROGRAM c
+REAL A(8), B(8)
+!HPF$ PROCESSORS P(2)
+!HPF$ ALIGN A(I) WITH B(I)
+!HPF$ ALIGN B(I) WITH A(I)
+A(1) = 0.0
+END`)
+}
+
+func TestDoVarMustBeIntegerScalar(t *testing.T) {
+	analyzeErr(t, "PROGRAM c\nREAL X\nDO X = 1, 10\nEND DO\nEND")
+}
+
+func TestConstantFolding(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nPARAMETER (N=4, M=N*2+1, P=2**3)\nX = 1\nEND")
+	if info.Consts["M"].I != 9 {
+		t.Errorf("M = %v", info.Consts["M"])
+	}
+	if info.Consts["P"].I != 8 {
+		t.Errorf("P = %v", info.Consts["P"])
+	}
+}
+
+func TestConstIntrinsics(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nPARAMETER (A=MAX(3,7), B=MOD(10,3), C=MIN(2,5))\nX = 1\nEND")
+	if info.Consts["A"].I != 7 || info.Consts["B"].I != 1 || info.Consts["C"].I != 2 {
+		t.Errorf("consts = %v %v %v", info.Consts["A"], info.Consts["B"], info.Consts["C"])
+	}
+}
+
+func TestRealParameter(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nPARAMETER (PI=3.14159)\nX = PI\nEND")
+	if v := info.Consts["PI"]; v.Type != ast.TReal || v.R < 3.14 {
+		t.Errorf("PI = %v", v)
+	}
+}
+
+func TestDefaultGridWithoutProcessors(t *testing.T) {
+	info := analyze(t, "PROGRAM c\nX = 1\nEND")
+	if info.Grid == nil || info.Grid.Size() != 1 {
+		t.Errorf("default grid = %v", info.Grid)
+	}
+}
+
+func TestMaskedForallAnalyzes(t *testing.T) {
+	src := `PROGRAM c
+PARAMETER (N=8)
+REAL X(N), V(N)
+!HPF$ PROCESSORS P(2)
+!HPF$ DISTRIBUTE X(BLOCK) ONTO P
+!HPF$ ALIGN V(I) WITH X(I)
+FORALL (K=2:N-1, V(K) .GT. 0.0) X(K) = X(K-1) + X(K+1)
+END`
+	info := analyze(t, src)
+	vm := info.ArrayMap("V")
+	if vm == nil || vm.Replicated {
+		t.Errorf("V map = %v", vm)
+	}
+}

@@ -1,0 +1,526 @@
+// Package suite provides the validation application set of the paper
+// (Table 1): kernels from the Livermore Fortran Kernels and the Purdue
+// Benchmark Set, plus the PI, N-Body, stock-option pricing (Finance) and
+// Laplace solver applications of the NPAC HPF/Fortran 90D Benchmark
+// Suite, as parameterized HPF/Fortran 90D sources.
+package suite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is one validation application.
+type Program struct {
+	// Name as listed in Table 1 (e.g. "LFK 1").
+	Name string
+	// Description from Table 1.
+	Description string
+	// Class groups programs: "LFK", "PBS" or "APP".
+	Class string
+	// Sizes is the paper's problem-size sweep for Table 2.
+	Sizes []int
+	// Procs is the paper's system-size sweep.
+	Procs []int
+	// Source generates the HPF/Fortran 90D text for a problem size and
+	// processor count.
+	Source func(size, procs int) string
+}
+
+// Grid1D renders a one-dimensional PROCESSORS spec.
+func Grid1D(p int) string { return fmt.Sprintf("(%d)", p) }
+
+// Grid2D factors a processor count into the 2-D arrangement used by the
+// paper (4 → 2×2, 8 → 2×4).
+func Grid2D(p int) string {
+	switch p {
+	case 1:
+		return "(1,1)"
+	case 2:
+		return "(1,2)"
+	case 4:
+		return "(2,2)"
+	case 8:
+		return "(2,4)"
+	}
+	// General fallback: most square factorization.
+	a := 1
+	for f := 2; f*f <= p; f++ {
+		if p%f == 0 {
+			a = f
+		}
+	}
+	return fmt.Sprintf("(%d,%d)", a, p/a)
+}
+
+// LineOf returns the 1-based line number of the first source line
+// containing substr (0 when absent). Used to anchor per-phase queries.
+func LineOf(src, substr string) int {
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, substr) {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+var stdProcs = []int{1, 2, 4, 8}
+
+// All returns the complete validation application set in Table 1 order.
+func All() []*Program {
+	return []*Program{
+		LFK1(), LFK2(), LFK3(), LFK9(), LFK14(), LFK22(),
+		PBS1(), PBS2(), PBS3(), PBS4(),
+		PI(), NBody(), Finance(),
+		LaplaceBB(), LaplaceBX(), LaplaceXB(),
+	}
+}
+
+// ByName returns the named program or nil.
+func ByName(name string) *Program {
+	for _, p := range All() {
+		if strings.EqualFold(p.Name, name) {
+			return p
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Livermore Fortran Kernels
+
+// LFK1 is the hydro fragment: X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11)).
+func LFK1() *Program {
+	return &Program{
+		Name: "LFK 1", Description: "Hydro Fragment", Class: "LFK",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM lfk1
+PARAMETER (N = %d)
+REAL X(N), Y(N), Z(N+11)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N+11)
+!HPF$ ALIGN X(I) WITH TPL(I)
+!HPF$ ALIGN Y(I) WITH TPL(I)
+!HPF$ ALIGN Z(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+Q = 0.5
+R = 0.2
+S = 0.1
+FORALL (K=1:N+11) Z(K) = 0.001*REAL(K)
+FORALL (K=1:N) Y(K) = 0.002*REAL(K)
+DO L = 1, 10
+  FORALL (K=1:N) X(K) = Q + Y(K)*(R*Z(K+10) + S*Z(K+11))
+END DO
+CHK = SUM(X)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// LFK2 is the ICCG excerpt (incomplete Cholesky, conjugate gradient): a
+// strided reduction sweep that "tasks the compiler" — the non-unit-stride
+// accesses defeat the aligned-communication fast paths.
+func LFK2() *Program {
+	return &Program{
+		Name: "LFK 2", Description: "ICCG Excerpt (Incomplete Cholesky; Conj. Grad.)", Class: "LFK",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM lfk2
+PARAMETER (N = %d)
+REAL X(N), V(N), XH(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN X(I) WITH TPL(I)
+!HPF$ ALIGN V(I) WITH TPL(I)
+!HPF$ ALIGN XH(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+FORALL (K=1:N) X(K) = 0.01*REAL(K)
+FORALL (K=1:N) V(K) = 0.003*REAL(K)
+DO L = 1, 5
+  FORALL (K=1:N/2) XH(K) = X(2*K) - V(2*K)*X(2*K-1)
+  FORALL (K=1:N/2) X(K) = XH(K)
+END DO
+CHK = SUM(X)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// LFK3 is the inner product.
+func LFK3() *Program {
+	return &Program{
+		Name: "LFK 3", Description: "Inner Product", Class: "LFK",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM lfk3
+PARAMETER (N = %d)
+REAL X(N), Z(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN X(I) WITH TPL(I)
+!HPF$ ALIGN Z(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+FORALL (K=1:N) X(K) = 0.01*REAL(K)
+FORALL (K=1:N) Z(K) = 0.02*REAL(K)
+Q = 0.0
+DO L = 1, 10
+  Q = Q + DOT_PRODUCT(Z, X)
+END DO
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// LFK9 is the integrate-predictors kernel: a 13-term polynomial predictor
+// over a (*,BLOCK) distributed 2-D array (all terms on-processor).
+func LFK9() *Program {
+	return &Program{
+		Name: "LFK 9", Description: "Integrate Predictors", Class: "LFK",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM lfk9
+PARAMETER (N = %d)
+REAL PX(13,N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(13,N)
+!HPF$ ALIGN PX(I,J) WITH TPL(I,J)
+!HPF$ DISTRIBUTE TPL(*,BLOCK) ONTO P
+PARAMETER (DM22=0.2, DM23=0.3, DM24=0.4, DM25=0.5, DM26=0.6, DM27=0.7, DM28=0.8, C0=1.1)
+FORALL (I=1:13, J=1:N) PX(I,J) = 0.001*REAL(I+J)
+DO L = 1, 10
+  FORALL (J=1:N) PX(1,J) = DM28*PX(13,J) + DM27*PX(12,J) + DM26*PX(11,J) + &
+      DM25*PX(10,J) + DM24*PX(9,J) + DM23*PX(8,J) + DM22*PX(7,J) + &
+      C0*(PX(5,J) + PX(6,J)) + PX(3,J)
+END DO
+CHK = SUM(PX)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// LFK14 is the 1-D particle-in-cell kernel: indirection-driven gathers
+// and a scatter deposit — the irregular access pattern forces the
+// compiler's gather fallback (large communication, cache-hostile reads).
+func LFK14() *Program {
+	return &Program{
+		Name: "LFK 14", Description: "1-D PIC (Particle In Cell)", Class: "LFK",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM lfk14
+PARAMETER (N = %d, NG = 64)
+REAL XX(N), VX(N), EX(NG), DEX(NG), RH(NG)
+INTEGER IR(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN XX(I) WITH TPL(I)
+!HPF$ ALIGN VX(I) WITH TPL(I)
+!HPF$ ALIGN IR(I) WITH TPL(I)
+!HPF$ TEMPLATE TG(NG)
+!HPF$ ALIGN EX(I) WITH TG(I)
+!HPF$ ALIGN DEX(I) WITH TG(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+!HPF$ DISTRIBUTE TG(BLOCK) ONTO P
+FORALL (I=1:NG) EX(I) = SIN(0.1*REAL(I))
+FORALL (I=1:NG) DEX(I) = COS(0.1*REAL(I))
+FORALL (K=1:N) XX(K) = 1.0 + MOD(0.618034*REAL(K), 1.0)*REAL(NG-2)
+FORALL (K=1:N) VX(K) = 0.0
+FORALL (I=1:NG) RH(I) = 0.0
+DO ISTEP = 1, 4
+  FORALL (K=1:N) IR(K) = INT(XX(K))
+  FORALL (K=1:N) VX(K) = VX(K) + EX(IR(K)) + (XX(K) - REAL(IR(K)))*DEX(IR(K))
+  FORALL (K=1:N) XX(K) = 1.0 + MOD(XX(K) + 0.01*VX(K), REAL(NG-2))
+  FORALL (K=1:N) RH(IR(K)) = RH(IR(K)) + 1.0
+END DO
+CHK = SUM(RH)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// LFK22 is the Planckian distribution kernel with its overflow guard mask
+// and EXP evaluation.
+func LFK22() *Program {
+	return &Program{
+		Name: "LFK 22", Description: "Planckian Distribution", Class: "LFK",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM lfk22
+PARAMETER (N = %d)
+REAL U(N), V(N), W(N), X(N), Y(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN U(I) WITH TPL(I)
+!HPF$ ALIGN V(I) WITH TPL(I)
+!HPF$ ALIGN W(I) WITH TPL(I)
+!HPF$ ALIGN X(I) WITH TPL(I)
+!HPF$ ALIGN Y(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+FORALL (K=1:N) U(K) = 1.5 + 0.001*REAL(K)
+FORALL (K=1:N) V(K) = 0.5 + 0.0002*REAL(K)
+FORALL (K=1:N) X(K) = 0.7
+DO L = 1, 10
+  FORALL (K=1:N) Y(K) = U(K)/V(K)
+  FORALL (K=1:N, Y(K) .LE. 20.0) W(K) = X(K)/(EXP(Y(K)) - 1.0)
+END DO
+CHK = SUM(W)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Purdue Benchmarking Set
+
+// PBS1 estimates an integral of f(x) by the trapezoidal rule.
+func PBS1() *Program {
+	return &Program{
+		Name: "PBS 1", Description: "Trapezoidal rule estimate of an integral of f(x)", Class: "PBS",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM pbs1
+PARAMETER (N = %d)
+REAL F(N)
+!HPF$ PROCESSORS P%s
+!HPF$ DISTRIBUTE F(BLOCK) ONTO P
+A = 0.0
+B = 2.0
+H = (B - A)/REAL(N-1)
+FORALL (K=1:N) F(K) = EXP(-(A + REAL(K-1)*H)**2)
+T1 = SUM(F)
+E1 = F(1)
+E2 = F(N)
+TRAP = H*(T1 - 0.5*E1 - 0.5*E2)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// PBS2 computes e = sum_i prod_j (1 + 0.5^(|i-j|+0.001)).
+func PBS2() *Program {
+	return &Program{
+		Name: "PBS 2", Description: "Compute e = sum_i prod_j (1 + 0.5**(|i-j|+0.001))", Class: "PBS",
+		Sizes: []int{256, 4096, 16384, 65536}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM pbs2
+PARAMETER (N = %d, M = 8)
+REAL A(N), PRD(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN A(I) WITH TPL(I)
+!HPF$ ALIGN PRD(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+FORALL (K=1:N) A(K) = REAL(K)
+FORALL (K=1:N) PRD(K) = 1.0
+DO J = 1, M
+  FORALL (K=1:N) PRD(K) = PRD(K)*(1.0 + 0.5**(ABS(A(K) - REAL(J)) + 0.001))
+END DO
+E = SUM(PRD)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// PBS3 computes S = sum_i prod_j a_ij over a (BLOCK,*) matrix.
+func PBS3() *Program {
+	return &Program{
+		Name: "PBS 3", Description: "Compute S = sum_i prod_j a(i,j)", Class: "PBS",
+		Sizes: []int{256, 4096, 16384, 65536}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM pbs3
+PARAMETER (N = %d, M = 8)
+REAL A2(N,M), PRD(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN PRD(I) WITH TPL(I)
+!HPF$ ALIGN A2(I,J) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+FORALL (I=1:N, J=1:M) A2(I,J) = 1.0 + 0.001*REAL(I+J)
+FORALL (I=1:N) PRD(I) = 1.0
+DO J = 1, M
+  FORALL (I=1:N) PRD(I) = PRD(I)*A2(I,J)
+END DO
+S = SUM(PRD)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// PBS4 computes R = sum_i 1/x_i.
+func PBS4() *Program {
+	return &Program{
+		Name: "PBS 4", Description: "Compute R = sum_i 1/x(i)", Class: "PBS",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM pbs4
+PARAMETER (N = %d)
+REAL X(N), RX(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN X(I) WITH TPL(I)
+!HPF$ ALIGN RX(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+FORALL (K=1:N) X(K) = 1.0 + 0.01*REAL(K)
+FORALL (K=1:N) RX(K) = 1.0/X(K)
+R = SUM(RX)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Applications
+
+// PI approximates pi by the n-point quadrature rule.
+func PI() *Program {
+	return &Program{
+		Name: "PI", Description: "Approximation of pi by n-point quadrature", Class: "APP",
+		Sizes: []int{128, 512, 1024, 4096}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM pi
+PARAMETER (N = %d)
+REAL F(N)
+!HPF$ PROCESSORS P%s
+!HPF$ DISTRIBUTE F(BLOCK) ONTO P
+H = 1.0/REAL(N)
+FORALL (K=1:N) F(K) = 4.0/(1.0 + ((REAL(K) - 0.5)*H)**2)
+API = H*SUM(F)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// NBody is the Newtonian gravitational n-body simulation in its systolic
+// CSHIFT formulation.
+func NBody() *Program {
+	return &Program{
+		Name: "N-Body", Description: "Newtonian gravitational n-body simulation", Class: "APP",
+		Sizes: []int{16, 64, 256, 1024}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM nbody
+PARAMETER (N = %d, G = 0.667, EPS = 0.01)
+REAL X(N), FM(N), F(N), XT(N), MT(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN X(I) WITH TPL(I)
+!HPF$ ALIGN FM(I) WITH TPL(I)
+!HPF$ ALIGN F(I) WITH TPL(I)
+!HPF$ ALIGN XT(I) WITH TPL(I)
+!HPF$ ALIGN MT(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+FORALL (I=1:N) X(I) = REAL(I) + 0.3*SIN(REAL(I))
+FORALL (I=1:N) FM(I) = 1.0 + 0.5*COS(REAL(I))
+FORALL (I=1:N) F(I) = 0.0
+XT = X
+MT = FM
+DO K = 1, N-1
+  XT = CSHIFT(XT, 1)
+  MT = CSHIFT(MT, 1)
+  FORALL (I=1:N) F(I) = F(I) + G*FM(I)*MT(I)/((X(I) - XT(I))**2 + EPS)
+END DO
+CHK = SUM(F)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// FinancePhase1Marker and FinancePhase2Marker anchor the two phases of the
+// stock option pricing model for per-phase profiling (Figures 6 and 7).
+const (
+	FinancePhase1Marker = "PHASE 1"
+	FinancePhase2Marker = "PHASE 2"
+)
+
+// Finance is the parallel stock option pricing model: Phase 1 builds the
+// distributed option price lattice with shift communication; Phase 2
+// computes the call prices with pure local computation.
+func Finance() *Program {
+	return &Program{
+		Name: "Finance", Description: "Parallel stock option pricing model", Class: "APP",
+		Sizes: []int{32, 64, 128, 256, 512}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return fmt.Sprintf(`PROGRAM finance
+PARAMETER (N = %d, NSTEP = 16)
+REAL S(N), C(N), SH(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN S(I) WITH TPL(I)
+!HPF$ ALIGN C(I) WITH TPL(I)
+!HPF$ ALIGN SH(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+S0 = 50.0
+UP = 1.05
+STRIKE = 52.0
+RATE = 0.004
+! PHASE 1: create the stock price lattice (shift)
+FORALL (I=1:N) S(I) = S0
+DO K = 1, NSTEP
+  SH = EOSHIFT(S, 1, 0.0)
+  FORALL (I=1:N) S(I) = 0.5*(S(I)*UP + SH(I)/UP) + 0.01
+END DO
+! PHASE 2: compute call prices
+FORALL (I=1:N) C(I) = MAX(S(I) - STRIKE, 0.0)
+FORALL (I=1:N) C(I) = C(I)*EXP(-RATE*REAL(NSTEP)) + 0.2*SQRT(ABS(S(I) - STRIKE) + 1.0)
+CHK = SUM(C)
+END`, n, Grid1D(p))
+		},
+	}
+}
+
+// laplaceSource renders the Jacobi Laplace solver for one distribution.
+func laplaceSource(n, iters int, distSpec, gridSpec string) string {
+	return fmt.Sprintf(`PROGRAM laplace
+PARAMETER (N = %d, MAXIT = %d)
+REAL U(N,N), V(N,N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N,N)
+!HPF$ ALIGN U(I,J) WITH TPL(I,J)
+!HPF$ ALIGN V(I,J) WITH TPL(I,J)
+!HPF$ DISTRIBUTE TPL%s ONTO P
+FORALL (I=1:N, J=1:N) U(I,J) = 0.0
+FORALL (J=1:N) U(1,J) = 100.0
+FORALL (J=1:N) U(N,J) = 25.0
+DO ITER = 1, MAXIT
+  FORALL (I=2:N-1, J=2:N-1) V(I,J) = 0.25*(U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))
+  FORALL (I=2:N-1, J=2:N-1) U(I,J) = V(I,J)
+END DO
+CHK = SUM(U)
+END`, n, iters, gridSpec, distSpec)
+}
+
+// LaplaceIters is the fixed Jacobi iteration count used across the
+// Laplace experiments (the paper's per-size times scale linearly in it).
+const LaplaceIters = 10
+
+// LaplaceBB is the Laplace solver with the (BLOCK,BLOCK) distribution.
+func LaplaceBB() *Program {
+	return &Program{
+		Name: "Laplace (Blk-Blk)", Description: "Laplace solver, (BLOCK,BLOCK) distribution", Class: "APP",
+		Sizes: []int{16, 64, 128, 256}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return laplaceSource(n, LaplaceIters, "(BLOCK,BLOCK)", Grid2D(p))
+		},
+	}
+}
+
+// LaplaceBX is the Laplace solver with the (BLOCK,*) distribution.
+func LaplaceBX() *Program {
+	return &Program{
+		Name: "Laplace (Blk-X)", Description: "Laplace solver, (BLOCK,*) distribution", Class: "APP",
+		Sizes: []int{16, 64, 128, 256}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return laplaceSource(n, LaplaceIters, "(BLOCK,*)", Grid1D(p))
+		},
+	}
+}
+
+// LaplaceXB is the Laplace solver with the (*,BLOCK) distribution.
+func LaplaceXB() *Program {
+	return &Program{
+		Name: "Laplace (X-Blk)", Description: "Laplace solver, (*,BLOCK) distribution", Class: "APP",
+		Sizes: []int{16, 64, 128, 256}, Procs: stdProcs,
+		Source: func(n, p int) string {
+			return laplaceSource(n, LaplaceIters, "(*,BLOCK)", Grid1D(p))
+		},
+	}
+}

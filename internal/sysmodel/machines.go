@@ -1,0 +1,139 @@
+package sysmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ParagonXPS builds the system abstraction of an Intel Paragon XP/S-like
+// successor machine: i860 XP nodes at 50 MHz with 16 KB data caches and a
+// much faster interconnect (wormhole-routed mesh, ≈40 µs latency,
+// ≈175 MB/s links). The paper's §7 proposes exploiting the framework "as
+// a system design evaluation tool"; this second characterization enables
+// exactly that kind of what-if analysis (see examples/system-design).
+//
+// The mesh topology is approximated by the same rank-distance model as
+// the hypercube; with the Paragon's sub-microsecond per-hop cost the
+// approximation is immaterial.
+func ParagonXPS() *Machine {
+	proc := &Processing{
+		ClockMHz: 50,
+
+		FAddCycles:    2.5,
+		FMulCycles:    3.0,
+		FDivCycles:    34,
+		PowCycles:     150,
+		IntOpCycles:   1.2,
+		CmpCycles:     1.8,
+		LogicalCycles: 1.2,
+
+		LoopOverheadCycles:  5,
+		BranchCycles:        3.5,
+		IndexCycles:         3.5,
+		GuardCycles:         4.5,
+		IntrinsicCallCycles: 16,
+		IntrinsicCycles: map[string]float64{
+			"ABS": 2, "SQRT": 54, "EXP": 82, "LOG": 88, "SIN": 78,
+			"COS": 78, "TAN": 98, "ATAN": 90, "MOD": 11, "MIN": 4,
+			"MAX": 4, "SIGN": 3, "INT": 4, "REAL": 3, "FLOAT": 3, "DBLE": 3,
+		},
+		StartupStatueCycles: 2,
+	}
+	mem := &Memory{
+		LoadCycles:        2.0,
+		StoreCycles:       2.0,
+		DCacheBytes:       16 * 1024,
+		ICacheBytes:       16 * 1024,
+		LineBytes:         32,
+		MissPenaltyCycles: 24,
+		MainMemoryBytes:   32 * 1024 * 1024,
+	}
+	comm := &Comm{
+		ShortStartupUS:     42,
+		LongStartupUS:      72,
+		PerByteUS:          0.0057, // ≈175 MB/s
+		PerHopUS:           0.1,
+		LongThresholdBytes: 256,
+		ReduceStageUS:      48,
+		BcastStageUS:       45,
+		GatherStageUS:      50,
+		PackPerByteUS:      0.04,
+		PackStartupUS:      3,
+	}
+	hostIO := &IO{HostStartupUS: 250, HostPerByteUS: 0.6}
+
+	nodeSAU := &SAU{Name: "i860XP-node", P: proc, M: mem, C: comm, IO: hostIO}
+	hostSAU := &SAU{
+		Name: "service-node",
+		P:    proc,
+		IO:   hostIO,
+	}
+	mesh := &SAGNode{SAU: &SAU{Name: "xp-mesh", C: comm}}
+	for i := 0; i < 8; i++ {
+		mesh.Children = append(mesh.Children, &SAGNode{
+			SAU: &SAU{Name: fmt.Sprintf("xp-node-%d", i), P: proc, M: mem, C: comm},
+		})
+	}
+	root := &SAGNode{
+		SAU:      &SAU{Name: "Paragon XP/S"},
+		Children: []*SAGNode{{SAU: hostSAU}, mesh},
+	}
+	return &Machine{
+		Name:     "Paragon XP/S",
+		SAG:      &SAG{Root: root},
+		Node:     nodeSAU,
+		Host:     hostSAU,
+		MaxNodes: 8,
+	}
+}
+
+// machineBuilders registers the available system abstractions by name.
+var machineBuilders = map[string]func() *Machine{
+	"ipsc860": IPSC860,
+	"paragon": ParagonXPS,
+}
+
+// MachineNames lists the registered system abstractions.
+func MachineNames() []string {
+	names := make([]string, 0, len(machineBuilders))
+	for n := range machineBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MachineByName builds a registered machine abstraction
+// (case-insensitive; "" defaults to the iPSC/860). A ":n" suffix selects
+// a larger configuration of the machine, e.g. "ipsc860:32" for a 32-node
+// cube (the iPSC/860 shipped up to 128 nodes; the paper's testbed had 8).
+func MachineByName(name string) (*Machine, error) {
+	if name == "" {
+		return IPSC860(), nil
+	}
+	base := strings.ToLower(name)
+	nodes := 0
+	if i := strings.IndexByte(base, ':'); i >= 0 {
+		if _, err := fmt.Sscanf(base[i+1:], "%d", &nodes); err != nil || nodes <= 0 {
+			return nil, fmt.Errorf("sysmodel: bad node count in %q", name)
+		}
+		base = base[:i]
+	}
+	b, ok := machineBuilders[base]
+	if !ok {
+		return nil, fmt.Errorf("sysmodel: unknown machine %q (have %s)", name, strings.Join(MachineNames(), ", "))
+	}
+	m := b()
+	if nodes > 0 {
+		if base == "ipsc860" {
+			sized, err := IPSC860Sized(nodes)
+			if err != nil {
+				return nil, err
+			}
+			return sized, nil
+		}
+		m.MaxNodes = nodes
+	}
+	return m, nil
+}

@@ -1,0 +1,301 @@
+// Package sysmodel implements the Systems Module of the interpretive
+// framework (§3.1 of the paper): the hierarchical System Abstraction Graph
+// (SAG) whose nodes are System Abstraction Units (SAU), each exporting a
+// Processing, Memory, Communication/Synchronization and I/O component.
+//
+// The iPSC/860 characterization (§4.4) is provided as the calibrated
+// default: processing and memory parameters from vendor specifications and
+// instruction counts, communication parameters from benchmarking runs
+// (reproduced against the machine simulator of package ipsc by
+// CalibrateComm).
+package sysmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Processing parameterizes the processing component (P) of a SAU: the
+// per-operation costs, in processor cycles, of compiled Fortran code.
+type Processing struct {
+	ClockMHz float64
+
+	FAddCycles    float64 // floating add/subtract
+	FMulCycles    float64 // floating multiply
+	FDivCycles    float64 // floating divide (software on i860)
+	PowCycles     float64 // exponentiation (library call)
+	IntOpCycles   float64 // integer ALU op
+	CmpCycles     float64 // comparison
+	LogicalCycles float64 // logical connective
+
+	LoopOverheadCycles  float64 // per loop iteration (increment+test+branch)
+	BranchCycles        float64 // per conditional evaluation
+	IndexCycles         float64 // per global→local index translation
+	GuardCycles         float64 // per ownership test in guarded statements
+	IntrinsicCycles     map[string]float64
+	IntrinsicCallCycles float64 // call overhead added per intrinsic
+	StartupStatueCycles float64 // fixed per-statement dispatch overhead
+}
+
+// CyclesToUS converts cycles to microseconds at the component's clock.
+func (p *Processing) CyclesToUS(c float64) float64 { return c / p.ClockMHz }
+
+// Memory parameterizes the memory component (M) of a SAU.
+type Memory struct {
+	LoadCycles  float64 // cache-hit load
+	StoreCycles float64 // cache-hit store
+
+	DCacheBytes       int     // data cache capacity
+	ICacheBytes       int     // instruction cache capacity
+	LineBytes         int     // cache line size
+	MissPenaltyCycles float64 // main-memory access penalty
+	MainMemoryBytes   int
+}
+
+// Comm parameterizes the communication/synchronization component (C/S):
+// the linear message model t = startup + n·perByte (+ hops·perHop) with a
+// short/long protocol switch, and the collective library costs.
+type Comm struct {
+	ShortStartupUS     float64 // ts for messages below LongThresholdBytes
+	LongStartupUS      float64 // ts for the long-message protocol
+	PerByteUS          float64 // tb (inverse link bandwidth)
+	PerHopUS           float64 // th (per additional hypercube hop)
+	LongThresholdBytes int
+
+	// Collective library (parameterized by benchmarking runs, §4.4):
+	// per-stage cost of the log2(P) combining trees used by the global
+	// reduction, broadcast and concatenation operations.
+	ReduceStageUS float64 // per stage beyond the message cost
+	BcastStageUS  float64
+	GatherStageUS float64
+
+	// Message packing/unpacking executed by the node (the Seq AAU of the
+	// communication level in Figure 2).
+	PackPerByteUS float64
+	PackStartupUS float64
+}
+
+// MsgTimeUS returns the point-to-point time for an n-byte message over
+// hops hypercube links.
+func (c *Comm) MsgTimeUS(n, hops int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	ts := c.ShortStartupUS
+	if n > c.LongThresholdBytes {
+		ts = c.LongStartupUS
+	}
+	h := 0.0
+	if hops > 1 {
+		h = float64(hops-1) * c.PerHopUS
+	}
+	return ts + float64(n)*c.PerByteUS + h
+}
+
+// IO parameterizes the input/output component: the link between the cube
+// and the SRM host processor.
+type IO struct {
+	HostStartupUS float64
+	HostPerByteUS float64
+}
+
+// SAU is a System Abstraction Unit: one node of the SAG, abstracting a
+// system part into the four parameter components.
+type SAU struct {
+	Name string
+	P    *Processing
+	M    *Memory
+	C    *Comm
+	IO   *IO
+}
+
+// SAG is the rooted System Abstraction Graph produced by hierarchically
+// decomposing the HPC system.
+type SAG struct {
+	Root *SAGNode
+}
+
+// SAGNode is one vertex of the SAG tree.
+type SAGNode struct {
+	SAU      *SAU
+	Children []*SAGNode
+}
+
+// Find returns the first SAU with the given name in a preorder walk.
+func (g *SAG) Find(name string) *SAU {
+	var walk func(n *SAGNode) *SAU
+	walk = func(n *SAGNode) *SAU {
+		if n == nil {
+			return nil
+		}
+		if n.SAU != nil && n.SAU.Name == name {
+			return n.SAU
+		}
+		for _, c := range n.Children {
+			if s := walk(c); s != nil {
+				return s
+			}
+		}
+		return nil
+	}
+	return walk(g.Root)
+}
+
+// Dump renders the SAG tree.
+func (g *SAG) Dump() string {
+	var b strings.Builder
+	var walk func(n *SAGNode, depth int)
+	walk = func(n *SAGNode, depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), n.SAU.Name)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(g.Root, 0)
+	return b.String()
+}
+
+// Machine is the complete system abstraction used by the interpretation
+// engine: the SAG plus direct handles to the node and host SAUs.
+type Machine struct {
+	Name     string
+	SAG      *SAG
+	Node     *SAU // compute node (processing+memory+comm)
+	Host     *SAU // SRM host
+	MaxNodes int
+}
+
+// IPSC860 builds the System Abstraction Graph of the iPSC/860 hypercube
+// used in the paper's evaluation: 8 i860 nodes at 40 MHz (80 MFlop/s
+// single, 40 MFlop/s double precision peak), 4 KB instruction and 8 KB
+// data caches, 8 MB memory per node, connected to an 80386-based SRM host.
+//
+// Processing and memory parameters reflect effective compiled-code costs
+// (derived off-line from assembly instruction counts, per §4.4);
+// communication parameters follow the published NX benchmarking numbers
+// for the machine and can be re-fit against the simulator with
+// CalibrateComm.
+func IPSC860() *Machine {
+	proc := &Processing{
+		ClockMHz: 40,
+
+		FAddCycles:    3.0,
+		FMulCycles:    3.5,
+		FDivCycles:    38,
+		PowCycles:     160,
+		IntOpCycles:   1.5,
+		CmpCycles:     2.0,
+		LogicalCycles: 1.5,
+
+		LoopOverheadCycles:  6,
+		BranchCycles:        4,
+		IndexCycles:         4,
+		GuardCycles:         5,
+		IntrinsicCallCycles: 18,
+		IntrinsicCycles: map[string]float64{
+			"ABS": 2, "SQRT": 58, "EXP": 88, "LOG": 94, "SIN": 84,
+			"COS": 84, "TAN": 104, "ATAN": 96, "MOD": 12, "MIN": 4,
+			"MAX": 4, "SIGN": 3, "INT": 4, "REAL": 3, "FLOAT": 3, "DBLE": 3,
+		},
+		StartupStatueCycles: 2,
+	}
+	mem := &Memory{
+		LoadCycles:        2.0,
+		StoreCycles:       2.0,
+		DCacheBytes:       8 * 1024,
+		ICacheBytes:       4 * 1024,
+		LineBytes:         32,
+		MissPenaltyCycles: 22,
+		MainMemoryBytes:   8 * 1024 * 1024,
+	}
+	comm := &Comm{
+		ShortStartupUS:     75,
+		LongStartupUS:      150,
+		PerByteUS:          0.36, // ≈2.8 MB/s per link
+		PerHopUS:           11,
+		LongThresholdBytes: 100,
+		ReduceStageUS:      95,
+		BcastStageUS:       90,
+		GatherStageUS:      100,
+		PackPerByteUS:      0.05,
+		PackStartupUS:      4,
+	}
+	hostIO := &IO{HostStartupUS: 400, HostPerByteUS: 1.2}
+
+	nodeSAU := &SAU{Name: "i860-node", P: proc, M: mem, C: comm, IO: hostIO}
+	hostSAU := &SAU{
+		Name: "SRM-host",
+		P:    &Processing{ClockMHz: 16, FAddCycles: 12, FMulCycles: 20, FDivCycles: 60, IntOpCycles: 3, CmpCycles: 3, LogicalCycles: 3, LoopOverheadCycles: 10, BranchCycles: 6, IndexCycles: 6, GuardCycles: 6, IntrinsicCallCycles: 40, IntrinsicCycles: map[string]float64{}},
+		IO:   hostIO,
+	}
+	cube := &SAGNode{SAU: &SAU{Name: "i860-cube", C: comm}}
+	for i := 0; i < 8; i++ {
+		node := &SAGNode{
+			SAU: &SAU{Name: fmt.Sprintf("node-%d", i), P: proc, M: mem, C: comm},
+			Children: []*SAGNode{
+				{SAU: &SAU{Name: fmt.Sprintf("node-%d-cpu", i), P: proc}},
+				{SAU: &SAU{Name: fmt.Sprintf("node-%d-mem", i), M: mem}},
+				{SAU: &SAU{Name: fmt.Sprintf("node-%d-nic", i), C: comm}},
+			},
+		}
+		cube.Children = append(cube.Children, node)
+	}
+	root := &SAGNode{
+		SAU: &SAU{Name: "iPSC/860"},
+		Children: []*SAGNode{
+			{SAU: hostSAU},
+			cube,
+		},
+	}
+	return &Machine{
+		Name:     "iPSC/860",
+		SAG:      &SAG{Root: root},
+		Node:     nodeSAU,
+		Host:     hostSAU,
+		MaxNodes: 8,
+	}
+}
+
+// IPSC860Sized builds the iPSC/860 abstraction for a larger cube (the
+// machine shipped in configurations up to 128 nodes; the paper's testbed
+// had 8). n must be a power of two between 1 and 128.
+func IPSC860Sized(n int) (*Machine, error) {
+	if n < 1 || n > 128 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("sysmodel: iPSC/860 cube size %d must be a power of two in 1..128", n)
+	}
+	m := IPSC860()
+	m.MaxNodes = n
+	return m, nil
+}
+
+// HypercubeHops returns the hop distance between node ranks a and b in a
+// hypercube (Hamming distance of the rank labels).
+func HypercubeHops(a, b int) int {
+	x := a ^ b
+	h := 0
+	for x != 0 {
+		h += x & 1
+		x >>= 1
+	}
+	return h
+}
+
+// CubeDim returns the smallest hypercube dimension holding n nodes.
+func CubeDim(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}
+
+// Log2Ceil returns ceil(log2(n)) with Log2Ceil(1) == 0.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return CubeDim(n)
+}

@@ -1,0 +1,196 @@
+package sysmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPSC860Structure(t *testing.T) {
+	m := IPSC860()
+	if m.Name != "iPSC/860" || m.MaxNodes != 8 {
+		t.Fatalf("machine = %s/%d", m.Name, m.MaxNodes)
+	}
+	if m.Node == nil || m.Node.P == nil || m.Node.M == nil || m.Node.C == nil {
+		t.Fatal("node SAU incomplete")
+	}
+	if m.Host == nil || m.Host.P == nil {
+		t.Fatal("host SAU incomplete")
+	}
+	// Paper's hardware description: 40 MHz clock, 4KB I-cache, 8KB
+	// D-cache, 8MB memory per node.
+	if m.Node.P.ClockMHz != 40 {
+		t.Errorf("clock = %g", m.Node.P.ClockMHz)
+	}
+	if m.Node.M.DCacheBytes != 8*1024 || m.Node.M.ICacheBytes != 4*1024 {
+		t.Errorf("caches = %d/%d", m.Node.M.DCacheBytes, m.Node.M.ICacheBytes)
+	}
+	if m.Node.M.MainMemoryBytes != 8*1024*1024 {
+		t.Errorf("memory = %d", m.Node.M.MainMemoryBytes)
+	}
+}
+
+func TestSAGHierarchy(t *testing.T) {
+	m := IPSC860()
+	// Root → {SRM host, cube} → 8 nodes → {cpu, mem, nic}.
+	if m.SAG.Root == nil || len(m.SAG.Root.Children) != 2 {
+		t.Fatal("SAG root shape wrong")
+	}
+	if m.SAG.Find("SRM-host") == nil {
+		t.Error("host SAU missing from SAG")
+	}
+	if m.SAG.Find("node-7") == nil || m.SAG.Find("node-7-nic") == nil {
+		t.Error("node decomposition missing")
+	}
+	if m.SAG.Find("nope") != nil {
+		t.Error("Find should return nil for unknown names")
+	}
+	d := m.SAG.Dump()
+	if !strings.Contains(d, "i860-cube") || strings.Count(d, "node-") < 8 {
+		t.Errorf("dump:\n%s", d)
+	}
+}
+
+func TestCyclesToUS(t *testing.T) {
+	p := &Processing{ClockMHz: 40}
+	if got := p.CyclesToUS(80); got != 2 {
+		t.Errorf("80 cycles at 40MHz = %gus, want 2", got)
+	}
+}
+
+func TestMsgTimeProtocolSwitch(t *testing.T) {
+	c := IPSC860().Node.C
+	short := c.MsgTimeUS(50, 1)
+	long := c.MsgTimeUS(150, 1)
+	if long <= short {
+		t.Error("long message must cost more")
+	}
+	// Startup jump at the threshold.
+	below := c.MsgTimeUS(c.LongThresholdBytes, 1)
+	above := c.MsgTimeUS(c.LongThresholdBytes+1, 1)
+	if above-below < c.LongStartupUS-c.ShortStartupUS-1 {
+		t.Errorf("protocol switch jump %g too small", above-below)
+	}
+}
+
+func TestMsgTimeHops(t *testing.T) {
+	c := IPSC860().Node.C
+	h1 := c.MsgTimeUS(100, 1)
+	h3 := c.MsgTimeUS(100, 3)
+	if h3-h1 != 2*c.PerHopUS {
+		t.Errorf("hop cost = %g, want %g", h3-h1, 2*c.PerHopUS)
+	}
+	if c.MsgTimeUS(-5, 1) != c.MsgTimeUS(0, 1) {
+		t.Error("negative sizes should clamp to zero")
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	cases := [][3]int{{0, 0, 0}, {0, 1, 1}, {0, 3, 2}, {0, 7, 3}, {5, 6, 2}}
+	for _, c := range cases {
+		if got := HypercubeHops(c[0], c[1]); got != c[2] {
+			t.Errorf("hops(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestHypercubeHopsSymmetric(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a%8), int(b%8)
+		return HypercubeHops(x, y) == HypercubeHops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCubeDimAndLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3}
+	for n, want := range cases {
+		if got := CubeDim(n); got != want {
+			t.Errorf("CubeDim(%d) = %d, want %d", n, got, want)
+		}
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIntrinsicCostsPresent(t *testing.T) {
+	p := IPSC860().Node.P
+	for _, name := range []string{"SQRT", "EXP", "LOG", "SIN", "COS", "MOD", "INT"} {
+		if p.IntrinsicCycles[name] <= 0 {
+			t.Errorf("missing intrinsic cost for %s", name)
+		}
+	}
+	// Transcendentals must dominate simple ops.
+	if p.IntrinsicCycles["EXP"] < 10*p.FMulCycles {
+		t.Error("EXP should cost much more than a multiply")
+	}
+}
+
+func TestParagonMachine(t *testing.T) {
+	m := ParagonXPS()
+	if m.Node == nil || m.Node.C == nil {
+		t.Fatal("paragon node incomplete")
+	}
+	ipsc := IPSC860()
+	// The successor machine is faster in every first-order respect.
+	if m.Node.P.ClockMHz <= ipsc.Node.P.ClockMHz {
+		t.Error("paragon should clock higher")
+	}
+	if m.Node.C.PerByteUS >= ipsc.Node.C.PerByteUS {
+		t.Error("paragon links should be faster")
+	}
+	if m.Node.C.ShortStartupUS >= ipsc.Node.C.ShortStartupUS {
+		t.Error("paragon latency should be lower")
+	}
+	if m.Node.M.DCacheBytes <= ipsc.Node.M.DCacheBytes {
+		t.Error("paragon cache should be larger")
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	if m, err := MachineByName(""); err != nil || m.Name != "iPSC/860" {
+		t.Errorf("default machine = %v, %v", m, err)
+	}
+	if m, err := MachineByName("PARAGON"); err != nil || m.Name != "Paragon XP/S" {
+		t.Errorf("paragon lookup = %v, %v", m, err)
+	}
+	if _, err := MachineByName("cray"); err == nil {
+		t.Error("want error for unknown machine")
+	}
+	names := MachineNames()
+	if len(names) != 2 || names[0] != "ipsc860" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestIPSC860Sized(t *testing.T) {
+	m, err := IPSC860Sized(64)
+	if err != nil || m.MaxNodes != 64 {
+		t.Fatalf("sized cube: %v %v", m, err)
+	}
+	for _, bad := range []int{0, 3, 256} {
+		if _, err := IPSC860Sized(bad); err == nil {
+			t.Errorf("size %d should be rejected", bad)
+		}
+	}
+}
+
+func TestMachineByNameSized(t *testing.T) {
+	m, err := MachineByName("ipsc860:32")
+	if err != nil || m.MaxNodes != 32 {
+		t.Fatalf("sized lookup: %v %v", m, err)
+	}
+	if _, err := MachineByName("ipsc860:7"); err == nil {
+		t.Error("non-power-of-two cube should be rejected")
+	}
+	if _, err := MachineByName("ipsc860:x"); err == nil {
+		t.Error("bad suffix should be rejected")
+	}
+	p, err := MachineByName("paragon:16")
+	if err != nil || p.MaxNodes != 16 {
+		t.Fatalf("paragon sized: %v %v", p, err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package token defines the lexical tokens of the HPF/Fortran 90D subset
+// accepted by the frontend, together with source positions.
+//
+// The subset follows the formally defined HPF/Fortran 90D language of the
+// NPAC compiler: Fortran 90 expressions and control flow, array syntax,
+// FORALL and WHERE constructs, and the HPF mapping directives
+// (PROCESSORS, TEMPLATE, ALIGN, DISTRIBUTE) written as !HPF$ comment lines.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the literal keyword names.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	NEWLINE // statement separator (end of logical line or ';')
+
+	// Literals and names.
+	IDENT      // X, LaplaceSolver
+	INTLIT     // 123
+	REALLIT    // 1.5, 1e-3, 2.5d0
+	STRINGLIT  // 'hello'
+	LOGICALLIT // .TRUE. / .FALSE.
+
+	// Operators and delimiters.
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	POW      // **
+	CONCAT   // //
+	LPAREN   // (
+	RPAREN   // )
+	COMMA    // ,
+	ASSIGN   // =
+	COLON    // :
+	DCOLON   // ::
+	SEMI     // ;
+	PERCENT  // %
+	UNDERSCR // _ (kind suffix separator; rarely used)
+
+	// Relational operators (both F77 .EQ. and F90 == spellings map here).
+	EQ // == or .EQ.
+	NE // /= or .NE.
+	LT // <  or .LT.
+	LE // <= or .LE.
+	GT // >  or .GT.
+	GE // >= or .GE.
+
+	// Logical operators.
+	AND  // .AND.
+	OR   // .OR.
+	NOT  // .NOT.
+	EQV  // .EQV.
+	NEQV // .NEQV.
+
+	// Statement keywords.
+	KwPROGRAM
+	KwEND
+	KwSUBROUTINE
+	KwFUNCTION
+	KwCALL
+	KwRETURN
+	KwINTEGER
+	KwREAL
+	KwDOUBLE
+	KwPRECISION
+	KwLOGICAL
+	KwCHARACTER
+	KwPARAMETER
+	KwDIMENSION
+	KwINTENT
+	KwIMPLICIT
+	KwNONE
+	KwDO
+	KwENDDO
+	KwWHILE
+	KwIF
+	KwTHEN
+	KwELSE
+	KwELSEIF
+	KwENDIF
+	KwFORALL
+	KwENDFORALL
+	KwWHERE
+	KwELSEWHERE
+	KwENDWHERE
+	KwCONTINUE
+	KwSTOP
+	KwPRINT
+	KwWRITE
+	KwREAD
+	KwDATA
+	KwINTRINSIC
+	KwEXTERNAL
+	KwCOMMON
+
+	// HPF directive keywords (valid only after a !HPF$ sentinel).
+	KwHPF // the !HPF$ sentinel itself
+	KwPROCESSORS
+	KwTEMPLATE
+	KwALIGN
+	KwDISTRIBUTE
+	KwREDISTRIBUTE
+	KwWITH
+	KwONTO
+	KwBLOCK
+	KwCYCLIC
+
+	kindCount
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:    "ILLEGAL",
+	EOF:        "EOF",
+	NEWLINE:    "NEWLINE",
+	IDENT:      "IDENT",
+	INTLIT:     "INTLIT",
+	REALLIT:    "REALLIT",
+	STRINGLIT:  "STRINGLIT",
+	LOGICALLIT: "LOGICALLIT",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	POW:        "**",
+	CONCAT:     "//",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	COMMA:      ",",
+	ASSIGN:     "=",
+	COLON:      ":",
+	DCOLON:     "::",
+	SEMI:       ";",
+	PERCENT:    "%",
+	UNDERSCR:   "_",
+	EQ:         "==",
+	NE:         "/=",
+	LT:         "<",
+	LE:         "<=",
+	GT:         ">",
+	GE:         ">=",
+	AND:        ".AND.",
+	OR:         ".OR.",
+	NOT:        ".NOT.",
+	EQV:        ".EQV.",
+	NEQV:       ".NEQV.",
+
+	KwPROGRAM:    "PROGRAM",
+	KwEND:        "END",
+	KwSUBROUTINE: "SUBROUTINE",
+	KwFUNCTION:   "FUNCTION",
+	KwCALL:       "CALL",
+	KwRETURN:     "RETURN",
+	KwINTEGER:    "INTEGER",
+	KwREAL:       "REAL",
+	KwDOUBLE:     "DOUBLE",
+	KwPRECISION:  "PRECISION",
+	KwLOGICAL:    "LOGICAL",
+	KwCHARACTER:  "CHARACTER",
+	KwPARAMETER:  "PARAMETER",
+	KwDIMENSION:  "DIMENSION",
+	KwINTENT:     "INTENT",
+	KwIMPLICIT:   "IMPLICIT",
+	KwNONE:       "NONE",
+	KwDO:         "DO",
+	KwENDDO:      "ENDDO",
+	KwWHILE:      "WHILE",
+	KwIF:         "IF",
+	KwTHEN:       "THEN",
+	KwELSE:       "ELSE",
+	KwELSEIF:     "ELSEIF",
+	KwENDIF:      "ENDIF",
+	KwFORALL:     "FORALL",
+	KwENDFORALL:  "ENDFORALL",
+	KwWHERE:      "WHERE",
+	KwELSEWHERE:  "ELSEWHERE",
+	KwENDWHERE:   "ENDWHERE",
+	KwCONTINUE:   "CONTINUE",
+	KwSTOP:       "STOP",
+	KwPRINT:      "PRINT",
+	KwWRITE:      "WRITE",
+	KwREAD:       "READ",
+	KwDATA:       "DATA",
+	KwINTRINSIC:  "INTRINSIC",
+	KwEXTERNAL:   "EXTERNAL",
+	KwCOMMON:     "COMMON",
+
+	KwHPF:          "!HPF$",
+	KwPROCESSORS:   "PROCESSORS",
+	KwTEMPLATE:     "TEMPLATE",
+	KwALIGN:        "ALIGN",
+	KwDISTRIBUTE:   "DISTRIBUTE",
+	KwREDISTRIBUTE: "REDISTRIBUTE",
+	KwWITH:         "WITH",
+	KwONTO:         "ONTO",
+	KwBLOCK:        "BLOCK",
+	KwCYCLIC:       "CYCLIC",
+}
+
+// String returns the printable name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether the kind is a statement or directive keyword.
+func (k Kind) IsKeyword() bool { return k >= KwPROGRAM && k < kindCount }
+
+// IsLiteral reports whether the kind is a literal or identifier.
+func (k Kind) IsLiteral() bool { return k >= IDENT && k <= LOGICALLIT }
+
+// IsRelational reports whether the kind is a relational comparison operator.
+func (k Kind) IsRelational() bool { return k >= EQ && k <= GE }
+
+// keywords maps upper-cased identifier text to keyword kinds.
+// Fortran is case-insensitive; the scanner upper-cases before lookup.
+var keywords = map[string]Kind{
+	"PROGRAM":      KwPROGRAM,
+	"END":          KwEND,
+	"SUBROUTINE":   KwSUBROUTINE,
+	"FUNCTION":     KwFUNCTION,
+	"CALL":         KwCALL,
+	"RETURN":       KwRETURN,
+	"INTEGER":      KwINTEGER,
+	"REAL":         KwREAL,
+	"DOUBLE":       KwDOUBLE,
+	"PRECISION":    KwPRECISION,
+	"LOGICAL":      KwLOGICAL,
+	"CHARACTER":    KwCHARACTER,
+	"PARAMETER":    KwPARAMETER,
+	"DIMENSION":    KwDIMENSION,
+	"INTENT":       KwINTENT,
+	"IMPLICIT":     KwIMPLICIT,
+	"NONE":         KwNONE,
+	"DO":           KwDO,
+	"ENDDO":        KwENDDO,
+	"WHILE":        KwWHILE,
+	"IF":           KwIF,
+	"THEN":         KwTHEN,
+	"ELSE":         KwELSE,
+	"ELSEIF":       KwELSEIF,
+	"ENDIF":        KwENDIF,
+	"FORALL":       KwFORALL,
+	"ENDFORALL":    KwENDFORALL,
+	"WHERE":        KwWHERE,
+	"ELSEWHERE":    KwELSEWHERE,
+	"ENDWHERE":     KwENDWHERE,
+	"CONTINUE":     KwCONTINUE,
+	"STOP":         KwSTOP,
+	"PRINT":        KwPRINT,
+	"WRITE":        KwWRITE,
+	"READ":         KwREAD,
+	"DATA":         KwDATA,
+	"INTRINSIC":    KwINTRINSIC,
+	"EXTERNAL":     KwEXTERNAL,
+	"COMMON":       KwCOMMON,
+	"PROCESSORS":   KwPROCESSORS,
+	"TEMPLATE":     KwTEMPLATE,
+	"ALIGN":        KwALIGN,
+	"DISTRIBUTE":   KwDISTRIBUTE,
+	"REDISTRIBUTE": KwREDISTRIBUTE,
+	"WITH":         KwWITH,
+	"ONTO":         KwONTO,
+	"BLOCK":        KwBLOCK,
+	"CYCLIC":       KwCYCLIC,
+}
+
+// Lookup returns the keyword kind for upper-cased ident text, or IDENT.
+// Directive-only keywords (ALIGN, BLOCK, ...) are returned only when
+// directive is true so that ordinary variables may reuse those names.
+func Lookup(upper string, directive bool) Kind {
+	k, ok := keywords[upper]
+	if !ok {
+		return IDENT
+	}
+	if !directive && k >= KwPROCESSORS {
+		return IDENT
+	}
+	return k
+}
+
+// Pos is a source position: 1-based line and column within a named source.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // original text (identifiers upper-cased)
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind.IsLiteral() || t.Kind == ILLEGAL {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary operator precedence used by the parser;
+// higher binds tighter. Returns 0 for non-binary-operator kinds.
+func Precedence(k Kind) int {
+	switch k {
+	case EQV, NEQV:
+		return 1
+	case OR:
+		return 2
+	case AND:
+		return 3
+	case EQ, NE, LT, LE, GT, GE:
+		return 5
+	case CONCAT:
+		return 6
+	case PLUS, MINUS:
+		return 7
+	case STAR, SLASH:
+		return 8
+	case POW:
+		return 10
+	}
+	return 0
+}

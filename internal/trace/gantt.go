@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a PICL-format trace (as produced by Trace.Write) back into
+// a Trace. Unknown record types are preserved verbatim; trailing comment
+// fields (after ';') are reattached.
+func Parse(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	maxProc := -1
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		comment := ""
+		if i := strings.Index(line, ";"); i >= 0 {
+			comment = strings.TrimSpace(line[i+1:])
+			line = strings.TrimSpace(line[:i])
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: need at least 3 fields, got %q", lineNo, line)
+		}
+		typ, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad record type %q", lineNo, fields[0])
+		}
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q", lineNo, fields[1])
+		}
+		proc, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad processor %q", lineNo, fields[2])
+		}
+		ev := Event{Type: EventType(typ), TimeUS: ts * 1e6, Proc: proc, Comment: comment}
+		for _, f := range fields[3:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad field %q", lineNo, f)
+			}
+			ev.Fields = append(ev.Fields, v)
+		}
+		if proc > maxProc {
+			maxProc = proc
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.Procs = maxProc + 1
+	return tr, nil
+}
+
+// Gantt renders a per-processor utilization timeline of the trace:
+// '#' busy (inside a block), '~' communicating (between matching send and
+// receive), '.' idle. Width is the number of time buckets (default 72).
+func (tr *Trace) Gantt(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	end := tr.EndTimeUS()
+	if end <= 0 || tr.Procs == 0 {
+		return "(empty trace)\n"
+	}
+	rows := make([][]byte, tr.Procs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	bucket := func(t float64) int {
+		b := int(t / end * float64(width))
+		if b >= width {
+			b = width - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	mark := func(proc int, from, to float64, ch byte) {
+		if proc < 0 || proc >= tr.Procs {
+			return
+		}
+		for b := bucket(from); b <= bucket(to); b++ {
+			// Busy marks do not overwrite communication marks.
+			if ch == '#' && rows[proc][b] == '~' {
+				continue
+			}
+			rows[proc][b] = ch
+		}
+	}
+
+	// Match block begin/end and send/recv pairs per processor.
+	type open struct{ t float64 }
+	busyOpen := make(map[int][]open) // proc -> stack of open blocks
+	commOpen := make(map[int][]open) // proc -> open sends
+	for _, e := range tr.Events {
+		switch e.Type {
+		case BlockBegin:
+			busyOpen[e.Proc] = append(busyOpen[e.Proc], open{e.TimeUS})
+		case BlockEnd:
+			st := busyOpen[e.Proc]
+			if len(st) > 0 {
+				mark(e.Proc, st[len(st)-1].t, e.TimeUS, '#')
+				busyOpen[e.Proc] = st[:len(st)-1]
+			}
+		case Send:
+			commOpen[e.Proc] = append(commOpen[e.Proc], open{e.TimeUS})
+		case Recv:
+			st := commOpen[e.Proc]
+			if len(st) > 0 {
+				mark(e.Proc, st[len(st)-1].t, e.TimeUS, '~')
+				commOpen[e.Proc] = st[:len(st)-1]
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "interpretation trace, %d processors, %s total\n",
+		tr.Procs, fmtDur(end))
+	for p := 0; p < tr.Procs; p++ {
+		fmt.Fprintf(&b, "P%-3d |%s|\n", p, rows[p])
+	}
+	fmt.Fprintf(&b, "      0%*s\n", width, fmtDur(end))
+	b.WriteString("legend: # busy, ~ communicating, . idle\n")
+	return b.String()
+}
+
+func fmtDur(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.3fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.1fus", us)
+	}
+}
+
+// Stats summarizes a trace: per-processor busy/communication fractions.
+type Stats struct {
+	Procs   int
+	TotalUS float64
+	BusyUS  []float64
+	CommUS  []float64
+}
+
+// Summarize computes per-processor activity totals.
+func (tr *Trace) Summarize() Stats {
+	st := Stats{Procs: tr.Procs, TotalUS: tr.EndTimeUS()}
+	st.BusyUS = make([]float64, tr.Procs)
+	st.CommUS = make([]float64, tr.Procs)
+	busyOpen := make(map[int]float64)
+	commOpen := make(map[int]float64)
+	for _, e := range tr.Events {
+		if e.Proc < 0 || e.Proc >= tr.Procs {
+			continue
+		}
+		switch e.Type {
+		case BlockBegin:
+			busyOpen[e.Proc] = e.TimeUS
+		case BlockEnd:
+			st.BusyUS[e.Proc] += e.TimeUS - busyOpen[e.Proc]
+		case Send:
+			commOpen[e.Proc] = e.TimeUS
+		case Recv:
+			st.CommUS[e.Proc] += e.TimeUS - commOpen[e.Proc]
+		}
+	}
+	return st
+}

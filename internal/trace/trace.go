@@ -1,0 +1,158 @@
+// Package trace generates an interpretation trace that can be fed to the
+// ParaGraph visualization package (§4.2: "the system can generate an
+// interpretation trace which can be used as input to the ParaGraph
+// visualization package"). Events follow the PICL trace-record layout
+// used by ParaGraph: whitespace-separated records of
+//
+//	<record-type> <timestamp-seconds> <processor> [fields...]
+//
+// with the standard record types: -3/-4 (tracing markers), -13/-14
+// (block begin/end), -21/-22 (send/recv), -601 (busy/overhead marker).
+//
+// The trace is generated from an interpreted SAAG: loops contribute one
+// representative compute block scaled to their accumulated time, and each
+// communication AAU contributes matching send/receive records. The trace
+// therefore reflects the predicted loosely synchronous phase structure of
+// the program rather than a particular measured run.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"hpfperf/internal/core"
+)
+
+// EventType identifies a trace record.
+type EventType int
+
+// PICL record types understood by ParaGraph.
+const (
+	TraceStart EventType = -3
+	TraceStop  EventType = -4
+	BlockBegin EventType = -13
+	BlockEnd   EventType = -14
+	Send       EventType = -21
+	Recv       EventType = -22
+)
+
+// Event is one trace record.
+type Event struct {
+	Type   EventType
+	TimeUS float64
+	Proc   int
+	// Fields are the type-specific trailing values (message size,
+	// partner, block id...).
+	Fields []int
+	// Comment annotates the source construct (written as a remark).
+	Comment string
+}
+
+// Trace is a complete interpretation trace.
+type Trace struct {
+	Procs  int
+	Events []Event
+}
+
+// FromReport builds the interpretation trace of a report: a depth-first
+// replay of the SAAG with a global clock.
+func FromReport(rep *core.Report) *Trace {
+	tr := &Trace{Procs: rep.Procs}
+	clock := 0.0
+	for p := 0; p < tr.Procs; p++ {
+		tr.Events = append(tr.Events, Event{Type: TraceStart, TimeUS: 0, Proc: p})
+	}
+	var walk func(a *core.AAU)
+	walk = func(a *core.AAU) {
+		switch a.Kind {
+		case core.Comm, core.IO:
+			dur := a.Metrics.CommUS
+			if dur <= 0 {
+				return
+			}
+			// One representative collective: every processor sends to and
+			// receives from its partner in the combining pattern.
+			bytes := 0
+			if a.CommRec != nil {
+				bytes = int(a.CommRec.Bytes)
+			}
+			for p := 0; p < tr.Procs; p++ {
+				partner := p ^ 1
+				if partner >= tr.Procs {
+					partner = 0
+				}
+				tr.Events = append(tr.Events,
+					Event{Type: Send, TimeUS: clock, Proc: p, Fields: []int{partner, bytes}, Comment: a.Label},
+					Event{Type: Recv, TimeUS: clock + dur, Proc: p, Fields: []int{partner, bytes}})
+			}
+			clock += dur
+		case core.Seq, core.Iter, core.IterD, core.Condt, core.CondtD:
+			// Self time (excluding children) opens a busy block.
+			self := a.Metrics
+			for _, c := range a.Children {
+				self.CompUS -= c.Metrics.CompUS
+				self.CommUS -= c.Metrics.CommUS
+				self.OvhdUS -= c.Metrics.OvhdUS
+			}
+			selfBusy := self.CompUS + self.OvhdUS
+			if selfBusy > 0 {
+				for p := 0; p < tr.Procs; p++ {
+					tr.Events = append(tr.Events,
+						Event{Type: BlockBegin, TimeUS: clock, Proc: p, Fields: []int{a.ID}, Comment: a.Label})
+				}
+				clock += selfBusy
+				for p := 0; p < tr.Procs; p++ {
+					tr.Events = append(tr.Events,
+						Event{Type: BlockEnd, TimeUS: clock, Proc: p, Fields: []int{a.ID}})
+				}
+			}
+			for _, c := range a.Children {
+				walk(c)
+			}
+		default:
+			for _, c := range a.Children {
+				walk(c)
+			}
+		}
+	}
+	for _, c := range rep.SAAG.Root.Children {
+		walk(c)
+	}
+	for p := 0; p < tr.Procs; p++ {
+		tr.Events = append(tr.Events, Event{Type: TraceStop, TimeUS: clock, Proc: p})
+	}
+	return tr
+}
+
+// Write emits the trace in PICL text format.
+func (tr *Trace) Write(w io.Writer) error {
+	for _, e := range tr.Events {
+		// PICL timestamps are in seconds; nanosecond resolution keeps the
+		// round trip exact.
+		if _, err := fmt.Fprintf(w, "%d %.9f %d", int(e.Type), e.TimeUS/1e6, e.Proc); err != nil {
+			return err
+		}
+		for _, f := range e.Fields {
+			if _, err := fmt.Fprintf(w, " %d", f); err != nil {
+				return err
+			}
+		}
+		if e.Comment != "" {
+			if _, err := fmt.Fprintf(w, " ; %s", e.Comment); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EndTimeUS returns the final timestamp of the trace.
+func (tr *Trace) EndTimeUS() float64 {
+	if len(tr.Events) == 0 {
+		return 0
+	}
+	return tr.Events[len(tr.Events)-1].TimeUS
+}
