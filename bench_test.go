@@ -15,6 +15,7 @@ import (
 	"hpfperf"
 	"hpfperf/internal/experiments"
 	"hpfperf/internal/suite"
+	"hpfperf/internal/sweep"
 )
 
 // benchCfg keeps benchmark iterations affordable while exercising the
@@ -45,6 +46,49 @@ func BenchmarkTable2(b *testing.B) {
 			b.ReportMetric(row.MaxErrPct(), "maxErr%")
 		})
 	}
+}
+
+// benchSweepGrid runs the full flattened Table 2 quick grid (16
+// programs × 2 sizes × 2 system sizes) on a pool of the given width,
+// with a cold cache every iteration so the compile stage is really
+// exercised. Comparing BenchmarkSweepSerial with BenchmarkSweepParallel
+// isolates the worker-pool speedup (≈ core count on unloaded 4+ core
+// machines).
+func benchSweepGrid(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Engine = sweep.New(sweep.Options{Workers: workers})
+		if _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker baseline of the point sweep.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepGrid(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid on a GOMAXPROCS-wide pool.
+func BenchmarkSweepParallel(b *testing.B) { benchSweepGrid(b, 0) }
+
+// BenchmarkSweepCached reruns the grid against a warm engine: every
+// compile and interpretation is served from cache, leaving only the
+// simulated executions.
+func BenchmarkSweepCached(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Engine = sweep.New(sweep.Options{})
+	if _, err := experiments.Table2(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	snap := cfg.Engine.Snapshot()
+	b.ReportMetric(float64(snap.CompileHits)/float64(snap.CompileHits+snap.CompileMisses), "hitRate")
+	b.ReportMetric(snap.PointsPerSec, "points/sec")
 }
 
 func sanitize(s string) string {

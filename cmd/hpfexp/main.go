@@ -9,21 +9,24 @@ import (
 	"os"
 
 	"hpfperf/internal/experiments"
+	"hpfperf/internal/sweep"
 )
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		table2 = flag.Bool("table2", false, "Table 2: prediction accuracy")
-		fig3   = flag.Bool("fig3", false, "Figure 3: Laplace data distributions")
-		fig4   = flag.Bool("fig4", false, "Figure 4: Laplace est/meas times, 4 procs")
-		fig5   = flag.Bool("fig5", false, "Figure 5: Laplace est/meas times, 8 procs")
-		fig7   = flag.Bool("fig7", false, "Figure 7: financial model phase profile")
-		fig8   = flag.Bool("fig8", false, "Figure 8: experimentation time")
-		abl    = flag.Bool("ablations", false, "model design-choice ablation table")
-		quick  = flag.Bool("quick", false, "reduced sweeps (smoke run)")
-		runs   = flag.Int("runs", 3, "measured runs to average")
-		quiet  = flag.Bool("quiet", false, "suppress progress logging")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		table2  = flag.Bool("table2", false, "Table 2: prediction accuracy")
+		fig3    = flag.Bool("fig3", false, "Figure 3: Laplace data distributions")
+		fig4    = flag.Bool("fig4", false, "Figure 4: Laplace est/meas times, 4 procs")
+		fig5    = flag.Bool("fig5", false, "Figure 5: Laplace est/meas times, 8 procs")
+		fig7    = flag.Bool("fig7", false, "Figure 7: financial model phase profile")
+		fig8    = flag.Bool("fig8", false, "Figure 8: experimentation time")
+		abl     = flag.Bool("ablations", false, "model design-choice ablation table")
+		quick   = flag.Bool("quick", false, "reduced sweeps (smoke run)")
+		runs    = flag.Int("runs", 3, "measured runs to average")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		stats   = flag.Bool("stats", false, "print sweep engine statistics (compile/interpret/execute counters, cache hits/misses, points/sec) to stderr")
 	)
 	flag.Parse()
 
@@ -35,6 +38,8 @@ func main() {
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
+	eng := sweep.New(sweep.Options{Workers: *workers})
+	cfg.Engine = eng
 	if !(*all || *table2 || *fig3 || *fig4 || *fig5 || *fig7 || *fig8 || *abl) {
 		flag.Usage()
 		os.Exit(2)
@@ -79,6 +84,9 @@ func main() {
 		rows, err := experiments.Ablations(cfg)
 		check(err)
 		fmt.Println(experiments.RenderAblations(rows))
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, eng.Snapshot())
 	}
 }
 

@@ -40,6 +40,7 @@ func main() {
 		avgLoad  = flag.Bool("avgload", false, "use average instead of max-loaded processor accounting")
 		machine  = flag.String("machine", "", "target system abstraction (ipsc860, paragon)")
 		auto     = flag.Int("auto", 0, "search directive variants for N processors and rank them")
+		stats    = flag.Bool("stats", false, "print sweep engine statistics (candidate compiles, cache hits/misses) to stderr after -auto")
 	)
 	flag.Parse()
 
@@ -87,6 +88,9 @@ func main() {
 				marker = "=>"
 			}
 			fmt.Printf("%s %-44s %12.3fms\n", marker, c.Desc, c.EstUS/1e3)
+		}
+		if *stats {
+			fmt.Fprintln(os.Stderr, hpfperf.SweepStatistics())
 		}
 		return
 	}

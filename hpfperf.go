@@ -32,6 +32,7 @@ import (
 	"hpfperf/internal/report"
 	"hpfperf/internal/sem"
 	"hpfperf/internal/suite"
+	"hpfperf/internal/sweep"
 	"hpfperf/internal/sysmodel"
 	"hpfperf/internal/trace"
 )
@@ -355,22 +356,28 @@ type Ranked struct {
 
 // SelectDistribution predicts every candidate and returns them ranked by
 // predicted execution time, best first — the building block of the
-// "intelligent compiler" the paper proposes (§5.2.1, §7).
+// "intelligent compiler" the paper proposes (§5.2.1, §7). Candidates are
+// evaluated concurrently on the shared sweep engine; repeated sources
+// are compiled once.
 func SelectDistribution(cands []Candidate, opts *PredictOptions) ([]Ranked, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("hpfperf: no candidates")
 	}
-	out := make([]Ranked, 0, len(cands))
-	for _, c := range cands {
-		prog, err := Compile(c.Source)
+	eng := sweep.Default()
+	out, err := sweep.Map(eng, len(cands), func(i int) (Ranked, error) {
+		c := cands[i]
+		prog, err := eng.Compile(c.Source, compiler.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.Name, err)
+			return Ranked{}, fmt.Errorf("%s: %w", c.Name, err)
 		}
-		pred, err := Predict(prog, opts)
+		pred, err := Predict(&Program{hir: prog}, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.Name, err)
+			return Ranked{}, fmt.Errorf("%s: %w", c.Name, err)
 		}
-		out = append(out, Ranked{Candidate: c, Prediction: pred})
+		return Ranked{Candidate: c, Prediction: pred}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j-1].Prediction.Microseconds() > out[j].Prediction.Microseconds(); j-- {
@@ -428,6 +435,22 @@ func AutoDistribute(src string, procs int, opts *AutoDistributeOptions) ([]AutoC
 	}
 	return out, nil
 }
+
+// ---------------------------------------------------------------------------
+// Sweep engine statistics
+
+// SweepStats is a snapshot of the shared sweep engine's per-stage
+// counters: compile/interpret/execute runs and wall-times, cache
+// hits/misses and points-per-second throughput.
+type SweepStats = sweep.Snapshot
+
+// SweepStatistics returns a snapshot of the shared sweep engine that
+// backs SelectDistribution, AutoDistribute and the experiment harness.
+func SweepStatistics() SweepStats { return sweep.Default().Snapshot() }
+
+// ResetSweepStatistics zeroes the shared engine's counters (the cache
+// itself is retained).
+func ResetSweepStatistics() { sweep.Default().Stats().Reset() }
 
 // ---------------------------------------------------------------------------
 // Benchmark suite access

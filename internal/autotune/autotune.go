@@ -15,6 +15,7 @@ import (
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
 	"hpfperf/internal/parser"
+	"hpfperf/internal/sweep"
 )
 
 // Candidate is one directive assignment with its prediction.
@@ -57,10 +58,14 @@ type Options struct {
 	MaxRank int
 	// Interp configures the interpretation engine.
 	Interp core.Options
+	// Engine evaluates candidates (worker pool + compile/prediction
+	// cache); nil uses the process-wide shared engine.
+	Engine *sweep.Engine
 }
 
-// Search enumerates directive variants of src, interprets each, and
-// returns them ranked by predicted time (invalid variants last).
+// Search enumerates directive variants of src, interprets each on the
+// sweep worker pool (cached compiles, deterministic candidate order),
+// and returns them ranked by predicted time (invalid variants last).
 func Search(src string, opts Options) ([]Candidate, error) {
 	if opts.Procs <= 0 {
 		return nil, fmt.Errorf("autotune: Procs must be positive")
@@ -90,9 +95,16 @@ func Search(src string, opts Options) ([]Candidate, error) {
 		return nil, fmt.Errorf("autotune: no applicable directive variants")
 	}
 
-	for i := range out {
-		evalCandidate(&out[i], opts.Interp)
+	eng := opts.Engine
+	if eng == nil {
+		eng = sweep.Default()
 	}
+	// Candidate evaluations are independent; Map preserves index order,
+	// so the stable rank below stays byte-identical to a serial loop.
+	sweep.Map(eng, len(out), func(i int) (struct{}, error) {
+		evalCandidate(&out[i], eng, opts.Interp)
+		return struct{}{}, nil
+	})
 	sort.SliceStable(out, func(i, j int) bool { return out[i].EstUS < out[j].EstUS })
 	return out, nil
 }
@@ -256,20 +268,10 @@ func buildCandidate(src string, shape *programShape, grid []int, formats []strin
 	return cand, false
 }
 
-// evalCandidate compiles and interprets one variant.
-func evalCandidate(c *Candidate, interp core.Options) {
+// evalCandidate compiles (cached) and interprets one variant.
+func evalCandidate(c *Candidate, eng *sweep.Engine, interp core.Options) {
 	const invalid = 1e308
-	prog, err := compiler.Compile(c.Source)
-	if err != nil {
-		c.EstUS, c.Err = invalid, err
-		return
-	}
-	it, err := core.New(prog, nil, interp)
-	if err != nil {
-		c.EstUS, c.Err = invalid, err
-		return
-	}
-	rep, err := it.Interpret()
+	rep, err := eng.Interpret(c.Source, compiler.Options{}, interp)
 	if err != nil {
 		c.EstUS, c.Err = invalid, err
 		return

@@ -14,21 +14,25 @@
 // "Measured" times come from executing the compiled SPMD program on the
 // simulated iPSC/860 (packages exec and ipsc); "estimated" times come
 // from the interpretation engine (package core).
+//
+// Every sweep flattens its (program × size × procs) point grid onto the
+// shared worker pool of package sweep, so points of different programs
+// evaluate concurrently while rows and curves come back in their
+// deterministic order, and repeated sources (Figure 8 reuses the
+// Laplace programs of Figures 4/5) hit the compile/prediction cache.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sync"
 
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
-	"hpfperf/internal/exec"
-	"hpfperf/internal/ipsc"
 	"hpfperf/internal/report"
 	"hpfperf/internal/suite"
+	"hpfperf/internal/sweep"
 )
 
 // Config controls experiment execution.
@@ -42,8 +46,16 @@ type Config struct {
 	// Perturb enables measured-run load fluctuation. Default true via
 	// DefaultConfig.
 	Perturb float64
-	// Log receives progress output (may be nil).
+	// Log receives progress output (may be nil). Sweep points log
+	// concurrently; writes are serialized by the package.
 	Log io.Writer
+	// Engine runs the sweep points; nil uses the process-wide shared
+	// engine (sweep.Default()), whose cache lets later figures reuse
+	// programs compiled by earlier ones.
+	Engine *sweep.Engine
+	// Workers bounds pool concurrency when Engine is nil (<= 0 uses
+	// GOMAXPROCS); the derived engine still shares the default cache.
+	Workers int
 }
 
 // DefaultConfig returns the full-fidelity experiment configuration.
@@ -56,6 +68,17 @@ func QuickConfig() Config {
 	return Config{Quick: true, Runs: 1, Perturb: 0.01}
 }
 
+func (c Config) engine() *sweep.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	if c.Workers > 0 {
+		d := sweep.Default()
+		return sweep.New(sweep.Options{Workers: c.Workers, Cache: d.Cache(), Stats: d.Stats()})
+	}
+	return sweep.Default()
+}
+
 var logMu sync.Mutex
 
 func (c Config) logf(format string, args ...any) {
@@ -66,36 +89,11 @@ func (c Config) logf(format string, args ...any) {
 	}
 }
 
-// EstimateAndMeasure compiles one source, interprets it and runs it on
-// the simulated machine, returning (estimated, measured) microseconds.
+// EstimateAndMeasure compiles one source (through the sweep cache),
+// interprets it and runs it on the simulated machine, returning
+// (estimated, measured) microseconds.
 func EstimateAndMeasure(src string, cfg Config) (estUS, measUS float64, err error) {
-	prog, err := compiler.Compile(src)
-	if err != nil {
-		return 0, 0, err
-	}
-	it, err := core.New(prog, nil, core.DefaultOptions())
-	if err != nil {
-		return 0, 0, err
-	}
-	rep, err := it.Interpret()
-	if err != nil {
-		return 0, 0, err
-	}
-	mcfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
-	mcfg.PerturbAmp = cfg.Perturb
-	m, err := ipsc.New(mcfg)
-	if err != nil {
-		return 0, 0, err
-	}
-	runs := cfg.Runs
-	if runs <= 0 {
-		runs = 1
-	}
-	res, err := exec.Run(prog, m, exec.Options{Runs: runs})
-	if err != nil {
-		return 0, 0, err
-	}
-	return rep.TotalUS(), res.MeasuredUS, nil
+	return cfg.engine().EstimateAndMeasure(src, cfg.Runs, cfg.Perturb)
 }
 
 // ---------------------------------------------------------------------------
@@ -110,9 +108,15 @@ type AccuracyPoint struct {
 }
 
 // ErrPct is the absolute error as a percentage of the measured time.
+// A divergent prediction against a zero measurement (EstUS != 0 while
+// MeasUS == 0) is +Inf, not 0: the prediction is unboundedly wrong, not
+// perfect.
 func (p AccuracyPoint) ErrPct() float64 {
 	if p.MeasUS == 0 {
-		return 0
+		if p.EstUS == 0 {
+			return 0
+		}
+		return math.Inf(1)
 	}
 	return math.Abs(p.EstUS-p.MeasUS) / p.MeasUS * 100
 }
@@ -125,22 +129,28 @@ type AccuracyRow struct {
 	Points    []AccuracyPoint
 }
 
-// MinErrPct returns the minimum absolute error over all points.
+// MinErrPct returns the minimum absolute error over all points, or NaN
+// for a row with no points ("no data" must stay distinguishable from a
+// perfect 0% prediction).
 func (r AccuracyRow) MinErrPct() float64 {
+	if len(r.Points) == 0 {
+		return math.NaN()
+	}
 	m := math.Inf(1)
 	for _, p := range r.Points {
 		if e := p.ErrPct(); e < m {
 			m = e
 		}
 	}
-	if math.IsInf(m, 1) {
-		return 0
-	}
 	return m
 }
 
-// MaxErrPct returns the maximum absolute error over all points.
+// MaxErrPct returns the maximum absolute error over all points, or NaN
+// for a row with no points.
 func (r AccuracyRow) MaxErrPct() float64 {
+	if len(r.Points) == 0 {
+		return math.NaN()
+	}
 	m := 0.0
 	for _, p := range r.Points {
 		if e := p.ErrPct(); e > m {
@@ -150,62 +160,122 @@ func (r AccuracyRow) MaxErrPct() float64 {
 	return m
 }
 
+// sweepGrid returns the (sizes, procs) grid for one program under cfg.
+// Quick mode keeps the first two problem sizes and intersects the
+// quick system sizes {1, 4} with the program's declared Procs, so a
+// program is never swept at a system size it does not declare; a
+// program declaring neither falls back to its first two declared
+// counts.
+func sweepGrid(p *suite.Program, cfg Config) (sizes, procs []int) {
+	if !cfg.Quick {
+		return p.Sizes, p.Procs
+	}
+	sizes = p.Sizes[:min(2, len(p.Sizes))]
+	for _, np := range p.Procs {
+		if np == 1 || np == 4 {
+			procs = append(procs, np)
+		}
+	}
+	if len(procs) == 0 {
+		procs = p.Procs[:min(2, len(p.Procs))]
+	}
+	return sizes, procs
+}
+
 // Table2 reproduces the accuracy validation (§5.1): for every program of
 // the validation set, estimated and measured times are compared while
-// varying the problem size and the number of processing elements.
-// Programs are swept concurrently (each sweep is independent); rows come
-// back in Table 1 order.
+// varying the problem size and the number of processing elements. The
+// full (program × size × procs) grid is flattened onto one worker pool;
+// rows come back in Table 1 order with points in sweep order.
 func Table2(cfg Config) ([]AccuracyRow, error) {
 	progs := suite.All()
 	rows := make([]AccuracyRow, len(progs))
-	errs := make([]error, len(progs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, p := range progs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, p *suite.Program) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			row, err := Table2Row(p, cfg)
-			rows[i], errs[i] = row, err
-		}(i, p)
+	type point struct {
+		row         int
+		size, procs int
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", progs[i].Name, err)
+	var pts []point
+	for i, p := range progs {
+		sizes, procs := sweepGrid(p, cfg)
+		rows[i] = AccuracyRow{
+			Name:      p.Name,
+			SizeRange: fmt.Sprintf("%d - %d", sizes[0], sizes[len(sizes)-1]),
+			ProcRange: fmt.Sprintf("%d - %d", procs[0], procs[len(procs)-1]),
 		}
+		for _, n := range sizes {
+			for _, np := range procs {
+				pts = append(pts, point{row: i, size: n, procs: np})
+			}
+		}
+	}
+	eng := cfg.engine()
+	res, err := sweep.Map(eng, len(pts), func(k int) (AccuracyPoint, error) {
+		pt := pts[k]
+		p := progs[pt.row]
+		ap, err := accuracyPoint(eng, p, pt.size, pt.procs, cfg)
+		if err != nil {
+			return ap, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		return ap, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, ap := range res {
+		rows[pts[k].row].Points = append(rows[pts[k].row].Points, ap)
 	}
 	return rows, nil
 }
 
-// Table2Row runs the accuracy sweep for one program.
+// Table2Row runs the accuracy sweep for one program on the worker pool.
 func Table2Row(p *suite.Program, cfg Config) (AccuracyRow, error) {
-	sizes := p.Sizes
-	procs := p.Procs
-	if cfg.Quick {
-		sizes = sizes[:min(2, len(sizes))]
-		procs = []int{1, 4}
-	}
+	sizes, procs := sweepGrid(p, cfg)
 	row := AccuracyRow{
 		Name:      p.Name,
 		SizeRange: fmt.Sprintf("%d - %d", sizes[0], sizes[len(sizes)-1]),
 		ProcRange: fmt.Sprintf("%d - %d", procs[0], procs[len(procs)-1]),
 	}
+	type point struct{ size, procs int }
+	var pts []point
 	for _, n := range sizes {
 		for _, np := range procs {
-			est, meas, err := EstimateAndMeasure(p.Source(n, np), cfg)
-			if err != nil {
-				return row, fmt.Errorf("size %d procs %d: %w", n, np, err)
-			}
-			pt := AccuracyPoint{Size: n, Procs: np, EstUS: est, MeasUS: meas}
-			cfg.logf("%-18s n=%-6d p=%d est=%-12s meas=%-12s err=%.2f%%\n",
-				p.Name, n, np, report.FormatUS(est), report.FormatUS(meas), pt.ErrPct())
-			row.Points = append(row.Points, pt)
+			pts = append(pts, point{size: n, procs: np})
 		}
 	}
+	eng := cfg.engine()
+	res, err := sweep.Map(eng, len(pts), func(k int) (AccuracyPoint, error) {
+		return accuracyPoint(eng, p, pts[k].size, pts[k].procs, cfg)
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Points = res
 	return row, nil
+}
+
+// accuracyPoint evaluates one (size, procs) comparison of one program.
+func accuracyPoint(eng *sweep.Engine, p *suite.Program, size, procs int, cfg Config) (AccuracyPoint, error) {
+	est, meas, err := eng.EstimateAndMeasure(p.Source(size, procs), cfg.Runs, cfg.Perturb)
+	if err != nil {
+		return AccuracyPoint{}, fmt.Errorf("size %d procs %d: %w", size, procs, err)
+	}
+	pt := AccuracyPoint{Size: size, Procs: procs, EstUS: est, MeasUS: meas}
+	cfg.logf("%-18s n=%-6d p=%d est=%-12s meas=%-12s err=%.2f%%\n",
+		p.Name, size, procs, report.FormatUS(est), report.FormatUS(meas), pt.ErrPct())
+	return pt, nil
+}
+
+// fmtPct renders an error percentage, keeping the degenerate cases
+// distinguishable: NaN (no data) renders "n/a", +Inf (divergent
+// prediction against a zero measurement) renders ">100%".
+func fmtPct(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case math.IsInf(v, 1):
+		return ">100%"
+	}
+	return fmt.Sprintf("%.2f%%", v)
 }
 
 // RenderTable2 renders rows in the layout of the paper's Table 2.
@@ -215,7 +285,7 @@ func RenderTable2(rows []AccuracyRow) string {
 	for _, r := range rows {
 		body = append(body, []string{
 			r.Name, r.SizeRange + " (data elements)", r.ProcRange + " (# procs)",
-			fmt.Sprintf("%.2f%%", r.MinErrPct()), fmt.Sprintf("%.2f%%", r.MaxErrPct()),
+			fmtPct(r.MinErrPct()), fmtPct(r.MaxErrPct()),
 		})
 	}
 	return "Table 2: Accuracy of the Performance Prediction Framework\n" +
@@ -229,6 +299,7 @@ func RenderTable2(rows []AccuracyRow) string {
 // on 4 processors as ownership pictures.
 func Figure3() (string, error) {
 	out := "Figure 3: Laplace Solver - Data Distributions (4 processors)\n\n"
+	eng := sweep.Default()
 	for _, cse := range []struct {
 		name string
 		prog *suite.Program
@@ -237,7 +308,7 @@ func Figure3() (string, error) {
 		{"(Block,*)", suite.LaplaceBX()},
 		{"(*,Block)", suite.LaplaceXB()},
 	} {
-		prog, err := compiler.Compile(cse.prog.Source(16, 4))
+		prog, err := eng.Compile(cse.prog.Source(16, 4), compiler.Options{})
 		if err != nil {
 			return "", err
 		}
@@ -258,35 +329,62 @@ type LaplaceSeries struct {
 	TimeUS []float64
 }
 
+// laplaceCases returns the three Laplace variants in figure order.
+func laplaceCases(procs int) []struct {
+	label string
+	prog  *suite.Program
+} {
+	return []struct {
+		label string
+		prog  *suite.Program
+	}{
+		{"(Blk,Blk) - " + gridLabel(procs), suite.LaplaceBB()},
+		{"(Blk,*) - " + fmt.Sprintf("%d Procs", procs), suite.LaplaceBX()},
+		{"(*,Blk) - " + fmt.Sprintf("%d Procs", procs), suite.LaplaceXB()},
+	}
+}
+
 // Figure45 reproduces Figure 4 (procs = 4) or Figure 5 (procs = 8): the
 // estimated and measured execution times of the three Laplace variants
-// over the problem-size sweep.
+// over the problem-size sweep, all (variant × size) points evaluated on
+// the worker pool.
 func Figure45(procs int, cfg Config) ([]LaplaceSeries, error) {
 	sizes := []int{16, 64, 128, 192, 256}
 	if cfg.Quick {
 		sizes = []int{16, 64}
 	}
+	cases := laplaceCases(procs)
+	type point struct{ cse, sizeIdx int }
+	var pts []point
+	for c := range cases {
+		for s := range sizes {
+			pts = append(pts, point{cse: c, sizeIdx: s})
+		}
+	}
+	eng := cfg.engine()
+	res, err := sweep.Map(eng, len(pts), func(k int) ([2]float64, error) {
+		pt := pts[k]
+		cse := cases[pt.cse]
+		n := sizes[pt.sizeIdx]
+		e, m, err := eng.EstimateAndMeasure(cse.prog.Source(n, procs), cfg.Runs, cfg.Perturb)
+		if err != nil {
+			return [2]float64{}, fmt.Errorf("%s n=%d: %w", cse.label, n, err)
+		}
+		cfg.logf("laplace %-22s n=%-4d est=%-12s meas=%-12s\n",
+			cse.label, n, report.FormatUS(e), report.FormatUS(m))
+		return [2]float64{e, m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []LaplaceSeries
-	for _, cse := range []struct {
-		label string
-		prog  *suite.Program
-		grid  string
-	}{
-		{"(Blk,Blk) - " + gridLabel(procs), suite.LaplaceBB(), "2D"},
-		{"(Blk,*) - " + fmt.Sprintf("%d Procs", procs), suite.LaplaceBX(), "1D"},
-		{"(*,Blk) - " + fmt.Sprintf("%d Procs", procs), suite.LaplaceXB(), "1D"},
-	} {
+	for c, cse := range cases {
 		est := LaplaceSeries{Label: cse.label, Kind: "Estimated", Sizes: sizes}
 		mea := LaplaceSeries{Label: cse.label, Kind: "Measured", Sizes: sizes}
-		for _, n := range sizes {
-			e, m, err := EstimateAndMeasure(cse.prog.Source(n, procs), cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s n=%d: %w", cse.label, n, err)
-			}
-			cfg.logf("laplace %-22s n=%-4d est=%-12s meas=%-12s\n",
-				cse.label, n, report.FormatUS(e), report.FormatUS(m))
-			est.TimeUS = append(est.TimeUS, e)
-			mea.TimeUS = append(mea.TimeUS, m)
+		for s := range sizes {
+			em := res[c*len(sizes)+s]
+			est.TimeUS = append(est.TimeUS, em[0])
+			mea.TimeUS = append(mea.TimeUS, em[1])
 		}
 		out = append(out, est, mea)
 	}
@@ -340,15 +438,7 @@ func Figure7(cfg Config) ([]report.PhaseBreakdown, error) {
 		size = 64
 	}
 	src := p.Source(size, 4)
-	prog, err := compiler.Compile(src)
-	if err != nil {
-		return nil, err
-	}
-	it, err := core.New(prog, nil, core.DefaultOptions())
-	if err != nil {
-		return nil, err
-	}
-	rep, err := it.Interpret()
+	rep, err := cfg.engine().Interpret(src, compiler.Options{}, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -420,30 +510,46 @@ type ExperimentTime struct {
 
 // Figure8 reproduces the experimentation-time comparison for the three
 // Laplace implementations: each variant is evaluated over the problem
-// size sweep, measured runs costing real (simulated) machine time.
+// size sweep, measured runs costing real (simulated) machine time. The
+// sources are the same Laplace programs Figures 4/5 sweep, so on the
+// shared engine every compile here is a cache hit.
 func Figure8(cfg Config) ([]ExperimentTime, error) {
 	wm := DefaultWorkflow()
 	sizes := []int{16, 64, 128, 256}
 	if cfg.Quick {
 		sizes = []int{16, 64}
 	}
-	var out []ExperimentTime
-	for _, cse := range []struct {
+	cases := []struct {
 		label string
 		prog  *suite.Program
 	}{
 		{"(Blk,Blk)", suite.LaplaceBB()},
 		{"(Blk,*)", suite.LaplaceBX()},
 		{"(*,Blk)", suite.LaplaceXB()},
-	} {
+	}
+	type point struct{ cse, sizeIdx int }
+	var pts []point
+	for c := range cases {
+		for s := range sizes {
+			pts = append(pts, point{cse: c, sizeIdx: s})
+		}
+	}
+	eng := cfg.engine()
+	res, err := sweep.Map(eng, len(pts), func(k int) (float64, error) {
+		pt := pts[k]
+		src := cases[pt.cse].prog.Source(sizes[pt.sizeIdx], 4)
+		_, meas, err := eng.EstimateAndMeasure(src, cfg.Runs, cfg.Perturb)
+		return meas, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ExperimentTime
+	for c, cse := range cases {
 		et := ExperimentTime{Impl: cse.label}
 		et.InterpreterMin = wm.InterpSetupMin
-		for _, n := range sizes {
-			src := cse.prog.Source(n, 4)
-			_, meas, err := EstimateAndMeasure(src, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for s := range sizes {
+			meas := res[c*len(sizes)+s]
 			// Measured workflow: full edit-compile-transfer-load cycle plus
 			// the timed runs on the machine.
 			runMin := meas / 1e6 / 60 * float64(wm.TimedRuns)

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"math"
 	"strings"
 	"testing"
 
 	"hpfperf/internal/suite"
+	"hpfperf/internal/sweep"
 )
 
 func TestEstimateAndMeasure(t *testing.T) {
@@ -61,6 +64,122 @@ func TestTable2AccuracyBandsQuick(t *testing.T) {
 	text := RenderTable2(rows)
 	if !strings.Contains(text, "LFK 1") || !strings.Contains(text, "Max Abs Error") {
 		t.Errorf("table rendering incomplete:\n%s", text)
+	}
+}
+
+func TestErrPctDivergentZeroMeasurement(t *testing.T) {
+	// A prediction that diverges from a zero measurement is unboundedly
+	// wrong — it must not be reported as a perfect 0%.
+	p := AccuracyPoint{EstUS: 42, MeasUS: 0}
+	if e := p.ErrPct(); !math.IsInf(e, 1) {
+		t.Errorf("ErrPct = %g, want +Inf", e)
+	}
+	// Agreeing on zero really is a perfect prediction.
+	if e := (AccuracyPoint{}).ErrPct(); e != 0 {
+		t.Errorf("ErrPct of 0/0 = %g, want 0", e)
+	}
+}
+
+func TestEmptyRowDistinguishableFromPerfect(t *testing.T) {
+	empty := AccuracyRow{Name: "empty"}
+	if e := empty.MinErrPct(); !math.IsNaN(e) {
+		t.Errorf("empty MinErrPct = %g, want NaN", e)
+	}
+	if e := empty.MaxErrPct(); !math.IsNaN(e) {
+		t.Errorf("empty MaxErrPct = %g, want NaN", e)
+	}
+	divergent := AccuracyRow{Name: "divergent", Points: []AccuracyPoint{{EstUS: 1, MeasUS: 0}}}
+	txt := RenderTable2([]AccuracyRow{empty, divergent})
+	if !strings.Contains(txt, "n/a") {
+		t.Errorf("empty row not rendered as n/a:\n%s", txt)
+	}
+	if !strings.Contains(txt, ">100%") {
+		t.Errorf("divergent point not rendered as >100%%:\n%s", txt)
+	}
+	if strings.Contains(txt, "NaN") || strings.Contains(txt, "Inf") {
+		t.Errorf("raw float sentinels leaked into the table:\n%s", txt)
+	}
+}
+
+func TestQuickSweepRespectsDeclaredProcs(t *testing.T) {
+	// Quick mode must intersect {1, 4} with the program's declared
+	// system sizes, never invent an undeclared one.
+	base := suite.PI()
+	onlyOne := &suite.Program{Name: "only-1", Sizes: []int{128}, Procs: []int{1, 2}, Source: base.Source}
+	row, err := Table2Row(onlyOne, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Points) != 1 || row.Points[0].Procs != 1 {
+		t.Fatalf("points = %+v, want single sweep at declared 1 proc", row.Points)
+	}
+
+	// A program declaring neither 1 nor 4 falls back to its own list.
+	noQuick := &suite.Program{Name: "no-quick", Sizes: []int{128}, Procs: []int{2, 8}, Source: base.Source}
+	row, err = Table2Row(noQuick, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(row.Points))
+	}
+	for _, pt := range row.Points {
+		if pt.Procs != 2 && pt.Procs != 8 {
+			t.Errorf("swept at undeclared system size %d", pt.Procs)
+		}
+	}
+}
+
+// TestTable2ConcurrentLogWriters drives the full flattened point grid
+// with every point logging to one shared writer; under `go test -race`
+// this verifies the sweep engine's concurrent points serialize their
+// log output.
+func TestTable2ConcurrentLogWriters(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := QuickConfig()
+	cfg.Log = &buf
+	cfg.Engine = sweep.New(sweep.Options{Workers: 8})
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := 0
+	for _, r := range rows {
+		want += len(r.Points)
+	}
+	if len(lines) != want {
+		t.Errorf("log lines = %d, want one per point (%d)", len(lines), want)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "est=") || !strings.Contains(line, "meas=") {
+			t.Errorf("interleaved/corrupt log line: %q", line)
+		}
+	}
+}
+
+// TestSweepCacheReuseAcrossFigures asserts Figure 8 is served from the
+// programs Figures 4/5 already compiled on a shared engine.
+func TestSweepCacheReuseAcrossFigures(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Engine = sweep.New(sweep.Options{})
+	if _, err := Figure45(4, cfg); err != nil {
+		t.Fatal(err)
+	}
+	compilesAfter45 := cfg.Engine.Snapshot().Compiles
+	if _, err := Figure8(cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Engine.Snapshot()
+	if snap.Compiles != compilesAfter45 {
+		t.Errorf("Figure 8 recompiled: %d -> %d compiles, want all cache hits",
+			compilesAfter45, snap.Compiles)
+	}
+	if snap.CompileHits == 0 {
+		t.Error("no compile-cache hits across figures")
 	}
 }
 

@@ -1,0 +1,197 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/core"
+	"hpfperf/internal/hir"
+)
+
+// Cache memoizes the results of the compilation pipeline (and of whole
+// interpretation runs) across sweep points. It is safe for concurrent
+// use; a key being built by one worker blocks other workers asking for
+// the same key (single-flight), so each distinct (source, options) pair
+// is compiled exactly once no matter how many workers race for it.
+//
+// Cached *hir.Program and *core.Report values are shared between
+// callers: both are treated as immutable after construction everywhere
+// in this module (the simulator and the report renderers only read
+// them), which is what makes the memoization sound.
+type Cache struct {
+	mu       sync.Mutex
+	compiles map[string]*compileEntry
+	reports  map[string]*reportEntry
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		compiles: make(map[string]*compileEntry),
+		reports:  make(map[string]*reportEntry),
+	}
+}
+
+type compileEntry struct {
+	once sync.Once
+	prog *hir.Program
+	err  error
+}
+
+type reportEntry struct {
+	once sync.Once
+	rep  *core.Report
+	err  error
+}
+
+// srcHash fingerprints source text. Sources are generated per (size,
+// procs) point and can be tens of kilobytes; hashing keeps the key map
+// small and comparison O(1).
+func srcHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:16])
+}
+
+// compileKey is srcHash + the compile options that affect the produced
+// program.
+func compileKey(src string, opts compiler.Options) string {
+	return fmt.Sprintf("%s|commopt=%t|reorder=%t", srcHash(src), !opts.NoCommOpt, !opts.NoLoopReorder)
+}
+
+// interpFingerprint renders core.Options deterministically, or reports
+// that the options cannot be fingerprinted (an injected CommLibrary has
+// no stable identity across mutations, so such runs are never cached).
+func interpFingerprint(opts core.Options) (string, bool) {
+	if opts.CommLibrary != nil {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mem=%t|load=%d|mask=%g|branch=%g|simple=%t",
+		opts.MemoryModel, opts.LoadModel, opts.MaskDensity, opts.BranchProb, opts.SimpleCommModel)
+	if len(opts.TripCounts) > 0 {
+		lines := make([]int, 0, len(opts.TripCounts))
+		for l := range opts.TripCounts {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			fmt.Fprintf(&b, "|trip%d=%d", l, opts.TripCounts[l])
+		}
+	}
+	if len(opts.Values) > 0 {
+		names := make([]string, 0, len(opts.Values))
+		for n := range opts.Values {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			v := opts.Values[n]
+			fmt.Fprintf(&b, "|val%s=%d:%d:%g:%t", n, v.Type, v.I, v.R, v.B)
+		}
+	}
+	return b.String(), true
+}
+
+// Compile returns the compiled program for (src, opts), running the
+// scanner→parser→sem→compiler pipeline at most once per key. Counter
+// updates go to stats (may be nil).
+func (c *Cache) Compile(src string, opts compiler.Options, stats *Stats) (*hir.Program, error) {
+	key := compileKey(src, opts)
+	c.mu.Lock()
+	e, ok := c.compiles[key]
+	if !ok {
+		e = &compileEntry{}
+		c.compiles[key] = e
+	}
+	c.mu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		start := time.Now()
+		e.prog, e.err = compiler.CompileWith(src, opts)
+		if stats != nil {
+			stats.Compiles.Add(1)
+			stats.CompileNS.Add(int64(time.Since(start)))
+		}
+	})
+	if stats != nil {
+		if hit {
+			stats.CompileHits.Add(1)
+		} else {
+			stats.CompileMisses.Add(1)
+		}
+	}
+	return e.prog, e.err
+}
+
+// Interpret returns the interpretation report for (src, copts, iopts)
+// on the default machine abstraction, memoizing whole reports when the
+// options are fingerprintable. Compilation always goes through the
+// compile cache.
+func (c *Cache) Interpret(src string, copts compiler.Options, iopts core.Options, stats *Stats) (*core.Report, error) {
+	fp, cacheable := interpFingerprint(iopts)
+	if !cacheable {
+		prog, err := c.Compile(src, copts, stats)
+		if err != nil {
+			return nil, err
+		}
+		return runInterp(prog, iopts, stats)
+	}
+
+	key := compileKey(src, copts) + "|" + fp
+	c.mu.Lock()
+	e, ok := c.reports[key]
+	if !ok {
+		e = &reportEntry{}
+		c.reports[key] = e
+	}
+	c.mu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		var prog *hir.Program
+		prog, e.err = c.Compile(src, copts, stats)
+		if e.err != nil {
+			return
+		}
+		e.rep, e.err = runInterp(prog, iopts, stats)
+	})
+	if stats != nil {
+		if hit {
+			stats.ReportHits.Add(1)
+		} else {
+			stats.ReportMisses.Add(1)
+		}
+	}
+	return e.rep, e.err
+}
+
+func runInterp(prog *hir.Program, iopts core.Options, stats *Stats) (*core.Report, error) {
+	start := time.Now()
+	it, err := core.New(prog, nil, iopts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := it.Interpret()
+	if stats != nil {
+		stats.Interps.Add(1)
+		stats.InterpNS.Add(int64(time.Since(start)))
+	}
+	return rep, err
+}
+
+// Len reports how many compiled programs the cache holds (for tests and
+// diagnostics).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.compiles)
+}

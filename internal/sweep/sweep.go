@@ -1,0 +1,173 @@
+// Package sweep is the shared point-level evaluation engine behind the
+// experiment harness (§5's tables and figures) and the autotune
+// directive search. It flattens arbitrary (program × size × procs)
+// point grids — and directive-candidate lists — into one bounded worker
+// pool with deterministic result ordering, and memoizes the compilation
+// pipeline (and whole interpretation runs) so repeated variants of the
+// same source skip scanner→parser→sem→compiler entirely.
+//
+// The paper's central claim (§5.3, Figure 8) is that interpretation is
+// cheap enough to replace measurement in the experimentation loop; this
+// package is what keeps the reproduction's own loop cheap: hundreds of
+// sweep points share one pool and one cache instead of recompiling from
+// scratch point by point.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/core"
+	"hpfperf/internal/exec"
+	"hpfperf/internal/hir"
+	"hpfperf/internal/ipsc"
+)
+
+// Engine couples a bounded worker pool with a compile/prediction cache
+// and a stats block. Engines are cheap; several engines may share one
+// Cache and/or one Stats.
+type Engine struct {
+	workers int
+	cache   *Cache
+	stats   *Stats
+}
+
+// Options configure a new engine.
+type Options struct {
+	// Workers bounds pool concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache supplies a shared memoization cache; nil creates a private one.
+	Cache *Cache
+	// Stats receives counters; nil creates a private block.
+	Stats *Stats
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	e := &Engine{workers: opts.Workers, cache: opts.Cache, stats: opts.Stats}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.cache == nil {
+		e.cache = NewCache()
+	}
+	if e.stats == nil {
+		e.stats = &Stats{}
+	}
+	return e
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide shared engine. Its cache is what
+// lets Figure 8 reuse the Laplace programs already compiled for
+// Figures 4/5, and repeated autotune searches reuse each other's
+// variants.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	return defaultEngine
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's memoization cache.
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Stats returns the engine's live counter block.
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// Snapshot returns a consistent copy of the engine's counters.
+func (e *Engine) Snapshot() Snapshot { return e.stats.Snapshot() }
+
+// Map evaluates fn(0..n-1) on the engine's worker pool and returns the
+// results in index order: results[i] is fn(i) regardless of completion
+// order, so sweeps stay byte-identical to their serial form. On
+// failures the error of the lowest failing index is returned (matching
+// what a serial loop would have surfaced first); results of successful
+// points are still filled in.
+func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	start := time.Now()
+	errs := make([]error, n)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	e.stats.Points.Add(int64(n))
+	e.stats.WallNS.Add(int64(time.Since(start)))
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Compile returns the compiled program for src via the engine's cache.
+func (e *Engine) Compile(src string, opts compiler.Options) (*hir.Program, error) {
+	return e.cache.Compile(src, opts, e.stats)
+}
+
+// Interpret compiles (cached) and interprets (cached when the options
+// are fingerprintable) src on the default machine abstraction.
+func (e *Engine) Interpret(src string, copts compiler.Options, iopts core.Options) (*core.Report, error) {
+	return e.cache.Interpret(src, copts, iopts, e.stats)
+}
+
+// EstimateAndMeasure is the per-point body of every accuracy sweep: it
+// compiles src once (cached), interprets it for the estimated time
+// (cached) and executes it on the simulated iPSC/860 for the measured
+// time. runs <= 0 means one timed run; perturb is the measured-run load
+// fluctuation amplitude.
+func (e *Engine) EstimateAndMeasure(src string, runs int, perturb float64) (estUS, measUS float64, err error) {
+	prog, err := e.Compile(src, compiler.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	rep, err := e.Interpret(src, compiler.Options{}, core.DefaultOptions())
+	if err != nil {
+		return 0, 0, err
+	}
+	mcfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
+	mcfg.PerturbAmp = perturb
+	m, err := ipsc.New(mcfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	start := time.Now()
+	res, err := exec.Run(prog, m, exec.Options{Runs: runs})
+	e.stats.Execs.Add(1)
+	e.stats.ExecNS.Add(int64(time.Since(start)))
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.TotalUS(), res.MeasuredUS, nil
+}
