@@ -1,0 +1,92 @@
+// Command hpfserve runs the HPF/Fortran 90D performance-interpretation
+// framework as a long-running HTTP/JSON service: POST /v1/predict
+// interprets a program, /v1/measure executes it on the simulated
+// iPSC/860, /v1/autotune searches directive variants; GET /healthz and
+// /metrics expose liveness and counters. Requests share one bounded
+// worker pool and one bounded LRU compile/report cache, honor
+// per-request deadlines, and drain gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	hpfserve -addr :8080
+//	curl -s localhost:8080/v1/predict -d '{"source":"..."}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hpfperf/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 0, "LRU cache capacity in entries per kind (0 = default)")
+		maxBody    = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+		maxConc    = flag.Int("max-concurrent", 0, "simultaneous request cap (0 = 4x workers)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested timeouts")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
+		quiet      = flag.Bool("quiet", false, "suppress request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "hpfserve: ", log.LstdFlags|log.Lmicroseconds)
+	var reqLog *log.Logger
+	if !*quiet {
+		reqLog = logger
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		CacheEntries:   *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		MaxConcurrent:  *maxConc,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            reqLog,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d)", *addr, srv.Engine().Workers())
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down; draining in-flight requests (budget %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	snap := srv.Engine().Snapshot()
+	fmt.Fprintf(os.Stderr, "%s\n", snap)
+	logger.Printf("bye")
+}

@@ -20,6 +20,7 @@
 package hpfperf
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -168,6 +169,14 @@ type Prediction struct {
 // Predict interprets the performance of a compiled program on the
 // abstracted target machine (opts may be nil: iPSC/860 defaults).
 func Predict(p *Program, opts *PredictOptions) (*Prediction, error) {
+	return PredictContext(context.Background(), p, opts)
+}
+
+// PredictContext is Predict with cooperative cancellation: once ctx
+// ends, the interpretation (including the off-line machine calibration
+// step) stops and returns the ctx error. This is what lets a
+// long-running service (cmd/hpfserve) honor per-request deadlines.
+func PredictContext(ctx context.Context, p *Program, opts *PredictOptions) (*Prediction, error) {
 	var machName string
 	if opts != nil {
 		machName = opts.Machine
@@ -176,7 +185,7 @@ func Predict(p *Program, opts *PredictOptions) (*Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	it, err := core.New(p.hir, mach, opts.toCore())
+	it, err := core.NewContext(ctx, p.hir, mach, opts.toCore())
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +296,13 @@ type Measurement struct {
 // Measure executes the compiled program on the simulated iPSC/860
 // (opts may be nil for defaults).
 func Measure(p *Program, opts *MeasureOptions) (*Measurement, error) {
+	return MeasureContext(context.Background(), p, opts)
+}
+
+// MeasureContext is Measure with cooperative cancellation: the
+// simulator's statement loop observes ctx, so a timed-out request
+// escapes mid-run instead of simulating to completion.
+func MeasureContext(ctx context.Context, p *Program, opts *MeasureOptions) (*Measurement, error) {
 	cfg := ipsc.DefaultConfig(p.Processors())
 	runs := 1
 	if opts != nil && opts.Machine != "" {
@@ -317,7 +333,7 @@ func Measure(p *Program, opts *MeasureOptions) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(p.hir, m, exec.Options{Runs: runs})
+	res, err := exec.RunContext(ctx, p.hir, m, exec.Options{Runs: runs})
 	if err != nil {
 		return nil, err
 	}
@@ -360,17 +376,23 @@ type Ranked struct {
 // evaluated concurrently on the shared sweep engine; repeated sources
 // are compiled once.
 func SelectDistribution(cands []Candidate, opts *PredictOptions) ([]Ranked, error) {
+	return SelectDistributionContext(context.Background(), cands, opts)
+}
+
+// SelectDistributionContext is SelectDistribution with cooperative
+// cancellation of the candidate sweep.
+func SelectDistributionContext(ctx context.Context, cands []Candidate, opts *PredictOptions) ([]Ranked, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("hpfperf: no candidates")
 	}
 	eng := sweep.Default()
-	out, err := sweep.Map(eng, len(cands), func(i int) (Ranked, error) {
+	out, err := sweep.MapCtx(ctx, eng, len(cands), func(i int) (Ranked, error) {
 		c := cands[i]
-		prog, err := eng.Compile(c.Source, compiler.Options{})
+		prog, err := eng.CompileContext(ctx, c.Source, compiler.Options{})
 		if err != nil {
 			return Ranked{}, fmt.Errorf("%s: %w", c.Name, err)
 		}
-		pred, err := Predict(&Program{hir: prog}, opts)
+		pred, err := PredictContext(ctx, &Program{hir: prog}, opts)
 		if err != nil {
 			return Ranked{}, fmt.Errorf("%s: %w", c.Name, err)
 		}
@@ -417,6 +439,12 @@ type AutoDistributeOptions struct {
 // intelligent-compiler capability the paper proposes as future work.
 // The first candidate's Source is the recommended program.
 func AutoDistribute(src string, procs int, opts *AutoDistributeOptions) ([]AutoCandidate, error) {
+	return AutoDistributeContext(context.Background(), src, procs, opts)
+}
+
+// AutoDistributeContext is AutoDistribute with cooperative cancellation
+// of the directive-variant sweep.
+func AutoDistributeContext(ctx context.Context, src string, procs int, opts *AutoDistributeOptions) ([]AutoCandidate, error) {
 	var aOpts autotune.Options
 	aOpts.Procs = procs
 	if opts != nil {
@@ -425,7 +453,7 @@ func AutoDistribute(src string, procs int, opts *AutoDistributeOptions) ([]AutoC
 	} else {
 		aOpts.Interp = (*PredictOptions)(nil).toCore()
 	}
-	cands, err := autotune.Search(src, aOpts)
+	cands, err := autotune.SearchContext(ctx, src, aOpts)
 	if err != nil {
 		return nil, err
 	}

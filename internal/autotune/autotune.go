@@ -8,6 +8,7 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,6 +68,12 @@ type Options struct {
 // sweep worker pool (cached compiles, deterministic candidate order),
 // and returns them ranked by predicted time (invalid variants last).
 func Search(src string, opts Options) ([]Candidate, error) {
+	return SearchContext(context.Background(), src, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: once ctx ends
+// no further candidates are dispatched and the ctx error is returned.
+func SearchContext(ctx context.Context, src string, opts Options) ([]Candidate, error) {
 	if opts.Procs <= 0 {
 		return nil, fmt.Errorf("autotune: Procs must be positive")
 	}
@@ -101,10 +108,13 @@ func Search(src string, opts Options) ([]Candidate, error) {
 	}
 	// Candidate evaluations are independent; Map preserves index order,
 	// so the stable rank below stays byte-identical to a serial loop.
-	sweep.Map(eng, len(out), func(i int) (struct{}, error) {
-		evalCandidate(&out[i], eng, opts.Interp)
-		return struct{}{}, nil
+	_, err = sweep.MapCtx(ctx, eng, len(out), func(i int) (struct{}, error) {
+		evalCandidate(ctx, &out[i], eng, opts.Interp)
+		return struct{}{}, ctx.Err()
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].EstUS < out[j].EstUS })
 	return out, nil
 }
@@ -269,9 +279,9 @@ func buildCandidate(src string, shape *programShape, grid []int, formats []strin
 }
 
 // evalCandidate compiles (cached) and interprets one variant.
-func evalCandidate(c *Candidate, eng *sweep.Engine, interp core.Options) {
+func evalCandidate(ctx context.Context, c *Candidate, eng *sweep.Engine, interp core.Options) {
 	const invalid = 1e308
-	rep, err := eng.Interpret(c.Source, compiler.Options{}, interp)
+	rep, err := eng.InterpretContext(ctx, c.Source, compiler.Options{}, interp)
 	if err != nil {
 		c.EstUS, c.Err = invalid, err
 		return

@@ -1,0 +1,55 @@
+package compiler
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpfperf/internal/suite"
+)
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.hpf"))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("seed %s: %v", p, err)
+		}
+		f.Add(string(b))
+	}
+	for _, prog := range suite.All() {
+		f.Add(prog.Source(prog.Sizes[0], prog.Procs[0]))
+	}
+	// Semantically suspicious but parseable shapes: undistributed use,
+	// rank mismatches, alignment to a missing template.
+	f.Add("      PROGRAM P\n      REAL A(10)\n      A(11) = 1.0\n      END\n")
+	f.Add("      PROGRAM P\n!HPF$ PROCESSORS Q(0)\n      END\n")
+	f.Add("      PROGRAM P\n      REAL A(4,4)\n!HPF$ ALIGN A WITH T\n      END\n")
+}
+
+// FuzzCompile runs the whole front end (scan, parse, semantic analysis,
+// lowering, optimization) on arbitrary input, asserting it never panics
+// and that every diagnostic carries a valid line number.
+func FuzzCompile(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := CompileWith(src, Options{})
+		if err == nil && prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+		if err != nil {
+			var ce *Error
+			if errors.As(err, &ce) && ce.Pos.Line < 1 {
+				t.Fatalf("compile error %q at invalid line %d", ce.Msg, ce.Pos.Line)
+			}
+		}
+		// Optimization flags must not change acceptance: a program that
+		// compiles with comm-opt must also compile without it (a mismatch
+		// would mean the optimizer introduces or masks rejections).
+		if _, err2 := CompileWith(src, Options{NoCommOpt: true, NoLoopReorder: true}); (err == nil) != (err2 == nil) {
+			t.Fatalf("optimization flags changed acceptance: opt=%v noopt=%v", err, err2)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -123,11 +124,21 @@ type Interpreter struct {
 	warnings []string
 	pinned   map[string]bool // user-specified critical values never invalidated
 	clock    float64         // running global clock (predicted microseconds)
+
+	ctx       context.Context // cooperative cancellation for Interpret
+	ctxStride int             // AAU interpretations since the last ctx check
 }
 
 // New builds an interpreter for a compiled program on the given machine
 // abstraction.
 func New(prog *hir.Program, mach *sysmodel.Machine, opts Options) (*Interpreter, error) {
+	return NewContext(context.Background(), prog, mach, opts)
+}
+
+// NewContext builds an interpreter whose calibration step and Interpret
+// run honor ctx: once ctx ends, interpretation stops at the next AAU
+// boundary and returns the ctx error instead of a report.
+func NewContext(ctx context.Context, prog *hir.Program, mach *sysmodel.Machine, opts Options) (*Interpreter, error) {
 	if mach == nil {
 		mach = sysmodel.IPSC860()
 	}
@@ -144,7 +155,7 @@ func New(prog *hir.Program, mach *sysmodel.Machine, opts Options) (*Interpreter,
 	lib := opts.CommLibrary
 	if lib == nil {
 		var err error
-		lib, err = ipsc.CalibrateMachine(mach, procs)
+		lib, err = ipsc.CalibrateMachineContext(ctx, mach, procs)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +164,7 @@ func New(prog *hir.Program, mach *sysmodel.Machine, opts Options) (*Interpreter,
 	for k := range opts.Values {
 		pinned[k] = true
 	}
-	return &Interpreter{prog: prog, mach: mach, lib: lib, opts: opts, pinned: pinned}, nil
+	return &Interpreter{prog: prog, mach: mach, lib: lib, opts: opts, pinned: pinned, ctx: ctx}, nil
 }
 
 // Interpret runs the interpretation algorithm over the SAAG and returns
@@ -371,9 +382,23 @@ func (it *Interpreter) add(a *AAU, mult float64, m Metrics) Metrics {
 	return m
 }
 
+// ctxCheckStride bounds how many AAU interpretations may pass between
+// cooperative cancellation checks. The interpretation algorithm visits
+// each AAU a bounded number of times (bodies are interpreted once and
+// scaled, not iterated), so the stride keeps the check off the common
+// path while still bounding cancellation latency for deeply conditional
+// programs.
+const ctxCheckStride = 64
+
 func (it *Interpreter) interpAAUs(aaus []*AAU, env absEnv, mult float64) (Metrics, error) {
 	var total Metrics
 	for _, a := range aaus {
+		if it.ctxStride++; it.ctxStride >= ctxCheckStride {
+			it.ctxStride = 0
+			if err := it.ctx.Err(); err != nil {
+				return total, err
+			}
+		}
 		m, err := it.interpAAU(a, env, mult)
 		if err != nil {
 			return total, err

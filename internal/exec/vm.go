@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -49,6 +50,7 @@ type VM struct {
 	prog    *hir.Program
 	mach    *ipsc.Machine
 	grid    *dist.Grid
+	ctx     context.Context
 	arrays  map[string]*array
 	env     map[string]val
 	costs   map[hir.Stmt]*stCost
@@ -61,6 +63,14 @@ type VM struct {
 
 // Run compiles-in and executes the program, averaging opts.Runs timed runs.
 func Run(prog *hir.Program, mach *ipsc.Machine, opts Options) (*Result, error) {
+	return RunContext(context.Background(), prog, mach, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the statement loop
+// checks ctx every ctxCheckSteps executed statements, so a cancelled or
+// timed-out request escapes a long simulation mid-sweep instead of
+// running it to completion.
+func RunContext(ctx context.Context, prog *hir.Program, mach *ipsc.Machine, opts Options) (*Result, error) {
 	if opts.Runs <= 0 {
 		opts.Runs = 1
 	}
@@ -82,7 +92,7 @@ func Run(prog *hir.Program, mach *ipsc.Machine, opts Options) (*Result, error) {
 	outs := make([]runOut, opts.Runs)
 	oneRun := func(run int) {
 		m := mach.CloneForRun(run)
-		vm := &VM{prog: prog, mach: m, grid: grid, maxStep: opts.MaxSteps}
+		vm := &VM{prog: prog, mach: m, grid: grid, ctx: ctx, maxStep: opts.MaxSteps}
 		vm.coords = make([][]int, grid.Size())
 		for r := 0; r < grid.Size(); r++ {
 			vm.coords[r] = grid.Coords(r)
@@ -192,10 +202,20 @@ func (vm *VM) execStmts(ss []hir.Stmt, pc []int) error {
 	return nil
 }
 
+// ctxCheckSteps is how many executed statements may pass between
+// cooperative cancellation checks; at simulator speeds this bounds
+// cancellation latency well below a millisecond.
+const ctxCheckSteps = 1024
+
 func (vm *VM) tick() error {
 	vm.steps++
 	if vm.steps > vm.maxStep {
 		return vm.rtErrf("execution exceeded %d statements (runaway loop?)", vm.maxStep)
+	}
+	if vm.steps%ctxCheckSteps == 0 {
+		if err := vm.ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

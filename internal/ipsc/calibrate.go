@@ -1,6 +1,10 @@
 package ipsc
 
-import "hpfperf/internal/sysmodel"
+import (
+	"context"
+
+	"hpfperf/internal/sysmodel"
+)
 
 // This file reproduces the paper's off-line system characterization
 // methodology (§4.4): "The communication component was parameterized
@@ -95,6 +99,13 @@ func Calibrate(n int) (*CommLibrary, error) {
 // linear models. It mirrors the paper's one-time off-line system
 // abstraction step.
 func CalibrateMachine(base *sysmodel.Machine, n int) (*CommLibrary, error) {
+	return CalibrateMachineContext(context.Background(), base, n)
+}
+
+// CalibrateMachineContext is CalibrateMachine with cooperative
+// cancellation between benchmark points, so a cancelled request does
+// not pay for the remaining characterization sweep.
+func CalibrateMachineContext(ctx context.Context, base *sysmodel.Machine, n int) (*CommLibrary, error) {
 	cfg := DefaultConfig(n)
 	cfg.Base = base
 	cfg.PerturbAmp = 0
@@ -144,6 +155,9 @@ func CalibrateMachine(base *sysmodel.Machine, n int) (*CommLibrary, error) {
 				})
 		})
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var xs, ys []float64
 	for _, s := range []int{4, 8, 16, 32} {
@@ -151,10 +165,16 @@ func CalibrateMachine(base *sysmodel.Machine, n int) (*CommLibrary, error) {
 		ys = append(ys, time(func() { m.AllReduce(s) }))
 	}
 	lib.Reduce = fitLine(xs, ys)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	lib.Bcast = fitBoth(func(s int) float64 {
 		return time(func() { m.Broadcast(0, s) })
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	lib.Gather = fitBoth(func(s int) float64 {
 		local := s / n

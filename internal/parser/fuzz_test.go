@@ -1,0 +1,65 @@
+package parser
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpfperf/internal/suite"
+)
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.hpf"))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("seed %s: %v", p, err)
+		}
+		f.Add(string(b))
+	}
+	for _, prog := range suite.All() {
+		f.Add(prog.Source(prog.Sizes[0], prog.Procs[0]))
+	}
+	// Degenerate program shapes.
+	f.Add("")
+	f.Add("      END")
+	f.Add("      PROGRAM P\n      END PROGRAM P\n")
+	f.Add("      DO I = 1, 10\n")
+	f.Add("      IF (X) THEN\n      ELSE\n")
+	f.Add("!HPF$ DISTRIBUTE A(BLOCK,CYCLIC) ONTO\n")
+	f.Add("      FORALL (I=1:N) A(I) = A(I\n")
+}
+
+// FuzzParser asserts the parser never panics on arbitrary input and that
+// every reported syntax error carries a valid 1-based line number — the
+// property the interactive tooling (hpfserve, hpfpc) relies on to anchor
+// diagnostics to source lines.
+func FuzzParser(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil {
+			if prog == nil {
+				t.Fatal("nil program with nil error")
+			}
+			return
+		}
+		var list ErrorList
+		if errors.As(err, &list) {
+			for _, e := range list {
+				if e.Pos.Line < 1 {
+					t.Fatalf("syntax error %q at invalid line %d", e.Msg, e.Pos.Line)
+				}
+			}
+			return
+		}
+		var one *Error
+		if errors.As(err, &one) {
+			if one.Pos.Line < 1 {
+				t.Fatalf("syntax error %q at invalid line %d", one.Msg, one.Pos.Line)
+			}
+		}
+	})
+}

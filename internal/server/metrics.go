@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"hpfperf/internal/sweep"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request latency
+// histogram, chosen to straddle the spread between a cache-hit predict
+// (~µs) and a full measurement sweep (~s).
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// histogram is a fixed-bucket latency histogram with atomic counters
+// (one per route; written on every request, read by /metrics).
+type histogram struct {
+	counts []atomic.Int64 // len(latencyBuckets)+1; last is +Inf
+	sumNS  atomic.Int64
+	total  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(seconds * 1e9))
+	h.total.Add(1)
+}
+
+// metrics aggregates the server's own counters. Sweep-engine counters
+// (compiles, cache hits, evictions) are read live from the engine at
+// render time rather than duplicated here.
+type metrics struct {
+	requests map[string]*atomic.Int64 // "route|code" -> count
+	latency  map[string]*histogram    // route -> histogram
+	inflight atomic.Int64
+	rejected atomic.Int64 // requests refused by the concurrency gate
+	panics   atomic.Int64 // handler panics recovered
+}
+
+func newMetrics(routes []string) *metrics {
+	m := &metrics{
+		requests: make(map[string]*atomic.Int64),
+		latency:  make(map[string]*histogram),
+	}
+	for _, r := range routes {
+		m.latency[r] = newHistogram()
+	}
+	return m
+}
+
+// countRequest records a completed request. The requests map is only
+// grown under the registry lock of Server.recordRequest.
+func (m *metrics) key(route string, code int) string {
+	return fmt.Sprintf("%s|%d", route, code)
+}
+
+// render writes the Prometheus text exposition of the server counters
+// plus the live sweep-engine and cache counters.
+func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.CacheStats) {
+	fmt.Fprintf(b, "# HELP hpfserve_requests_total Completed requests by route and status code.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "|", 2)
+		fmt.Fprintf(b, "hpfserve_requests_total{route=%q,code=%q} %d\n", parts[0], parts[1], m.requests[k].Load())
+	}
+
+	fmt.Fprintf(b, "# HELP hpfserve_request_duration_seconds Request latency by route.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_request_duration_seconds histogram\n")
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		h := m.latency[r]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(b, "hpfserve_request_duration_seconds_sum{route=%q} %g\n", r, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(b, "hpfserve_request_duration_seconds_count{route=%q} %d\n", r, h.total.Load())
+	}
+
+	fmt.Fprintf(b, "# HELP hpfserve_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_inflight_requests gauge\n")
+	fmt.Fprintf(b, "hpfserve_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_rejected_total Requests refused by the concurrency gate or during drain.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_rejected_total counter\n")
+	fmt.Fprintf(b, "hpfserve_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_panics_total Handler panics recovered into error responses.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_panics_total counter\n")
+	fmt.Fprintf(b, "hpfserve_panics_total %d\n", m.panics.Load())
+
+	fmt.Fprintf(b, "# HELP sweep_stage_runs_total Pipeline stage executions (cache misses that did work).\n")
+	fmt.Fprintf(b, "# TYPE sweep_stage_runs_total counter\n")
+	fmt.Fprintf(b, "sweep_stage_runs_total{stage=\"compile\"} %d\n", snap.Compiles)
+	fmt.Fprintf(b, "sweep_stage_runs_total{stage=\"interpret\"} %d\n", snap.Interps)
+	fmt.Fprintf(b, "sweep_stage_runs_total{stage=\"execute\"} %d\n", snap.Execs)
+	fmt.Fprintf(b, "# HELP sweep_stage_seconds_total Cumulative wall time per pipeline stage.\n")
+	fmt.Fprintf(b, "# TYPE sweep_stage_seconds_total counter\n")
+	fmt.Fprintf(b, "sweep_stage_seconds_total{stage=\"compile\"} %g\n", snap.CompileTime.Seconds())
+	fmt.Fprintf(b, "sweep_stage_seconds_total{stage=\"interpret\"} %g\n", snap.InterpTime.Seconds())
+	fmt.Fprintf(b, "sweep_stage_seconds_total{stage=\"execute\"} %g\n", snap.ExecTime.Seconds())
+	fmt.Fprintf(b, "# HELP sweep_cache_lookups_total Cache lookups by kind and outcome.\n")
+	fmt.Fprintf(b, "# TYPE sweep_cache_lookups_total counter\n")
+	fmt.Fprintf(b, "sweep_cache_lookups_total{kind=\"compile\",outcome=\"hit\"} %d\n", snap.CompileHits)
+	fmt.Fprintf(b, "sweep_cache_lookups_total{kind=\"compile\",outcome=\"miss\"} %d\n", snap.CompileMisses)
+	fmt.Fprintf(b, "sweep_cache_lookups_total{kind=\"report\",outcome=\"hit\"} %d\n", snap.ReportHits)
+	fmt.Fprintf(b, "sweep_cache_lookups_total{kind=\"report\",outcome=\"miss\"} %d\n", snap.ReportMisses)
+	fmt.Fprintf(b, "# HELP sweep_cache_entries Live entries in the bounded LRU cache.\n")
+	fmt.Fprintf(b, "# TYPE sweep_cache_entries gauge\n")
+	fmt.Fprintf(b, "sweep_cache_entries{kind=\"compile\"} %d\n", cs.CompileEntries)
+	fmt.Fprintf(b, "sweep_cache_entries{kind=\"report\"} %d\n", cs.ReportEntries)
+	fmt.Fprintf(b, "# HELP sweep_cache_capacity_entries Per-kind LRU capacity.\n")
+	fmt.Fprintf(b, "# TYPE sweep_cache_capacity_entries gauge\n")
+	fmt.Fprintf(b, "sweep_cache_capacity_entries %d\n", cs.Cap)
+	fmt.Fprintf(b, "# HELP sweep_cache_evictions_total LRU evictions by kind.\n")
+	fmt.Fprintf(b, "# TYPE sweep_cache_evictions_total counter\n")
+	fmt.Fprintf(b, "sweep_cache_evictions_total{kind=\"compile\"} %d\n", cs.CompileEvictions)
+	fmt.Fprintf(b, "sweep_cache_evictions_total{kind=\"report\"} %d\n", cs.ReportEvictions)
+}

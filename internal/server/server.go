@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpfperf/internal/autotune"
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/exec"
+	"hpfperf/internal/ipsc"
+	"hpfperf/internal/report"
+	"hpfperf/internal/sweep"
+	"hpfperf/internal/sysmodel"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine evaluates requests (worker pool + bounded cache); nil
+	// creates a private engine with CacheEntries capacity.
+	Engine *sweep.Engine
+	// CacheEntries bounds the private engine's LRU cache (<= 0 uses
+	// sweep.DefaultCacheEntries). Ignored when Engine is set.
+	CacheEntries int
+	// Workers bounds the private engine's pool (<= 0 = GOMAXPROCS).
+	// Ignored when Engine is set.
+	Workers int
+	// MaxBodyBytes caps request body size (<= 0 = 1 MiB).
+	MaxBodyBytes int64
+	// MaxConcurrent bounds requests evaluated simultaneously; further
+	// requests wait for a slot until their deadline (<= 0 = 4×workers).
+	MaxConcurrent int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (<= 0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (<= 0 = 5m).
+	MaxTimeout time.Duration
+	// Log receives request logs (nil = silent).
+	Log *log.Logger
+}
+
+// Server is the hpfserve HTTP API. Create with New, expose with
+// Handler, and drain with Shutdown before process exit.
+type Server struct {
+	cfg Config
+	eng *sweep.Engine
+	mux *http.ServeMux
+	sem chan struct{}
+	met *metrics
+
+	reqMu    sync.Mutex // guards met.requests growth
+	inflight sync.WaitGroup
+	draining atomic.Bool
+}
+
+const (
+	routePredict  = "predict"
+	routeMeasure  = "measure"
+	routeAutotune = "autotune"
+)
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sweep.New(sweep.Options{
+			Workers: cfg.Workers,
+			Cache:   sweep.NewCacheSize(cfg.CacheEntries),
+		})
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4 * eng.Workers()
+	}
+	s := &Server{
+		cfg: cfg,
+		eng: eng,
+		mux: http.NewServeMux(),
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+		met: newMetrics([]string{routePredict, routeMeasure, routeAutotune}),
+	}
+	s.mux.HandleFunc("/v1/predict", s.api(routePredict, s.handlePredict))
+	s.mux.HandleFunc("/v1/measure", s.api(routeMeasure, s.handleMeasure))
+	s.mux.HandleFunc("/v1/autotune", s.api(routeAutotune, s.handleAutotune))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Engine returns the sweep engine serving this server's requests.
+func (s *Server) Engine() *sweep.Engine { return s.eng }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admitting API requests and waits for in-flight ones to
+// drain (or for ctx to end, returning its error). Pair it with
+// http.Server.Shutdown for connection-level draining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+func (s *Server) recordRequest(route string, code int) {
+	s.reqMu.Lock()
+	k := s.met.key(route, code)
+	c, ok := s.met.requests[k]
+	if !ok {
+		c = &atomic.Int64{}
+		s.met.requests[k] = c
+	}
+	s.reqMu.Unlock()
+	c.Add(1)
+}
+
+// timeout resolves a request's timeout_ms against the server limits.
+func (s *Server) timeout(ms int64) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// api wraps one POST handler with the serving-stack concerns: method
+// filtering, drain refusal, the concurrency gate, the body-size cap,
+// panic recovery, latency/metrics accounting and JSON error rendering.
+func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any, *apiError)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := http.StatusOK
+		defer func() {
+			s.met.latency[route].observe(time.Since(start).Seconds())
+			s.recordRequest(route, code)
+		}()
+
+		if r.Method != http.MethodPost {
+			code = http.StatusMethodNotAllowed
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, code, "decode", fmt.Errorf("use POST"))
+			return
+		}
+		if s.draining.Load() {
+			code = http.StatusServiceUnavailable
+			s.met.rejected.Add(1)
+			writeError(w, code, "decode", fmt.Errorf("server is draining"))
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+				writeError(w, code, "decode", fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			} else {
+				code = http.StatusBadRequest
+				writeError(w, code, "decode", err)
+			}
+			return
+		}
+
+		// The concurrency gate bounds simultaneous sweeps; waiters give
+		// up when the client goes away.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			code = http.StatusServiceUnavailable
+			s.met.rejected.Add(1)
+			writeError(w, code, "decode", fmt.Errorf("cancelled while waiting for a worker slot"))
+			return
+		}
+
+		var resp any
+		var aerr *apiError
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.met.panics.Add(1)
+					aerr = errf(http.StatusInternalServerError, "internal", "panic: %v", rec)
+				}
+			}()
+			resp, aerr = h(r.Context(), body)
+		}()
+		if aerr != nil {
+			code = aerr.status
+			s.logf("%s: %d %v", route, code, aerr.err)
+			writeError(w, code, aerr.stage, aerr.err)
+			return
+		}
+		s.logf("%s: 200 in %v", route, time.Since(start).Round(time.Microsecond))
+		writeJSON(w, code, resp)
+	}
+}
+
+// ctxErr classifies a pipeline error: deadline and cancellation get
+// timeout statuses, everything else falls through to fallback.
+func ctxErr(err error, fallbackStatus int, stage string) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{status: http.StatusGatewayTimeout, stage: "deadline", err: err}
+	case errors.Is(err, context.Canceled):
+		return &apiError{status: http.StatusServiceUnavailable, stage: "deadline", err: err}
+	case strings.Contains(err.Error(), "internal panic"):
+		return &apiError{status: http.StatusInternalServerError, stage: stage, err: err}
+	}
+	return &apiError{status: fallbackStatus, stage: stage, err: err}
+}
+
+func decode[T any](body []byte, req *T) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return errf(http.StatusBadRequest, "decode", "invalid request: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handlePredict(ctx context.Context, body []byte) (any, *apiError) {
+	var req PredictRequest
+	if aerr := decode(body, &req); aerr != nil {
+		return nil, aerr
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, errf(http.StatusBadRequest, "decode", "source is required")
+	}
+	if req.Machine != "" {
+		if _, err := sysmodel.MachineByName(req.Machine); err != nil {
+			return nil, errf(http.StatusBadRequest, "decode", "%v", err)
+		}
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	copts := req.Options.compilerOptions()
+	if _, err := s.eng.CompileContext(ctx, req.Source, copts); err != nil {
+		return nil, ctxErr(err, http.StatusBadRequest, "compile")
+	}
+	rep, err := s.eng.InterpretMachine(ctx, req.Machine, req.Source, copts, req.Options.coreOptions())
+	if err != nil {
+		return nil, ctxErr(err, http.StatusUnprocessableEntity, "interpret")
+	}
+	resp := &PredictResponse{
+		Program:   rep.Program,
+		Procs:     rep.Procs,
+		EstUS:     rep.TotalUS(),
+		Seconds:   rep.EstimatedSeconds(),
+		CompUS:    rep.Total.CompUS,
+		CommUS:    rep.Total.CommUS,
+		OvhdUS:    rep.Total.OvhdUS,
+		Warnings:  rep.Warnings,
+		ElapsedUS: float64(time.Since(start)) / float64(time.Microsecond),
+	}
+	if req.Profile {
+		resp.Profile = report.Profile(rep)
+	}
+	if req.HotLines > 0 {
+		resp.HotLines = report.HotLines(rep, req.HotLines)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleMeasure(ctx context.Context, body []byte) (any, *apiError) {
+	var req MeasureRequest
+	if aerr := decode(body, &req); aerr != nil {
+		return nil, aerr
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, errf(http.StatusBadRequest, "decode", "source is required")
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	prog, err := s.eng.CompileContext(ctx, req.Source, compiler.Options{})
+	if err != nil {
+		return nil, ctxErr(err, http.StatusBadRequest, "compile")
+	}
+	cfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
+	if req.Machine != "" {
+		base, err := sysmodel.MachineByName(req.Machine)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "decode", "%v", err)
+		}
+		cfg.Base = base
+	}
+	if req.Perturb > 0 {
+		cfg.PerturbAmp = req.Perturb
+	}
+	if req.NoPerturb {
+		cfg.PerturbAmp = 0
+		cfg.TimerResUS = 0
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.NoCacheModel {
+		cfg.CacheModel = false
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	m, err := ipsc.New(cfg)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "decode", "%v", err)
+	}
+	res, err := exec.RunContext(ctx, prog, m, exec.Options{Runs: runs})
+	if err != nil {
+		return nil, ctxErr(err, http.StatusUnprocessableEntity, "execute")
+	}
+	return &MeasureResponse{
+		Program:    prog.Name,
+		Procs:      prog.Info.Grid.Size(),
+		MeasuredUS: res.MeasuredUS,
+		Seconds:    res.MeasuredUS / 1e6,
+		RunsUS:     res.RunsUS,
+		PerNodeUS:  res.PerNodeUS,
+		Printed:    res.Printed,
+		ElapsedUS:  float64(time.Since(start)) / float64(time.Microsecond),
+	}, nil
+}
+
+func (s *Server) handleAutotune(ctx context.Context, body []byte) (any, *apiError) {
+	var req AutotuneRequest
+	if aerr := decode(body, &req); aerr != nil {
+		return nil, aerr
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, errf(http.StatusBadRequest, "decode", "source is required")
+	}
+	if req.Procs <= 0 {
+		return nil, errf(http.StatusBadRequest, "decode", "procs must be positive")
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	cands, err := autotune.SearchContext(ctx, req.Source, autotune.Options{
+		Procs:    req.Procs,
+		NoCyclic: req.NoCyclic,
+		Interp:   req.Options.coreOptions(),
+		Engine:   s.eng,
+	})
+	if err != nil {
+		return nil, ctxErr(err, http.StatusBadRequest, "search")
+	}
+	resp := &AutotuneResponse{ElapsedUS: float64(time.Since(start)) / float64(time.Microsecond)}
+	for i, c := range cands {
+		if req.Limit > 0 && i >= req.Limit {
+			break
+		}
+		ac := AutotuneCandidate{Desc: c.Desc()}
+		if c.Err != nil {
+			ac.Error = c.Err.Error()
+		} else {
+			ac.EstUS = c.EstUS
+		}
+		resp.Candidates = append(resp.Candidates, ac)
+	}
+	if req.IncludeSource && len(cands) > 0 && cands[0].Err == nil {
+		resp.BestSource = cands[0].Source
+	}
+	return resp, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{Status: status, Inflight: s.met.inflight.Load()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.reqMu.Lock()
+	s.met.render(&b, s.eng.Snapshot(), s.eng.Cache().CacheStats())
+	s.reqMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}

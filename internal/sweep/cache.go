@@ -1,53 +1,115 @@
 package sweep
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
 	"hpfperf/internal/hir"
+	"hpfperf/internal/sysmodel"
 )
+
+// DefaultCacheEntries bounds each of the cache's two maps (compiled
+// programs and interpretation reports) when no explicit capacity is
+// given. The bound keeps a long-running process (hpfserve) from growing
+// without limit while still holding every artifact of a full experiment
+// reproduction.
+const DefaultCacheEntries = 4096
 
 // Cache memoizes the results of the compilation pipeline (and of whole
 // interpretation runs) across sweep points. It is safe for concurrent
 // use; a key being built by one worker blocks other workers asking for
 // the same key (single-flight), so each distinct (source, options) pair
 // is compiled exactly once no matter how many workers race for it.
+// Waiters park on the builder's completion channel and honor their own
+// context, so a cancelled request stops waiting without disturbing the
+// build.
+//
+// The cache is a bounded LRU: each map holds at most cap entries and
+// evicts the least recently used entry beyond that, counting evictions.
+// Evicted entries remain valid for goroutines already holding them;
+// only the memoization is lost.
 //
 // Cached *hir.Program and *core.Report values are shared between
 // callers: both are treated as immutable after construction everywhere
 // in this module (the simulator and the report renderers only read
 // them), which is what makes the memoization sound.
 type Cache struct {
-	mu       sync.Mutex
-	compiles map[string]*compileEntry
-	reports  map[string]*reportEntry
+	mu         sync.Mutex
+	cap        int
+	compiles   map[string]*compileEntry
+	compileLRU *list.List // of string keys; front = most recent
+	reports    map[string]*reportEntry
+	reportLRU  *list.List
+
+	compileEvictions atomic.Int64
+	reportEvictions  atomic.Int64
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
+// NewCache returns an empty cache bounded at DefaultCacheEntries
+// entries per map.
+func NewCache() *Cache { return NewCacheSize(DefaultCacheEntries) }
+
+// NewCacheSize returns an empty cache holding at most n compiled
+// programs and n interpretation reports (n <= 0 selects the default).
+func NewCacheSize(n int) *Cache {
+	if n <= 0 {
+		n = DefaultCacheEntries
+	}
 	return &Cache{
-		compiles: make(map[string]*compileEntry),
-		reports:  make(map[string]*reportEntry),
+		cap:        n,
+		compiles:   make(map[string]*compileEntry),
+		compileLRU: list.New(),
+		reports:    make(map[string]*reportEntry),
+		reportLRU:  list.New(),
 	}
 }
 
 type compileEntry struct {
-	once sync.Once
+	done chan struct{} // closed when prog/err are final
+	elem *list.Element // LRU position; nil once evicted
 	prog *hir.Program
 	err  error
 }
 
 type reportEntry struct {
-	once sync.Once
+	done chan struct{}
+	elem *list.Element
 	rep  *core.Report
 	err  error
+}
+
+// CacheStats is a point-in-time view of the cache occupancy and its
+// eviction counters (served by hpfserve's /metrics).
+type CacheStats struct {
+	Cap              int
+	CompileEntries   int
+	ReportEntries    int
+	CompileEvictions int64
+	ReportEvictions  int64
+}
+
+// Stats returns the cache occupancy and eviction counters.
+func (c *Cache) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Cap:              c.cap,
+		CompileEntries:   len(c.compiles),
+		ReportEntries:    len(c.reports),
+		CompileEvictions: c.compileEvictions.Load(),
+		ReportEvictions:  c.reportEvictions.Load(),
+	}
 }
 
 // srcHash fingerprints source text. Sources are generated per (size,
@@ -98,89 +160,188 @@ func interpFingerprint(opts core.Options) (string, bool) {
 	return b.String(), true
 }
 
+// touch moves an LRU element to the front (caller holds c.mu).
+func touch(lru *list.List, elem *list.Element) {
+	if elem != nil {
+		lru.MoveToFront(elem)
+	}
+}
+
+// evictCompiles trims the compile map to cap (caller holds c.mu).
+func (c *Cache) evictCompiles() {
+	for len(c.compiles) > c.cap {
+		back := c.compileLRU.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(string)
+		if e, ok := c.compiles[key]; ok {
+			e.elem = nil
+			delete(c.compiles, key)
+		}
+		c.compileLRU.Remove(back)
+		c.compileEvictions.Add(1)
+	}
+}
+
+// evictReports trims the report map to cap (caller holds c.mu).
+func (c *Cache) evictReports() {
+	for len(c.reports) > c.cap {
+		back := c.reportLRU.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(string)
+		if e, ok := c.reports[key]; ok {
+			e.elem = nil
+			delete(c.reports, key)
+		}
+		c.reportLRU.Remove(back)
+		c.reportEvictions.Add(1)
+	}
+}
+
+// dropReport removes a report entry if it still maps to e (used to
+// un-cache results poisoned by the builder's context).
+func (c *Cache) dropReport(key string, e *reportEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.reports[key]; ok && cur == e {
+		delete(c.reports, key)
+		if e.elem != nil {
+			c.reportLRU.Remove(e.elem)
+			e.elem = nil
+		}
+	}
+}
+
+// recoverToErr converts a panic in the front end or the interpretation
+// engine into an error, so one malformed request cannot take down a
+// long-running process sharing this cache (hpfserve maps it to an HTTP
+// status). The single-flight completion channel must be closed even
+// when the builder panics, or waiters would park forever.
+func recoverToErr(stage string, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%s: internal panic: %v", stage, r)
+	}
+}
+
 // Compile returns the compiled program for (src, opts), running the
-// scanner→parser→sem→compiler pipeline at most once per key. Counter
-// updates go to stats (may be nil).
-func (c *Cache) Compile(src string, opts compiler.Options, stats *Stats) (*hir.Program, error) {
+// scanner→parser→sem→compiler pipeline at most once per live key.
+// Counter updates go to stats (may be nil). A waiter whose ctx ends
+// before the build completes returns the ctx error; the build itself
+// always runs to completion and stays cached.
+func (c *Cache) Compile(ctx context.Context, src string, opts compiler.Options, stats *Stats) (*hir.Program, error) {
 	key := compileKey(src, opts)
 	c.mu.Lock()
-	e, ok := c.compiles[key]
-	if !ok {
-		e = &compileEntry{}
-		c.compiles[key] = e
+	if e, ok := c.compiles[key]; ok {
+		touch(c.compileLRU, e.elem)
+		c.mu.Unlock()
+		if stats != nil {
+			stats.CompileHits.Add(1)
+		}
+		select {
+		case <-e.done:
+			return e.prog, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	e := &compileEntry{done: make(chan struct{})}
+	e.elem = c.compileLRU.PushFront(key)
+	c.compiles[key] = e
+	c.evictCompiles()
 	c.mu.Unlock()
 
-	hit := true
-	e.once.Do(func() {
-		hit = false
-		start := time.Now()
-		e.prog, e.err = compiler.CompileWith(src, opts)
-		if stats != nil {
-			stats.Compiles.Add(1)
-			stats.CompileNS.Add(int64(time.Since(start)))
-		}
-	})
 	if stats != nil {
-		if hit {
-			stats.CompileHits.Add(1)
-		} else {
-			stats.CompileMisses.Add(1)
-		}
+		stats.CompileMisses.Add(1)
 	}
+	start := time.Now()
+	func() {
+		defer recoverToErr("compile", &e.err)
+		e.prog, e.err = compiler.CompileWith(src, opts)
+	}()
+	if stats != nil {
+		stats.Compiles.Add(1)
+		stats.CompileNS.Add(int64(time.Since(start)))
+	}
+	close(e.done)
 	return e.prog, e.err
 }
 
 // Interpret returns the interpretation report for (src, copts, iopts)
-// on the default machine abstraction, memoizing whole reports when the
-// options are fingerprintable. Compilation always goes through the
-// compile cache.
-func (c *Cache) Interpret(src string, copts compiler.Options, iopts core.Options, stats *Stats) (*core.Report, error) {
+// on the named machine abstraction ("" = iPSC/860 default), memoizing
+// whole reports when the options are fingerprintable. Compilation
+// always goes through the compile cache. The builder honors ctx: a
+// report whose construction was cancelled is dropped from the cache so
+// a later request rebuilds it.
+func (c *Cache) Interpret(ctx context.Context, src string, copts compiler.Options, iopts core.Options, machine string, stats *Stats) (*core.Report, error) {
 	fp, cacheable := interpFingerprint(iopts)
 	if !cacheable {
-		prog, err := c.Compile(src, copts, stats)
+		prog, err := c.Compile(ctx, src, copts, stats)
 		if err != nil {
 			return nil, err
 		}
-		return runInterp(prog, iopts, stats)
+		return runInterp(ctx, prog, iopts, machine, stats)
 	}
 
-	key := compileKey(src, copts) + "|" + fp
+	key := compileKey(src, copts) + "|mach=" + machine + "|" + fp
 	c.mu.Lock()
-	e, ok := c.reports[key]
-	if !ok {
-		e = &reportEntry{}
-		c.reports[key] = e
+	if e, ok := c.reports[key]; ok {
+		touch(c.reportLRU, e.elem)
+		c.mu.Unlock()
+		if stats != nil {
+			stats.ReportHits.Add(1)
+		}
+		select {
+		case <-e.done:
+			return e.rep, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	e := &reportEntry{done: make(chan struct{})}
+	e.elem = c.reportLRU.PushFront(key)
+	c.reports[key] = e
+	c.evictReports()
 	c.mu.Unlock()
 
-	hit := true
-	e.once.Do(func() {
-		hit = false
+	if stats != nil {
+		stats.ReportMisses.Add(1)
+	}
+	func() {
+		defer recoverToErr("interpret", &e.err)
 		var prog *hir.Program
-		prog, e.err = c.Compile(src, copts, stats)
+		prog, e.err = c.Compile(ctx, src, copts, stats)
 		if e.err != nil {
 			return
 		}
-		e.rep, e.err = runInterp(prog, iopts, stats)
-	})
-	if stats != nil {
-		if hit {
-			stats.ReportHits.Add(1)
-		} else {
-			stats.ReportMisses.Add(1)
-		}
+		e.rep, e.err = runInterp(ctx, prog, iopts, machine, stats)
+	}()
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// A cancelled build is the requester's failure, not the key's:
+		// don't poison the cache with it.
+		c.dropReport(key, e)
 	}
+	close(e.done)
 	return e.rep, e.err
 }
 
-func runInterp(prog *hir.Program, iopts core.Options, stats *Stats) (*core.Report, error) {
+func runInterp(ctx context.Context, prog *hir.Program, iopts core.Options, machine string, stats *Stats) (rep *core.Report, err error) {
+	defer recoverToErr("interpret", &err)
+	var mach *sysmodel.Machine
+	if machine != "" {
+		mach, err = sysmodel.MachineByName(machine)
+		if err != nil {
+			return nil, err
+		}
+	}
 	start := time.Now()
-	it, err := core.New(prog, nil, iopts)
+	it, err := core.NewContext(ctx, prog, mach, iopts)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := it.Interpret()
+	rep, err = it.Interpret()
 	if stats != nil {
 		stats.Interps.Add(1)
 		stats.InterpNS.Add(int64(time.Since(start)))

@@ -14,6 +14,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -92,6 +93,14 @@ func (e *Engine) Snapshot() Snapshot { return e.stats.Snapshot() }
 // what a serial loop would have surfaced first); results of successful
 // points are still filled in.
 func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), e, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx ends, no new
+// points are dispatched and every undispatched index carries ctx.Err().
+// Points already running are left to finish (fn should itself observe
+// ctx for long-running bodies).
+func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, nil
@@ -109,12 +118,24 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				results[i], errs[i] = fn(i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -130,13 +151,31 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // Compile returns the compiled program for src via the engine's cache.
 func (e *Engine) Compile(src string, opts compiler.Options) (*hir.Program, error) {
-	return e.cache.Compile(src, opts, e.stats)
+	return e.CompileContext(context.Background(), src, opts)
+}
+
+// CompileContext is Compile with cooperative cancellation: a caller
+// whose ctx ends while another worker builds the same key stops
+// waiting and returns the ctx error.
+func (e *Engine) CompileContext(ctx context.Context, src string, opts compiler.Options) (*hir.Program, error) {
+	return e.cache.Compile(ctx, src, opts, e.stats)
 }
 
 // Interpret compiles (cached) and interprets (cached when the options
 // are fingerprintable) src on the default machine abstraction.
 func (e *Engine) Interpret(src string, copts compiler.Options, iopts core.Options) (*core.Report, error) {
-	return e.cache.Interpret(src, copts, iopts, e.stats)
+	return e.InterpretContext(context.Background(), src, copts, iopts)
+}
+
+// InterpretContext is Interpret with cooperative cancellation.
+func (e *Engine) InterpretContext(ctx context.Context, src string, copts compiler.Options, iopts core.Options) (*core.Report, error) {
+	return e.cache.Interpret(ctx, src, copts, iopts, "", e.stats)
+}
+
+// InterpretMachine interprets src on the named machine abstraction
+// ("" = default iPSC/860), caching per (source, options, machine).
+func (e *Engine) InterpretMachine(ctx context.Context, machine, src string, copts compiler.Options, iopts core.Options) (*core.Report, error) {
+	return e.cache.Interpret(ctx, src, copts, iopts, machine, e.stats)
 }
 
 // EstimateAndMeasure is the per-point body of every accuracy sweep: it
@@ -145,11 +184,17 @@ func (e *Engine) Interpret(src string, copts compiler.Options, iopts core.Option
 // time. runs <= 0 means one timed run; perturb is the measured-run load
 // fluctuation amplitude.
 func (e *Engine) EstimateAndMeasure(src string, runs int, perturb float64) (estUS, measUS float64, err error) {
-	prog, err := e.Compile(src, compiler.Options{})
+	return e.EstimateAndMeasureContext(context.Background(), src, runs, perturb)
+}
+
+// EstimateAndMeasureContext is EstimateAndMeasure with cooperative
+// cancellation of both the interpretation and the simulated execution.
+func (e *Engine) EstimateAndMeasureContext(ctx context.Context, src string, runs int, perturb float64) (estUS, measUS float64, err error) {
+	prog, err := e.CompileContext(ctx, src, compiler.Options{})
 	if err != nil {
 		return 0, 0, err
 	}
-	rep, err := e.Interpret(src, compiler.Options{}, core.DefaultOptions())
+	rep, err := e.InterpretContext(ctx, src, compiler.Options{}, core.DefaultOptions())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -163,7 +208,7 @@ func (e *Engine) EstimateAndMeasure(src string, runs int, perturb float64) (estU
 		runs = 1
 	}
 	start := time.Now()
-	res, err := exec.Run(prog, m, exec.Options{Runs: runs})
+	res, err := exec.RunContext(ctx, prog, m, exec.Options{Runs: runs})
 	e.stats.Execs.Add(1)
 	e.stats.ExecNS.Add(int64(time.Since(start)))
 	if err != nil {
