@@ -41,6 +41,7 @@ func main() {
 		machine  = flag.String("machine", "", "target system abstraction (ipsc860, paragon)")
 		auto     = flag.Int("auto", 0, "search directive variants for N processors and rank them")
 		stats    = flag.Bool("stats", false, "print sweep engine statistics (candidate compiles, cache hits/misses) to stderr after -auto")
+		noLint   = flag.Bool("nolint", false, "suppress static-analysis warnings on stderr")
 	)
 	flag.Parse()
 
@@ -51,6 +52,13 @@ func main() {
 	prog, err := hpfperf.Compile(src)
 	if err != nil {
 		fatal(err)
+	}
+	if !*noLint {
+		for _, d := range hpfperf.AnalyzeProgram(prog) {
+			if d.Severity >= hpfperf.SevWarning {
+				fmt.Fprintf(os.Stderr, "hpfpc: %s: line %d: %s [%s]\n", d.Severity, d.Line, d.Message, d.Code)
+			}
+		}
 	}
 	if *spmd {
 		fmt.Print(prog.SPMD())

@@ -1,0 +1,43 @@
+// Critical-variable definition tracing (paper §4.2): the main loop bound
+// NITER is assigned inside an earlier loop, so the interpretation
+// engine's one-pass inline propagation loses it — before the static
+// analysis layer, predicting this program required supplying NITER by
+// hand through PredictOptions.IntValues. The definition tracer runs loop
+// bodies to a fixpoint, proves NITER = 25 on every exit path, and the
+// prediction needs no user-supplied values at all.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+
+	"hpfperf"
+)
+
+//go:embed bounds.hpf
+var source string
+
+func main() {
+	prog, err := hpfperf.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What would the user have had to supply? The static analyzer knows:
+	// every traced loop bound is reported (HPF0003), every untraceable
+	// one names its blocking definitions (HPF0001).
+	fmt.Println("static analysis:")
+	for _, d := range hpfperf.AnalyzeProgram(prog) {
+		fmt.Printf("  line %d: %s: %s [%s]\n", d.Line, d.Severity, d.Message, d.Code)
+	}
+
+	// No PredictOptions.IntValues, no TripCounts: definition tracing
+	// resolves NITER = 25.
+	pred, err := hpfperf.Predict(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted time on %d processors: %.3f ms (no user-supplied critical values)\n",
+		prog.Processors(), pred.Microseconds()/1e3)
+}

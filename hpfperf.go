@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 
+	"hpfperf/internal/analysis"
 	"hpfperf/internal/autotune"
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
@@ -108,6 +109,42 @@ func sortedArrayNames(info *sem.Info) []string {
 		}
 	}
 	return names
+}
+
+// ---------------------------------------------------------------------------
+// Static analysis (hpflint)
+
+// Diagnostic is one finding of the static-analysis layer: a stable
+// machine-readable code (HPFnnnn), a severity ("info", "warning",
+// "error"), the producing pass, the source line, and an optional fix
+// hint. It is the element type of hpflint's -json output and of
+// hpfserve's /v1/analyze response.
+type Diagnostic = analysis.Diagnostic
+
+// Severity levels of Diagnostic, re-exported for threshold filtering.
+const (
+	SevInfo    = analysis.SevInfo
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
+)
+
+// Analyze compiles HPF/Fortran 90D source and runs every registered
+// static-analysis pass over it: critical-variable definition tracing
+// (§4.2), communication anti-pattern lints, FORALL dependence tests,
+// directive hygiene, and degenerate control-flow detection. Diagnostics
+// come back ordered by source line.
+func Analyze(src string) ([]Diagnostic, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(p), nil
+}
+
+// AnalyzeProgram runs the static-analysis passes over an already
+// compiled program.
+func AnalyzeProgram(p *Program) []Diagnostic {
+	return analysis.Analyze(p.hir)
 }
 
 // ---------------------------------------------------------------------------

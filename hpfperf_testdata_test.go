@@ -8,6 +8,15 @@ import (
 	"hpfperf"
 )
 
+// predictOpts holds per-file critical-variable values for testdata
+// programs that deliberately contain untraceable bounds. The values are
+// exactly what the hpflint hints for those files ask the user to supply
+// (lint.hpf: LIM = INT(A(1)) over a zero array, and a DO WHILE halving
+// W from 1.0 to below 0.01 in 7 trips).
+var predictOpts = map[string]*hpfperf.PredictOptions{
+	"lint.hpf": {IntValues: map[string]int64{"LIM": 0}, TripCounts: map[int]int{37: 7}},
+}
+
 // TestTestdataPrograms compiles, predicts and measures every sample
 // program shipped under testdata/.
 func TestTestdataPrograms(t *testing.T) {
@@ -26,7 +35,7 @@ func TestTestdataPrograms(t *testing.T) {
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			pred, err := hpfperf.Predict(prog, nil)
+			pred, err := hpfperf.Predict(prog, predictOpts[filepath.Base(f)])
 			if err != nil {
 				t.Fatalf("predict: %v", err)
 			}

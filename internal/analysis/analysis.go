@@ -1,0 +1,156 @@
+// Package analysis is the static-analysis layer over the compiled SPMD
+// node program (the typed HIR the SAAG is abstracted from): an ordered
+// pass manager producing structured diagnostics instead of fatal errors.
+//
+// The paper's Application Module resolves "critical variables" — values
+// that drive control flow, e.g. loop limits — by definition tracing,
+// falling back to user input only when tracing fails (§4.2). This package
+// implements that tracing as a proper forward dataflow analysis (package
+// trace.go) and layers advisory passes on top of it: communication
+// anti-patterns, FORALL dependence tests, directive hygiene, and
+// degenerate control flow that would skew a predicted profile. The
+// diagnostics feed cmd/hpflint, the hpfperf.Analyze facade, hpfserve's
+// POST /v1/analyze, and hpfpc's warning output.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"hpfperf/internal/hir"
+)
+
+// Severity ranks a diagnostic: Info (advisory), Warning (likely
+// performance or correctness hazard), Error (the tool itself failed,
+// e.g. the program does not compile).
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity parses "info", "warning" or "error".
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info":
+		return SevInfo, nil
+	case "warning":
+		return SevWarning, nil
+	case "error":
+		return SevError, nil
+	}
+	return 0, fmt.Errorf("analysis: unknown severity %q (want info, warning or error)", s)
+}
+
+// MarshalJSON renders the severity as its stable string name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the string names produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	v, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// Diagnostic is one finding of a static pass. Code is the stable
+// machine-readable identifier (HPFnnnn); the block a code belongs to
+// names its pass family (00xx critical variables, 01xx communication,
+// 02xx forall dependence, 03xx directive hygiene, 04xx degenerate
+// control flow, HPF0000 compile failure).
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Pass     string   `json:"pass"`
+	Line     int      `json:"line"`
+	Message  string   `json:"message"`
+	Hint     string   `json:"hint,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("line %d: %s: %s [%s]", d.Line, d.Severity, d.Message, d.Code)
+	if d.Hint != "" {
+		s += "\n    hint: " + d.Hint
+	}
+	return s
+}
+
+// Unit is the analyzed compilation unit handed to every pass: the
+// compiled node program plus the shared definition trace (computed once,
+// consumed by several passes).
+type Unit struct {
+	Prog  *hir.Program
+	Trace *Trace
+}
+
+// NewUnit builds the analysis unit for a compiled program, running the
+// definition tracer with no user-pinned values.
+func NewUnit(prog *hir.Program) *Unit {
+	return &Unit{Prog: prog, Trace: TraceProgram(prog, nil)}
+}
+
+// Pass is one static analysis. Passes must not mutate the Unit; they run
+// in registration order and may rely on Unit.Trace being populated.
+type Pass interface {
+	Name() string
+	Run(u *Unit) []Diagnostic
+}
+
+// Passes returns the registered passes in execution order.
+func Passes() []Pass {
+	return []Pass{
+		critVarPass{},
+		commPass{},
+		forallPass{},
+		directivePass{},
+		degeneratePass{},
+	}
+}
+
+// Analyze runs every registered pass over a compiled program and returns
+// the merged diagnostics ordered by source line, then code.
+func Analyze(prog *hir.Program) []Diagnostic {
+	return AnalyzeUnit(NewUnit(prog))
+}
+
+// AnalyzeUnit runs every registered pass over an existing unit.
+func AnalyzeUnit(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range Passes() {
+		ds := p.Run(u)
+		for i := range ds {
+			if ds[i].Pass == "" {
+				ds[i].Pass = p.Name()
+			}
+		}
+		out = append(out, ds...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}

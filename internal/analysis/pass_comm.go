@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+
+	"hpfperf/internal/dist"
+	"hpfperf/internal/hir"
+	"hpfperf/internal/sem"
+)
+
+// commPass lints the communication operations the compiler inserted into
+// the node program. The SAAG makes every communication explicit, so the
+// anti-patterns the paper's cost model punishes hardest — collective
+// all-to-all traffic nested under loops, element fetches per iteration —
+// are directly visible as HIR nodes under Loop/While nests.
+//
+// Codes: HPF0101 all-to-all inside a loop nest, HPF0102 all-to-all at
+// top level, HPF0103 element fetch inside a loop nest, HPF0104 global
+// reduction inside a loop nest, HPF0105 CSHIFT/EOSHIFT with an
+// untraceable shift amount, HPF0106 shift along an undistributed
+// dimension.
+type commPass struct{}
+
+func (commPass) Name() string { return "comm-patterns" }
+
+func (commPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	info := u.Prog.Info
+	var walk func(ss []hir.Stmt, depth int)
+	walk = func(ss []hir.Stmt, depth int) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *hir.Loop:
+				walk(x.Body, depth+1)
+			case *hir.While:
+				walk(x.Body, depth+1)
+			case *hir.If:
+				walk(x.Then, depth)
+				walk(x.Else, depth)
+			case *hir.AllGather:
+				if depth > 0 {
+					out = append(out, Diagnostic{
+						Code:     "HPF0101",
+						Severity: SevWarning,
+						Line:     x.SrcLine,
+						Message:  fmt.Sprintf("all-to-all gather of %s inside a loop nest (depth %d): the access pattern defeats shift communication", x.Array, depth),
+						Hint:     "restructure subscripts into shifted form (i+c) or ALIGN the operands so references stay local",
+					})
+				} else {
+					out = append(out, Diagnostic{
+						Code:     "HPF0102",
+						Severity: SevInfo,
+						Line:     x.SrcLine,
+						Message:  fmt.Sprintf("access pattern of %s requires an all-to-all gather (replicating the array on every processor)", x.Array),
+					})
+				}
+			case *hir.FetchElem:
+				if depth > 0 {
+					out = append(out, Diagnostic{
+						Code:     "HPF0103",
+						Severity: SevWarning,
+						Line:     x.SrcLine,
+						Message:  fmt.Sprintf("per-iteration broadcast of one element of %s inside a loop nest (depth %d)", x.Array, depth),
+						Hint:     "hoist the element read out of the loop, or keep the scalar replicated",
+					})
+				}
+			case *hir.Reduce:
+				if depth > 0 {
+					out = append(out, Diagnostic{
+						Code:     "HPF0104",
+						Severity: SevInfo,
+						Line:     x.SrcLine,
+						Message:  fmt.Sprintf("global %s reduction inside a loop nest (depth %d): one collective per iteration", x.Op, depth),
+					})
+				}
+			case *hir.CShift:
+				out = append(out, shiftDiags(info, x.Src, x.Dim, x.Shift, x.SrcLine, "CSHIFT")...)
+			case *hir.EOShift:
+				out = append(out, shiftDiags(info, x.Src, x.Dim, x.Shift, x.SrcLine, "EOSHIFT")...)
+			}
+		}
+	}
+	walk(u.Prog.Body, 0)
+	return out
+}
+
+// shiftDiags checks one CSHIFT/EOSHIFT: an untraceable shift amount
+// (prediction assumes distance 1) and shifts along dimensions that are
+// not actually spread over processors (pure local copies).
+func shiftDiags(info *sem.Info, src string, dim int, shift hir.Expr, line int, op string) []Diagnostic {
+	var out []Diagnostic
+	if _, ok := hir.EvalConst(shift, func(string) (sem.Value, bool) { return sem.Value{}, false }); !ok {
+		out = append(out, Diagnostic{
+			Code:     "HPF0105",
+			Severity: SevWarning,
+			Line:     line,
+			Message:  fmt.Sprintf("%s of %s has a shift amount that is not a compile-time constant; if it cannot be traced at prediction time, distance 1 is assumed", op, src),
+			Hint:     "use a literal or named-constant shift amount for a faithful communication estimate",
+		})
+	}
+	m := info.ArrayMap(src)
+	undistributed := m == nil || m.Replicated || dim >= len(m.Dims) ||
+		m.Dims[dim].Kind == dist.Collapsed || m.Dims[dim].NProc <= 1
+	if undistributed {
+		out = append(out, Diagnostic{
+			Code:     "HPF0106",
+			Severity: SevInfo,
+			Line:     line,
+			Message:  fmt.Sprintf("%s of %s along dimension %d moves no data between processors (dimension is not distributed): local copy only", op, src, dim+1),
+		})
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// critVarPass reports on critical-variable resolution (§4.2): loop bounds
+// and DO WHILE conditions the definition tracer could or could not
+// resolve. Unresolved bounds are the values the interpreter will demand
+// via Options.Values/TripCounts, so surfacing them (with the blocking
+// definitions and their source lines) tells the user exactly what to
+// supply — or that nothing is needed because tracing succeeded.
+//
+// Codes: HPF0001 unresolved loop bounds, HPF0002 untraceable DO WHILE
+// trip count, HPF0003 bounds resolved by definition tracing (info, only
+// for bounds that actually referenced scalars).
+type critVarPass struct{}
+
+func (critVarPass) Name() string { return "critical-variables" }
+
+func (critVarPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, l := range u.Trace.LoopOrder {
+		lt := u.Trace.Loops[l]
+		if lt.Resolved {
+			if lt.Dynamic {
+				out = append(out, Diagnostic{
+					Code:     "HPF0003",
+					Severity: SevInfo,
+					Line:     lt.Line,
+					Message: fmt.Sprintf("loop bounds of %s resolved by definition tracing: %d..%d step %d (%d trips)",
+						lt.Var, lt.Lo, lt.Hi, lt.Step, lt.Trips),
+				})
+			}
+			continue
+		}
+		out = append(out, Diagnostic{
+			Code:     "HPF0001",
+			Severity: SevWarning,
+			Line:     lt.Line,
+			Message: fmt.Sprintf("loop bounds of %s cannot be traced statically; blocked by: %s",
+				lt.Var, blockerList(lt.Blockers)),
+			Hint: fmt.Sprintf("supply the blocking values via PredictOptions.IntValues or a trip count via TripCounts[%d]", lt.Line),
+		})
+	}
+	for _, w := range u.Trace.WhileOrder {
+		wt := u.Trace.Whiles[w]
+		if wt.CondResolved && !wt.CondValue {
+			continue // degenerate pass reports never-entered loops
+		}
+		msg := "DO WHILE trip count is not statically determinable"
+		if len(wt.Blockers) > 0 {
+			msg += "; condition blocked by: " + blockerList(wt.Blockers)
+		}
+		out = append(out, Diagnostic{
+			Code:     "HPF0002",
+			Severity: SevWarning,
+			Line:     wt.Line,
+			Message:  msg,
+			Hint:     fmt.Sprintf("supply an iteration count via PredictOptions.TripCounts[%d]", wt.Line),
+		})
+	}
+	return out
+}
+
+func blockerList(bs []Blocker) string {
+	if len(bs) == 0 {
+		return "run-time data"
+	}
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import "fmt"
+
+// degeneratePass flags control flow the tracer proved degenerate: loops
+// that never execute and conditionals with a statically fixed outcome.
+// Such constructs contribute zero (or constant) work to the predicted
+// profile, which usually means the program text does not express what
+// the author meant to measure.
+//
+// Codes: HPF0401 zero-trip counted loop, HPF0402 DO WHILE never entered,
+// HPF0403 IF condition always false, HPF0404 IF condition always true
+// with a dead ELSE.
+type degeneratePass struct{}
+
+func (degeneratePass) Name() string { return "degenerate" }
+
+func (degeneratePass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, l := range u.Trace.LoopOrder {
+		lt := u.Trace.Loops[l]
+		if lt.Resolved && lt.Trips == 0 {
+			out = append(out, Diagnostic{
+				Code:     "HPF0401",
+				Severity: SevWarning,
+				Line:     lt.Line,
+				Message:  fmt.Sprintf("loop over %s never executes: bounds %d..%d step %d give zero trips", lt.Var, lt.Lo, lt.Hi, lt.Step),
+				Hint:     "fix the bounds or delete the loop; it contributes nothing to the predicted profile",
+			})
+		}
+	}
+	for _, w := range u.Trace.WhileOrder {
+		wt := u.Trace.Whiles[w]
+		if wt.CondResolved && !wt.CondValue {
+			out = append(out, Diagnostic{
+				Code:     "HPF0402",
+				Severity: SevWarning,
+				Line:     wt.Line,
+				Message:  "DO WHILE condition is false on entry: the loop body never executes",
+			})
+		}
+	}
+	for _, c := range u.Trace.CondOrder {
+		ct := u.Trace.Conds[c]
+		if !ct.Resolved {
+			continue
+		}
+		if !ct.Value && ct.HasThen {
+			out = append(out, Diagnostic{
+				Code:     "HPF0403",
+				Severity: SevWarning,
+				Line:     ct.Line,
+				Message:  "IF condition is always false: the THEN branch is unreachable",
+			})
+		}
+		if ct.Value && ct.HasElse {
+			out = append(out, Diagnostic{
+				Code:     "HPF0404",
+				Severity: SevWarning,
+				Line:     ct.Line,
+				Message:  "IF condition is always true: the ELSE branch is unreachable",
+			})
+		}
+	}
+	return out
+}

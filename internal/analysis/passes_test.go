@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// hasCode reports whether any diagnostic carries the code.
+func hasCode(ds []Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPassesTable runs every pass over firing and clean programs: each
+// shipped diagnostic code has at least one program that triggers it and
+// one clean program that must not.
+func TestPassesTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		want    []string // codes that must fire
+		wantNot []string // codes that must not fire
+	}{
+		{
+			name: "clean stencil",
+			src: preamble + `FORALL (I=2:N-1) B(I) = 0.5*(A(I-1) + A(I+1))
+END`,
+			wantNot: []string{"HPF0001", "HPF0002", "HPF0003", "HPF0101", "HPF0201", "HPF0202", "HPF0301", "HPF0401", "HPF0403"},
+		},
+		{
+			name: "unresolved bound fires HPF0001",
+			src: preamble + `INTEGER M
+M = INT(A(1))
+DO I = 1, M
+  X = X + 1.0
+END DO
+END`,
+			want:    []string{"HPF0001"},
+			wantNot: []string{"HPF0003"},
+		},
+		{
+			name: "untraceable while fires HPF0002",
+			src: preamble + `X = 1.0
+DO WHILE (X .GT. 0.01)
+  X = X * 0.5
+END DO
+END`,
+			want: []string{"HPF0002"},
+		},
+		{
+			name: "traced dynamic bound fires HPF0003",
+			src: preamble + `INTEGER M
+M = 12
+DO I = 1, M
+  X = X + 1.0
+END DO
+END`,
+			want:    []string{"HPF0003"},
+			wantNot: []string{"HPF0001"},
+		},
+		{
+			name: "literal bounds fire neither critvar code",
+			src: preamble + `DO I = 1, 10
+  X = X + 1.0
+END DO
+END`,
+			wantNot: []string{"HPF0001", "HPF0002", "HPF0003"},
+		},
+		{
+			name: "index reversal in a loop fires HPF0101",
+			src: preamble + `DO K = 1, 2
+  FORALL (I=1:N) B(I) = A(N-I+1)
+END DO
+END`,
+			want: []string{"HPF0101"},
+		},
+		{
+			name: "top-level reversal fires HPF0102 not HPF0101",
+			src: preamble + `FORALL (I=1:N) B(I) = A(N-I+1)
+END`,
+			want:    []string{"HPF0102"},
+			wantNot: []string{"HPF0101"},
+		},
+		{
+			name: "element fetch in a loop fires HPF0103",
+			// A is written inside the loop, so the element read cannot be
+			// hoisted to an AllGather: it stays a per-iteration fetch.
+			src: preamble + `DO I = 2, N
+  A(I) = A(I-1) + 1.0
+END DO
+END`,
+			want: []string{"HPF0103"},
+		},
+		{
+			name: "reduction in a loop fires HPF0104",
+			src: preamble + `DO K = 1, 3
+  S = SUM(A)
+END DO
+END`,
+			want: []string{"HPF0104"},
+		},
+		{
+			name: "top-level reduction does not fire HPF0104",
+			src: preamble + `S = SUM(A)
+END`,
+			wantNot: []string{"HPF0104"},
+		},
+		{
+			name: "variable shift amount fires HPF0105",
+			src: preamble + `INTEGER M
+M = INT(A(1))
+B = CSHIFT(A, M)
+END`,
+			want: []string{"HPF0105"},
+		},
+		{
+			name: "literal shift amount does not fire HPF0105",
+			src: preamble + `B = CSHIFT(A, 1)
+END`,
+			wantNot: []string{"HPF0105", "HPF0106"},
+		},
+		{
+			name: "shift along undistributed dimension fires HPF0106",
+			src: `PROGRAM T
+PARAMETER (N = 64)
+REAL U(N,N), V(N,N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE U(BLOCK,*) ONTO P
+!HPF$ DISTRIBUTE V(BLOCK,*) ONTO P
+V = CSHIFT(U, 1, 2)
+END`,
+			want: []string{"HPF0106"},
+		},
+		{
+			name: "self-stencil forall fires HPF0201",
+			src: preamble + `FORALL (I=2:N-1) A(I) = 0.5*(A(I-1) + A(I+1))
+END`,
+			want:    []string{"HPF0201"},
+			wantNot: []string{"HPF0202"},
+		},
+		{
+			name: "same-index self-assignment is clean",
+			src: preamble + `FORALL (I=1:N) A(I) = A(I) * 2.0
+END`,
+			wantNot: []string{"HPF0201", "HPF0202"},
+		},
+		{
+			name: "non-affine subscript fires HPF0202",
+			src: preamble + `FORALL (I=1:8) A(I) = A(I*I)
+END`,
+			want:    []string{"HPF0202"},
+			wantNot: []string{"HPF0201"},
+		},
+		{
+			name: "unreferenced template fires HPF0301",
+			src: preamble + `!HPF$ TEMPLATE TU(N)
+X = 1.0
+END`,
+			want: []string{"HPF0301"},
+		},
+		{
+			name: "align to undistributed template fires HPF0302 and HPF0304",
+			src: `PROGRAM T
+PARAMETER (N = 64)
+REAL C(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE TT(N)
+!HPF$ ALIGN C(I) WITH TT(I)
+C = 0.0
+END`,
+			want: []string{"HPF0302", "HPF0304"},
+		},
+		{
+			name: "unused processors fires HPF0303",
+			src: `PROGRAM T
+PARAMETER (N = 64)
+REAL C(N)
+!HPF$ PROCESSORS P(4)
+C = 0.0
+END`,
+			want: []string{"HPF0303"},
+		},
+		{
+			name: "uneven block fires HPF0305",
+			src: `PROGRAM T
+PARAMETER (N = 65)
+REAL A(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+A = 0.0
+END`,
+			want: []string{"HPF0305"},
+		},
+		{
+			name: "even block does not fire HPF0305",
+			src: preamble + `A = 0.0
+END`,
+			wantNot: []string{"HPF0305"},
+		},
+		{
+			name: "zero-trip loop fires HPF0401",
+			src: preamble + `DO I = 10, 1
+  X = X + 1.0
+END DO
+END`,
+			want:    []string{"HPF0401"},
+			wantNot: []string{"HPF0001"},
+		},
+		{
+			name: "false-on-entry while fires HPF0402 not HPF0002",
+			src: preamble + `X = 0.0
+DO WHILE (X .GT. 1.0)
+  X = X + 1.0
+END DO
+END`,
+			want:    []string{"HPF0402"},
+			wantNot: []string{"HPF0002"},
+		},
+		{
+			name: "always-false conditional fires HPF0403",
+			src: preamble + `IF (N .LT. 0) THEN
+  X = 1.0
+END IF
+END`,
+			want: []string{"HPF0403"},
+		},
+		{
+			name: "always-true conditional with else fires HPF0404",
+			src: preamble + `IF (N .GT. 0) THEN
+  X = 1.0
+ELSE
+  X = 2.0
+END IF
+END`,
+			want: []string{"HPF0404"},
+		},
+		{
+			name: "data-dependent conditional fires neither HPF0403 nor HPF0404",
+			src: preamble + `S = A(1)
+IF (S .GT. 0.0) THEN
+  X = 1.0
+ELSE
+  X = 2.0
+END IF
+END`,
+			wantNot: []string{"HPF0403", "HPF0404"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := mustCompile(t, tc.src)
+			ds := Analyze(prog)
+			for _, code := range tc.want {
+				if !hasCode(ds, code) {
+					t.Errorf("want %s to fire; got %v", code, ds)
+				}
+			}
+			for _, code := range tc.wantNot {
+				if hasCode(ds, code) {
+					t.Errorf("want %s absent; got %v", code, ds)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzeOrdering: diagnostics come back sorted by line then code,
+// with the pass name filled in.
+func TestAnalyzeOrdering(t *testing.T) {
+	prog := mustCompile(t, preamble+`INTEGER M
+M = INT(A(1))
+DO I = 1, M
+  X = X + 1.0
+END DO
+DO K = 10, 1
+  X = X + 1.0
+END DO
+END`)
+	ds := Analyze(prog)
+	if len(ds) < 2 {
+		t.Fatalf("want at least 2 diagnostics, got %v", ds)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Line < ds[i-1].Line {
+			t.Errorf("diagnostics out of line order: %v", ds)
+		}
+	}
+	for _, d := range ds {
+		if d.Pass == "" {
+			t.Errorf("diagnostic %v has no pass name", d)
+		}
+	}
+}
+
+// TestSeverityRoundTrip pins the JSON encoding of severities.
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarning, SevError} {
+		b, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Severity
+		if err := got.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, got)
+		}
+		if _, err := ParseSeverity(s.String()); err != nil {
+			t.Errorf("ParseSeverity(%q): %v", s.String(), err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) should fail")
+	}
+	var s Severity
+	if err := s.UnmarshalJSON([]byte(`"fatal"`)); err == nil {
+		t.Error("UnmarshalJSON(fatal) should fail")
+	}
+}

@@ -235,8 +235,15 @@ END`
 		t.Fatal(err)
 	}
 	_, err = it.Interpret()
-	if err == nil || !strings.Contains(err.Error(), "critical") {
-		t.Errorf("want critical variable error, got %v", err)
+	if err == nil {
+		t.Fatal("want unresolved-bounds error, got nil")
+	}
+	// The error must name the blocking definition and its source line
+	// (M is assigned from a distributed array element at line 7).
+	for _, want := range []string{"loop bounds of I", "blocked by", "M", "line 7"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }
 

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"math"
-
-	"hpfperf/internal/ast"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/sem"
 )
@@ -16,177 +13,13 @@ type absEnv map[string]sem.Value
 
 // evalScalar abstractly evaluates an expression; ok is false when the
 // value depends on run-time data (array elements, reduction results, ...).
+// The evaluation rules live in hir.EvalConst, shared with the static
+// analysis tracer so both layers agree on what is statically determinable.
 func evalScalar(e hir.Expr, env absEnv) (sem.Value, bool) {
-	switch x := e.(type) {
-	case *hir.Const:
-		return x.Val, true
-	case *hir.Ref:
-		v, ok := env[x.Name]
+	return hir.EvalConst(e, func(name string) (sem.Value, bool) {
+		v, ok := env[name]
 		return v, ok
-	case *hir.Elem:
-		return sem.Value{}, false
-	case *hir.Un:
-		v, ok := evalScalar(x.X, env)
-		if !ok {
-			return v, false
-		}
-		switch x.Op {
-		case hir.OpNeg:
-			if v.Type == ast.TInteger {
-				return sem.IntVal(-v.I), true
-			}
-			return sem.RealVal(-v.AsFloat()), true
-		case hir.OpNot:
-			return sem.LogicalVal(!v.B), true
-		}
-		return sem.Value{}, false
-	case *hir.Bin:
-		a, ok := evalScalar(x.X, env)
-		if !ok {
-			return a, false
-		}
-		b, ok := evalScalar(x.Y, env)
-		if !ok {
-			return b, false
-		}
-		return evalBinAbs(x, a, b)
-	case *hir.Intr:
-		args := make([]sem.Value, len(x.Args))
-		for i, a := range x.Args {
-			v, ok := evalScalar(a, env)
-			if !ok {
-				return v, false
-			}
-			args[i] = v
-		}
-		return evalIntrAbs(x.Name, args)
-	}
-	return sem.Value{}, false
-}
-
-func evalBinAbs(x *hir.Bin, a, b sem.Value) (sem.Value, bool) {
-	switch x.Op {
-	case hir.OpAnd:
-		return sem.LogicalVal(a.B && b.B), true
-	case hir.OpOr:
-		return sem.LogicalVal(a.B || b.B), true
-	}
-	if x.Op.IsCompare() {
-		af, bf := a.AsFloat(), b.AsFloat()
-		switch x.Op {
-		case hir.OpEq:
-			return sem.LogicalVal(af == bf), true
-		case hir.OpNe:
-			return sem.LogicalVal(af != bf), true
-		case hir.OpLt:
-			return sem.LogicalVal(af < bf), true
-		case hir.OpLe:
-			return sem.LogicalVal(af <= bf), true
-		case hir.OpGt:
-			return sem.LogicalVal(af > bf), true
-		case hir.OpGe:
-			return sem.LogicalVal(af >= bf), true
-		}
-	}
-	if x.Typ == ast.TInteger {
-		ai, bi := a.AsInt(), b.AsInt()
-		switch x.Op {
-		case hir.OpAdd:
-			return sem.IntVal(ai + bi), true
-		case hir.OpSub:
-			return sem.IntVal(ai - bi), true
-		case hir.OpMul:
-			return sem.IntVal(ai * bi), true
-		case hir.OpDiv:
-			if bi == 0 {
-				return sem.Value{}, false
-			}
-			return sem.IntVal(ai / bi), true
-		case hir.OpPow:
-			if bi < 0 {
-				return sem.IntVal(0), true
-			}
-			r := int64(1)
-			for k := int64(0); k < bi; k++ {
-				r *= ai
-			}
-			return sem.IntVal(r), true
-		}
-	}
-	af, bf := a.AsFloat(), b.AsFloat()
-	switch x.Op {
-	case hir.OpAdd:
-		return sem.RealVal(af + bf), true
-	case hir.OpSub:
-		return sem.RealVal(af - bf), true
-	case hir.OpMul:
-		return sem.RealVal(af * bf), true
-	case hir.OpDiv:
-		return sem.RealVal(af / bf), true
-	case hir.OpPow:
-		return sem.RealVal(math.Pow(af, bf)), true
-	}
-	return sem.Value{}, false
-}
-
-func evalIntrAbs(name string, args []sem.Value) (sem.Value, bool) {
-	f1 := func(fn func(float64) float64) (sem.Value, bool) {
-		return sem.RealVal(fn(args[0].AsFloat())), true
-	}
-	switch name {
-	case "ABS":
-		if args[0].Type == ast.TInteger {
-			v := args[0].I
-			if v < 0 {
-				v = -v
-			}
-			return sem.IntVal(v), true
-		}
-		return f1(math.Abs)
-	case "SQRT":
-		return f1(math.Sqrt)
-	case "EXP":
-		return f1(math.Exp)
-	case "LOG":
-		return f1(math.Log)
-	case "SIN":
-		return f1(math.Sin)
-	case "COS":
-		return f1(math.Cos)
-	case "TAN":
-		return f1(math.Tan)
-	case "ATAN":
-		return f1(math.Atan)
-	case "INT":
-		return sem.IntVal(args[0].AsInt()), true
-	case "REAL", "FLOAT", "DBLE":
-		return sem.RealVal(args[0].AsFloat()), true
-	case "MOD":
-		if args[0].Type == ast.TInteger && args[1].Type == ast.TInteger {
-			if args[1].I == 0 {
-				return sem.Value{}, false
-			}
-			return sem.IntVal(args[0].I % args[1].I), true
-		}
-		return sem.RealVal(math.Mod(args[0].AsFloat(), args[1].AsFloat())), true
-	case "MIN":
-		out := args[0]
-		for _, a := range args[1:] {
-			if a.AsFloat() < out.AsFloat() {
-				out = a
-			}
-		}
-		return out, true
-	case "MAX":
-		out := args[0]
-		for _, a := range args[1:] {
-			if a.AsFloat() > out.AsFloat() {
-				out = a
-			}
-		}
-		return out, true
-	}
-	return sem.Value{}, false
+	})
 }
 
 // killAssigned removes from env every scalar assigned anywhere in the
@@ -225,27 +58,5 @@ func killAssigned(ss []hir.Stmt, env absEnv) {
 // exprVars lists replicated scalar names referenced by an expression
 // (for critical-variable diagnostics).
 func exprVars(e hir.Expr) []string {
-	var out []string
-	var walk func(e hir.Expr)
-	walk = func(e hir.Expr) {
-		switch x := e.(type) {
-		case *hir.Ref:
-			out = append(out, x.Name)
-		case *hir.Bin:
-			walk(x.X)
-			walk(x.Y)
-		case *hir.Un:
-			walk(x.X)
-		case *hir.Intr:
-			for _, a := range x.Args {
-				walk(a)
-			}
-		case *hir.Elem:
-			for _, s := range x.Subs {
-				walk(s)
-			}
-		}
-	}
-	walk(e)
-	return out
+	return hir.ScalarRefs(e)
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"hpfperf/internal/analysis"
 	"hpfperf/internal/dist"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
@@ -125,6 +126,11 @@ type Interpreter struct {
 	pinned   map[string]bool // user-specified critical values never invalidated
 	clock    float64         // running global clock (predicted microseconds)
 
+	// trace holds the definition-tracing result (§4.2): loop bounds the
+	// static analyzer resolved are consulted when the inline abstract
+	// environment cannot resolve them, before demanding Options.Values.
+	trace *analysis.Trace
+
 	ctx       context.Context // cooperative cancellation for Interpret
 	ctxStride int             // AAU interpretations since the last ctx check
 }
@@ -174,6 +180,7 @@ func (it *Interpreter) Interpret() (*Report, error) {
 	it.byLine = make(map[int]*Metrics)
 	it.costs = make(map[hir.Stmt]costParts)
 	it.prepass(it.prog.Body, 0)
+	it.trace = analysis.TraceProgram(it.prog, it.opts.Values)
 
 	env := make(absEnv)
 	for k, v := range it.opts.Values {
@@ -451,7 +458,12 @@ func (it *Interpreter) interpIter(a *AAU, env absEnv, mult float64) (Metrics, er
 	if w, ok := a.Stmt.(*hir.While); ok {
 		trips, ok := it.opts.TripCounts[a.Line]
 		if !ok {
-			return Metrics{}, fmt.Errorf("core: line %d: DO WHILE trip count is a critical value; supply Options.TripCounts[%d]", a.Line, a.Line)
+			// Definition tracing can still prove the loop never runs.
+			if wt := it.trace.Whiles[w]; wt != nil && wt.CondResolved && !wt.CondValue {
+				trips = 0
+			} else {
+				return Metrics{}, fmt.Errorf("core: line %d: DO WHILE trip count is a critical value; supply Options.TripCounts[%d]", a.Line, a.Line)
+			}
 		}
 		condParts := it.costs[a.Stmt]
 		m := Metrics{CompUS: condParts.compUS * float64(trips+1), OvhdUS: condParts.ovhdUS * float64(trips+1), Execs: 1}
@@ -467,6 +479,14 @@ func (it *Interpreter) interpIter(a *AAU, env absEnv, mult float64) (Metrics, er
 
 	x := a.Stmt.(*hir.Loop)
 	lo, hi, step, resolved := it.resolveTriplet(x, env)
+	if !resolved {
+		// Fall back to the definition-tracing result: the fixpoint
+		// analysis resolves bounds the one-pass inline environment loses
+		// (e.g. loop-invariant redefinitions inside an enclosing loop).
+		if lt := it.trace.Loops[x]; lt != nil && lt.Resolved {
+			lo, hi, step, resolved = lt.Lo, lt.Hi, lt.Step, true
+		}
+	}
 	var trips, localTrips float64
 	if !resolved {
 		if t, ok := it.opts.TripCounts[a.Line]; ok {
@@ -475,9 +495,7 @@ func (it *Interpreter) interpIter(a *AAU, env absEnv, mult float64) (Metrics, er
 				localTrips = it.partitionTrips(x.Par, 1, t, 1)
 			}
 		} else {
-			return Metrics{}, fmt.Errorf(
-				"core: line %d: cannot resolve loop bounds of %s (critical variables: %s); supply Options.Values or Options.TripCounts",
-				a.Line, x.Var, strings.Join(criticalVars(x, env), ", "))
+			return Metrics{}, it.loopBoundsErr(a.Line, x, env)
 		}
 	} else {
 		trips = float64(countTrips(lo, hi, step))
@@ -559,6 +577,24 @@ func (it *Interpreter) partitionTrips(par *hir.ParSpec, lo, hi, step int) float6
 	return float64(dd.MaxLoopCount(glo, ghi, step))
 }
 
+// loopBoundsErr builds the last-resort unresolved-bounds error. When the
+// tracer recorded blocking definitions it names each one with its source
+// line; otherwise it falls back to listing the unresolved variables.
+func (it *Interpreter) loopBoundsErr(line int, x *hir.Loop, env absEnv) error {
+	if bs := it.trace.LoopBlockers(x); len(bs) > 0 {
+		parts := make([]string, len(bs))
+		for i, b := range bs {
+			parts[i] = b.String()
+		}
+		return fmt.Errorf(
+			"core: line %d: cannot resolve loop bounds of %s (blocked by: %s); supply Options.Values or Options.TripCounts[%d]",
+			line, x.Var, strings.Join(parts, "; "), line)
+	}
+	return fmt.Errorf(
+		"core: line %d: cannot resolve loop bounds of %s (critical variables: %s); supply Options.Values or Options.TripCounts",
+		line, x.Var, strings.Join(criticalVars(x, env), ", "))
+}
+
 // criticalVars lists the unresolved variable names in loop bounds.
 func criticalVars(x *hir.Loop, env absEnv) []string {
 	seen := make(map[string]bool)
@@ -608,15 +644,14 @@ func (it *Interpreter) interpCondt(a *AAU, env absEnv, mult float64) (Metrics, e
 	}
 
 	if v, ok := evalScalar(x.Cond, env); ok {
-		branch, stmts := then, x.Then
+		branch := then
 		if !v.B {
-			branch, stmts = els, x.Else
+			branch = els
 		}
 		bm, err := it.interpAAUs(branch, env, mult)
 		if err != nil {
 			return Metrics{}, err
 		}
-		_ = stmts
 		self.Accumulate(bm)
 		return self, nil
 	}

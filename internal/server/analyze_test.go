@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// lintySource fires multiple diagnostics: an all-to-all gather inside a
+// loop (warning) and a zero-trip loop (warning).
+const lintySource = `PROGRAM LINTY
+PARAMETER (N = 64)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+!HPF$ DISTRIBUTE B(BLOCK) ONTO P
+DO K = 1, 2
+  FORALL (I=1:N) B(I) = A(N-I+1)
+END DO
+DO I = 10, 1
+  X = X + 1.0
+END DO
+END
+`
+
+func TestAnalyzeHandlerTable(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 16 << 10})
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantStage  string
+	}{
+		{"empty body", ``, http.StatusBadRequest, "decode"},
+		{"invalid json", `{`, http.StatusBadRequest, "decode"},
+		{"unknown field", `{"sauce":"x"}`, http.StatusBadRequest, "decode"},
+		{"missing source", `{"timeout_ms":5}`, http.StatusBadRequest, "decode"},
+		{"blank source", `{"source":"   "}`, http.StatusBadRequest, "decode"},
+		{"bad source", `{"source":"this is not fortran"}`, http.StatusBadRequest, "compile"},
+		{"oversized body", `{"source":"` + strings.Repeat("x", 20<<10) + `"}`, http.StatusRequestEntityTooLarge, "decode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("post: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var e ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("error body: %v", err)
+			}
+			if e.Stage != tc.wantStage {
+				t.Errorf("stage = %q (%s), want %q", e.Stage, e.Error, tc.wantStage)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/analyze")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+func TestAnalyzeSuccess(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: lintySource})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ar.Program != "LINTY" || ar.Procs != 4 {
+		t.Errorf("program/procs = %q/%d, want LINTY/4", ar.Program, ar.Procs)
+	}
+	if ar.Warnings < 2 {
+		t.Errorf("warnings = %d, want >= 2 (gather-in-loop and zero-trip)", ar.Warnings)
+	}
+	codes := map[string]bool{}
+	for _, d := range ar.Diagnostics {
+		codes[d.Code] = true
+	}
+	for _, want := range []string{"HPF0101", "HPF0401"} {
+		if !codes[want] {
+			t.Errorf("diagnostics missing %s: %s", want, body)
+		}
+	}
+	if ar.Errors != 0 {
+		t.Errorf("errors = %d, want 0", ar.Errors)
+	}
+	if ar.ElapsedUS <= 0 {
+		t.Errorf("elapsed_us = %v, want > 0", ar.ElapsedUS)
+	}
+}
+
+// TestAnalyzeCleanProgramEmptyDiagnostics: the diagnostics field must be
+// present (an empty array, not null) when nothing fires — part of the
+// JSON schema contract.
+func TestAnalyzeCleanProgramEmptyDiagnostics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: bigSource(5)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := raw["diagnostics"]
+	if !ok || string(ds) == "null" {
+		t.Fatalf("diagnostics must be a JSON array, got %s", body)
+	}
+}
+
+func TestAnalyzeDeadline(t *testing.T) {
+	// A fresh server has a cold compile cache, and a program with tens of
+	// thousands of statements takes well over 1ms to compile, so the
+	// deadline is expired by the time the analysis passes would start.
+	var b strings.Builder
+	b.WriteString("PROGRAM SLOW\nPARAMETER (N = 64)\nREAL A(N)\n")
+	b.WriteString("!HPF$ PROCESSORS P(4)\n!HPF$ DISTRIBUTE A(BLOCK) ONTO P\n")
+	for i := 0; i < 30000; i++ {
+		b.WriteString("X = X + 1.0\n")
+	}
+	b.WriteString("END\n")
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 4 << 20})
+	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: b.String(), TimeoutMS: 1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stage != "deadline" {
+		t.Errorf("stage = %q, want deadline", e.Stage)
+	}
+}
+
+func TestAnalyzeMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: lintySource})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`hpfserve_requests_total{route="analyze",code="200"} 1`,
+		`hpfserve_request_duration_seconds_count{route="analyze"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"hpfperf/internal/analysis"
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
 	"hpfperf/internal/sem"
@@ -161,6 +162,27 @@ type AutotuneResponse struct {
 	// BestSource is the recommended rewritten program (when requested).
 	BestSource string  `json:"best_source,omitempty"`
 	ElapsedUS  float64 `json:"elapsed_us"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Source is the HPF/Fortran 90D program text (required).
+	Source string `json:"source"`
+	// TimeoutMS caps this request's wall time (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// AnalyzeResponse is the body of a successful analyze call. Diagnostics
+// is always present (possibly empty) so the schema is stable for clean
+// programs.
+type AnalyzeResponse struct {
+	Program     string                `json:"program"`
+	Procs       int                   `json:"procs"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Errors      int                   `json:"errors"`
+	Warnings    int                   `json:"warnings"`
+	Infos       int                   `json:"infos"`
+	ElapsedUS   float64               `json:"elapsed_us"`
 }
 
 // ErrorResponse is the body of every non-2xx API response.

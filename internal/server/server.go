@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hpfperf/internal/analysis"
 	"hpfperf/internal/autotune"
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/exec"
@@ -66,6 +67,7 @@ const (
 	routePredict  = "predict"
 	routeMeasure  = "measure"
 	routeAutotune = "autotune"
+	routeAnalyze  = "analyze"
 )
 
 // New builds a Server from cfg.
@@ -94,11 +96,12 @@ func New(cfg Config) *Server {
 		eng: eng,
 		mux: http.NewServeMux(),
 		sem: make(chan struct{}, cfg.MaxConcurrent),
-		met: newMetrics([]string{routePredict, routeMeasure, routeAutotune}),
+		met: newMetrics([]string{routePredict, routeMeasure, routeAutotune, routeAnalyze}),
 	}
 	s.mux.HandleFunc("/v1/predict", s.api(routePredict, s.handlePredict))
 	s.mux.HandleFunc("/v1/measure", s.api(routeMeasure, s.handleMeasure))
 	s.mux.HandleFunc("/v1/autotune", s.api(routeAutotune, s.handleAutotune))
+	s.mux.HandleFunc("/v1/analyze", s.api(routeAnalyze, s.handleAnalyze))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -404,6 +407,41 @@ func (s *Server) handleAutotune(ctx context.Context, body []byte) (any, *apiErro
 		resp.BestSource = cands[0].Source
 	}
 	return resp, nil
+}
+
+func (s *Server) handleAnalyze(ctx context.Context, body []byte) (any, *apiError) {
+	var req AnalyzeRequest
+	if aerr := decode(body, &req); aerr != nil {
+		return nil, aerr
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, errf(http.StatusBadRequest, "decode", "source is required")
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	prog, err := s.eng.CompileContext(ctx, req.Source, compiler.Options{})
+	if err != nil {
+		return nil, ctxErr(err, http.StatusBadRequest, "compile")
+	}
+	// The passes themselves are not context-aware (they are bounded by
+	// the tracer's statement budget); honor an already-expired deadline
+	// before starting them.
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err, http.StatusGatewayTimeout, "analyze")
+	}
+	rep := analysis.NewReport("", prog)
+	e, w, i := rep.Counts()
+	return &AnalyzeResponse{
+		Program:     rep.Program,
+		Procs:       rep.Procs,
+		Diagnostics: rep.Diagnostics,
+		Errors:      e,
+		Warnings:    w,
+		Infos:       i,
+		ElapsedUS:   float64(time.Since(start)) / float64(time.Microsecond),
+	}, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
