@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"hpfperf/internal/experiments"
+	"hpfperf/internal/faults"
 	"hpfperf/internal/sweep"
 )
 
@@ -27,14 +28,25 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
 		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		stats   = flag.Bool("stats", false, "print sweep engine statistics (compile/interpret/execute counters, cache hits/misses, points/sec) to stderr")
+		ckpt    = flag.String("checkpoint", "", "directory for sweep checkpoints; a killed run resumes from completed points")
 	)
 	flag.Parse()
+
+	// HPFPERF_FAULTS activates deterministic fault injection (chaos
+	// testing of sweeps, retries and checkpoint/resume).
+	if spec := os.Getenv("HPFPERF_FAULTS"); spec != "" {
+		inj, err := faults.Parse(spec, 1)
+		check(err)
+		faults.Activate(inj)
+		fmt.Fprintf(os.Stderr, "hpfexp: CHAOS MODE: injecting faults (%s)\n", spec)
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Runs = *runs
+	cfg.CheckpointDir = *ckpt
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}

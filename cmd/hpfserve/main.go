@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"hpfperf/internal/faults"
 	"hpfperf/internal/server"
 )
 
@@ -38,6 +39,12 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested timeouts")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
 		quiet      = flag.Bool("quiet", false, "suppress request logging")
+		queueWait  = flag.Duration("queue-wait", 0, "how long a request may wait for a worker slot before being shed (0 = 10s)")
+		queueDepth = flag.Int("queue-depth", 0, "waiting requests admitted before immediate shedding (0 = 4x max-concurrent)")
+		brThresh   = flag.Int("breaker-threshold", 0, "consecutive internal failures that open a route's circuit breaker (0 = 8, negative disables)")
+		brCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds a route before probing (0 = 5s)")
+		chaos      = flag.String("chaos", "", "fault-injection spec site:rate[:kind[:delay]],... (default from HPFPERF_FAULTS; kinds: error, panic, delay)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection decisions")
 	)
 	flag.Parse()
 
@@ -46,14 +53,32 @@ func main() {
 	if !*quiet {
 		reqLog = logger
 	}
+
+	spec := *chaos
+	if spec == "" {
+		spec = os.Getenv("HPFPERF_FAULTS")
+	}
+	if spec != "" {
+		inj, err := faults.Parse(spec, *chaosSeed)
+		if err != nil {
+			logger.Fatalf("chaos: %v", err)
+		}
+		faults.Activate(inj)
+		logger.Printf("CHAOS MODE: injecting faults (%s, seed=%d) — not for production use", spec, *chaosSeed)
+	}
+
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		CacheEntries:   *cacheSize,
-		MaxBodyBytes:   *maxBody,
-		MaxConcurrent:  *maxConc,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Log:            reqLog,
+		Workers:          *workers,
+		CacheEntries:     *cacheSize,
+		MaxBodyBytes:     *maxBody,
+		MaxConcurrent:    *maxConc,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		QueueWait:        *queueWait,
+		MaxQueueDepth:    *queueDepth,
+		BreakerThreshold: *brThresh,
+		BreakerCooldown:  *brCooldown,
+		Log:              reqLog,
 	})
 
 	httpSrv := &http.Server{

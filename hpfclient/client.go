@@ -1,0 +1,312 @@
+// Package hpfclient is the Go client for the hpfserve HTTP API. It
+// wraps the /v1 endpoints with context-aware retries: transient
+// failures — network errors, 429 shed responses, 503 overload/breaker
+// rejections, 502s from intermediaries — are retried with full-jitter
+// exponential backoff, honoring the server's Retry-After header when
+// present. Permanent failures (4xx client errors, 500 internal
+// errors, 504 deadline expiries) surface immediately as *APIError.
+package hpfclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpfperf/internal/server"
+)
+
+// Re-exported request/response types so callers need not import the
+// internal server package (which they cannot, from outside the module).
+type (
+	// PredictRequest is the body of POST /v1/predict.
+	PredictRequest = server.PredictRequest
+	// PredictResponse is the body of a successful predict call.
+	PredictResponse = server.PredictResponse
+	// PredictOptions selects the model options of one request.
+	PredictOptions = server.PredictOptions
+	// MeasureRequest is the body of POST /v1/measure.
+	MeasureRequest = server.MeasureRequest
+	// MeasureResponse is the body of a successful measure call.
+	MeasureResponse = server.MeasureResponse
+	// AutotuneRequest is the body of POST /v1/autotune.
+	AutotuneRequest = server.AutotuneRequest
+	// AutotuneResponse is the body of a successful autotune call.
+	AutotuneResponse = server.AutotuneResponse
+	// AnalyzeRequest is the body of POST /v1/analyze.
+	AnalyzeRequest = server.AnalyzeRequest
+	// AnalyzeResponse is the body of a successful analyze call.
+	AnalyzeResponse = server.AnalyzeResponse
+	// HealthResponse is the body of GET /healthz.
+	HealthResponse = server.HealthResponse
+)
+
+// APIError is a non-2xx response from hpfserve.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Stage is the server-reported pipeline stage ("compile",
+	// "overload", "transient", ...). Empty when the body was not a
+	// structured error.
+	Stage string
+	// Message is the server-reported error text.
+	Message string
+
+	// retryAfter is the server-advertised Retry-After wait (0 = none);
+	// advice for the retry loop, not part of the error's identity.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("hpfserve: %d (%s): %s", e.Status, e.Stage, e.Message)
+	}
+	return fmt.Sprintf("hpfserve: %d: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether the request is worth retrying: the server
+// shed it (429), refused it while overloaded or draining (503), or an
+// intermediary failed (502). 500s are real pipeline failures and 504s
+// already consumed the request's deadline, so neither is temporary.
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// RetryPolicy bounds the client-side retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// 0 means DefaultRetryPolicy's value; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (full jitter).
+	BaseDelay time.Duration
+	// MaxDelay caps both the computed backoff and any server-advertised
+	// Retry-After wait.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries up to 4 attempts with 100ms..2s backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// backoff returns a full-jitter delay for the given retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	max := p.BaseDelay << uint(retry-1)
+	if max > p.MaxDelay || max <= 0 {
+		max = p.MaxDelay
+	}
+	return time.Duration(rand.Int64N(int64(max)) + 1)
+}
+
+// Config configures a Client.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient is the transport (nil = a client with a 60s timeout).
+	HTTPClient *http.Client
+	// Retry bounds the retry loop (zero value = DefaultRetryPolicy).
+	Retry RetryPolicy
+}
+
+// Client talks to one hpfserve instance.
+type Client struct {
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+}
+
+// New returns a client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{
+		base:  strings.TrimRight(cfg.BaseURL, "/"),
+		hc:    hc,
+		retry: cfg.Retry.normalized(),
+	}
+}
+
+// Predict calls POST /v1/predict.
+func (c *Client) Predict(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
+	var resp PredictResponse
+	if err := c.do(ctx, "/v1/predict", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Measure calls POST /v1/measure.
+func (c *Client) Measure(ctx context.Context, req *MeasureRequest) (*MeasureResponse, error) {
+	var resp MeasureResponse
+	if err := c.do(ctx, "/v1/measure", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Autotune calls POST /v1/autotune.
+func (c *Client) Autotune(ctx context.Context, req *AutotuneRequest) (*AutotuneResponse, error) {
+	var resp AutotuneResponse
+	if err := c.do(ctx, "/v1/autotune", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Analyze calls POST /v1/analyze.
+func (c *Client) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	var resp AnalyzeResponse
+	if err := c.do(ctx, "/v1/analyze", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health calls GET /healthz. A draining server answers 503 with a
+// valid body; that is returned as a response, not an error.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(hresp.Body)
+	var out HealthResponse
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 1<<20)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("healthz: decoding %d response: %w", hresp.StatusCode, err)
+	}
+	return &out, nil
+}
+
+// do POSTs req as JSON to path, retrying temporary failures, and
+// decodes a 200 body into out.
+func (c *Client) do(ctx context.Context, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("encoding request: %w", err)
+	}
+	var last error
+	for attempt := 1; ; attempt++ {
+		last = c.once(ctx, path, body, out)
+		if last == nil || attempt >= c.retry.MaxAttempts || !retryable(last) {
+			return last
+		}
+		wait := c.retry.backoff(attempt)
+		var ae *APIError
+		if errors.As(last, &ae) && ae.retryAfter > 0 {
+			wait = ae.retryAfter
+			if wait > c.retry.MaxDelay {
+				wait = c.retry.MaxDelay
+			}
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return last
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		// Network-level failure: retryable unless the context ended.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &netError{err: err}
+	}
+	defer drain(hresp.Body)
+	lr := io.LimitReader(hresp.Body, 8<<20)
+	if hresp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(lr).Decode(out); err != nil {
+			return fmt.Errorf("decoding response: %w", err)
+		}
+		return nil
+	}
+	ae := &APIError{Status: hresp.StatusCode, retryAfter: parseRetryAfter(hresp.Header.Get("Retry-After"))}
+	var er server.ErrorResponse
+	raw, _ := io.ReadAll(lr)
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+		ae.Stage = er.Stage
+		ae.Message = er.Error
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	return ae
+}
+
+// netError wraps a transport failure so the retry loop can tell it
+// apart from encode/decode bugs (which retrying cannot fix).
+type netError struct{ err error }
+
+func (e *netError) Error() string   { return e.err.Error() }
+func (e *netError) Unwrap() error   { return e.err }
+func (e *netError) Temporary() bool { return true }
+
+func retryable(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// parseRetryAfter reads a Retry-After header value: integer seconds or
+// an HTTP date. Returns 0 when absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+func drain(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
+	_ = rc.Close()
+}

@@ -1,0 +1,246 @@
+package hpfclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpfperf/internal/server"
+)
+
+const tinyProgram = `      PROGRAM TINY
+!HPF$ PROCESSORS P(4)
+      REAL A(32)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+      A = 1.0
+      PRINT *, A(1)
+      END PROGRAM TINY
+`
+
+func fastClient(url string, attempts int) *Client {
+	return New(Config{
+		BaseURL: url,
+		Retry:   RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+}
+
+func TestPredictAgainstRealServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	resp, err := c.Predict(context.Background(), &PredictRequest{Source: tinyProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program != "TINY" || resp.Procs != 4 || resp.EstUS <= 0 {
+		t.Errorf("resp = %+v", resp)
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestRetriesTemporaryStatuses(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "overloaded", Stage: "overload"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.AnalyzeResponse{Program: "OK"})
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL, 4)
+	resp, err := c.Analyze(context.Background(), &AnalyzeRequest{Source: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program != "OK" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3", n)
+	}
+}
+
+func TestDoesNotRetryPermanentStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusInternalServerError, http.StatusGatewayTimeout} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "nope", Stage: "compile"})
+		}))
+		c := fastClient(ts.URL, 5)
+		_, err := c.Predict(context.Background(), &PredictRequest{Source: "x"})
+		ts.Close()
+		ae, ok := err.(*APIError)
+		if !ok {
+			t.Fatalf("status %d: err = %T %v, want *APIError", status, err, err)
+		}
+		if ae.Status != status || ae.Stage != "compile" || ae.Message != "nope" {
+			t.Errorf("status %d: APIError = %+v", status, ae)
+		}
+		if n := calls.Load(); n != 1 {
+			t.Errorf("status %d: server saw %d calls, want 1 (no retry)", status, n)
+		}
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "shed", Stage: "overload"})
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL, 3)
+	_, err := c.Measure(context.Background(), &MeasureRequest{Source: "x"})
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v", err)
+	}
+	if !ae.Temporary() {
+		t.Error("429 should be Temporary")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (MaxAttempts)", n)
+	}
+}
+
+func TestRetriesNetworkErrors(t *testing.T) {
+	// A connection-refused address: every attempt fails at the dial.
+	c := fastClient("http://127.0.0.1:1", 3)
+	start := time.Now()
+	_, err := c.Predict(context.Background(), &PredictRequest{Source: "x"})
+	if err == nil {
+		t.Fatal("want network error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("retry loop took %v, backoff not bounded", elapsed)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(Config{
+		BaseURL: ts.URL,
+		// Large MaxDelay so the Retry-After wait would dominate without
+		// cancellation.
+		Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Minute},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Predict(ctx, &PredictRequest{Source: "x"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation did not interrupt the Retry-After wait (%v)", elapsed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"2", 2 * time.Second},
+		{"nonsense", 0},
+		{"-3", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// HTTP-date form: a date ~2s out parses to a positive wait.
+	future := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 0 || got > 3*time.Second {
+		t.Errorf("parseRetryAfter(date) = %v", got)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	// The server advertises a 1s wait; with a tiny backoff policy the
+	// gap between attempts must reflect the header, capped by MaxDelay.
+	var times []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		times = append(times, time.Now())
+		if len(times) < 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(server.AnalyzeResponse{Program: "OK"})
+	}))
+	defer ts.Close()
+	c := New(Config{
+		BaseURL: ts.URL,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 300 * time.Millisecond},
+	})
+	if _, err := c.Analyze(context.Background(), &AnalyzeRequest{Source: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("server saw %d calls", len(times))
+	}
+	// The advertised 1s exceeds MaxDelay (300ms), so the wait is capped
+	// but still far above the 1ms base backoff.
+	if gap := times[1].Sub(times[0]); gap < 250*time.Millisecond || gap > 2*time.Second {
+		t.Errorf("gap between attempts = %v, want ≈300ms (capped Retry-After)", gap)
+	}
+}
+
+func TestErrorStringForms(t *testing.T) {
+	withStage := &APIError{Status: 503, Stage: "overload", Message: "shed"}
+	if got := withStage.Error(); got != "hpfserve: 503 (overload): shed" {
+		t.Errorf("Error() = %q", got)
+	}
+	plain := &APIError{Status: 404, Message: "not found"}
+	if got := plain.Error(); got != "hpfserve: 404: not found" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestAutotuneAndNetErrorForms(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/autotune" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(server.AutotuneResponse{BestSource: "rewritten"})
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	resp, err := c.Autotune(context.Background(), &AutotuneRequest{Source: tinyProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.BestSource != "rewritten" {
+		t.Errorf("resp = %+v", resp)
+	}
+
+	ne := &netError{err: context.DeadlineExceeded}
+	if ne.Error() != context.DeadlineExceeded.Error() || ne.Unwrap() != context.DeadlineExceeded || !ne.Temporary() {
+		t.Errorf("netError wrapper misbehaves: %v", ne)
+	}
+}

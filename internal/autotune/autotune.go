@@ -9,7 +9,10 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"strings"
 
@@ -62,6 +65,11 @@ type Options struct {
 	// Engine evaluates candidates (worker pool + compile/prediction
 	// cache); nil uses the process-wide shared engine.
 	Engine *sweep.Engine
+	// Checkpoint, when non-empty, is a file recording each evaluated
+	// candidate so a killed search resumes from the completed ones. The
+	// file is keyed by the source and search parameters (a mismatched
+	// file restarts the search) and removed on success.
+	Checkpoint string
 }
 
 // Search enumerates directive variants of src, interprets each on the
@@ -106,14 +114,29 @@ func SearchContext(ctx context.Context, src string, opts Options) ([]Candidate, 
 	if eng == nil {
 		eng = sweep.Default()
 	}
+	var ck *sweep.Checkpoint
+	if opts.Checkpoint != "" {
+		h := fnv.New64a()
+		io.WriteString(h, src)
+		ck = &sweep.Checkpoint{
+			Path: opts.Checkpoint,
+			Key: fmt.Sprintf("autotune|procs=%d|nocyclic=%t|rank=%d|src=%x",
+				opts.Procs, opts.NoCyclic, opts.MaxRank, h.Sum64()),
+		}
+	}
 	// Candidate evaluations are independent; Map preserves index order,
 	// so the stable rank below stays byte-identical to a serial loop.
-	_, err = sweep.MapCtx(ctx, eng, len(out), func(i int) (struct{}, error) {
-		evalCandidate(ctx, &out[i], eng, opts.Interp)
-		return struct{}{}, ctx.Err()
+	evals, err := sweep.MapCheckpointCtx(ctx, eng, len(out), ck, func(i int) (candEval, error) {
+		return evalCandidate(ctx, out[i].Source, eng, opts.Interp), ctx.Err()
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, ev := range evals {
+		out[i].EstUS = ev.EstUS
+		if ev.Err != "" {
+			out[i].Err = errors.New(ev.Err)
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].EstUS < out[j].EstUS })
 	return out, nil
@@ -278,13 +301,20 @@ func buildCandidate(src string, shape *programShape, grid []int, formats []strin
 	return cand, false
 }
 
+// candEval is the checkpointable outcome of one candidate evaluation.
+// Errors travel as strings so the value round-trips through JSON; a
+// resumed search reconstructs Candidate.Err from the recorded text.
+type candEval struct {
+	EstUS float64 `json:"est_us"`
+	Err   string  `json:"err,omitempty"`
+}
+
 // evalCandidate compiles (cached) and interprets one variant.
-func evalCandidate(ctx context.Context, c *Candidate, eng *sweep.Engine, interp core.Options) {
+func evalCandidate(ctx context.Context, src string, eng *sweep.Engine, interp core.Options) candEval {
 	const invalid = 1e308
-	rep, err := eng.InterpretContext(ctx, c.Source, compiler.Options{}, interp)
+	rep, err := eng.InterpretContext(ctx, src, compiler.Options{}, interp)
 	if err != nil {
-		c.EstUS, c.Err = invalid, err
-		return
+		return candEval{EstUS: invalid, Err: err.Error()}
 	}
-	c.EstUS = rep.TotalUS()
+	return candEval{EstUS: rep.TotalUS()}
 }

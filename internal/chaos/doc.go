@@ -1,0 +1,14 @@
+// Package chaos holds the end-to-end fault-injection test suite: it
+// drives the serving stack and the experiment sweeps with the faults
+// package active at configurable rates and asserts the resilience
+// contract — the server stays up and correct under injected errors,
+// panics and delays; sweeps retry transient failures to byte-identical
+// results; a killed checkpointed sweep resumes without recomputing
+// completed points.
+//
+// The injection rate scales with the HPFPERF_CHAOS_RATE environment
+// variable (default 0.10), so CI can run a small rate matrix without
+// code changes. There is no non-test code here; the package exists to
+// keep the chaos harness separate from the unit suites of the packages
+// it exercises.
+package chaos

@@ -8,6 +8,7 @@ import (
 
 	"hpfperf/internal/analysis"
 	"hpfperf/internal/dist"
+	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
 	"hpfperf/internal/sem"
@@ -176,6 +177,11 @@ func NewContext(ctx context.Context, prog *hir.Program, mach *sysmodel.Machine, 
 // Interpret runs the interpretation algorithm over the SAAG and returns
 // the predicted performance report.
 func (it *Interpreter) Interpret() (*Report, error) {
+	// Chaos hook at entry, so the interp site is reachable even for
+	// programs too small to hit the per-stride hook below.
+	if err := faults.Fire(faults.SiteInterp); err != nil {
+		return nil, err
+	}
 	it.saag = BuildSAAG(it.prog)
 	it.byLine = make(map[int]*Metrics)
 	it.costs = make(map[hir.Stmt]costParts)
@@ -403,6 +409,11 @@ func (it *Interpreter) interpAAUs(aaus []*AAU, env absEnv, mult float64) (Metric
 		if it.ctxStride++; it.ctxStride >= ctxCheckStride {
 			it.ctxStride = 0
 			if err := it.ctx.Err(); err != nil {
+				return total, err
+			}
+			// Chaos hook: shares the stride so the happy path stays one
+			// counter increment per AAU.
+			if err := faults.Fire(faults.SiteInterp); err != nil {
 				return total, err
 			}
 		}

@@ -9,6 +9,7 @@ import (
 
 	"hpfperf/internal/ast"
 	"hpfperf/internal/dist"
+	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
 	"hpfperf/internal/sem"
@@ -214,6 +215,11 @@ func (vm *VM) tick() error {
 	}
 	if vm.steps%ctxCheckSteps == 0 {
 		if err := vm.ctx.Err(); err != nil {
+			return err
+		}
+		// Chaos hook: shares the stride so the statement loop stays at
+		// one modulo per statement when chaos is off.
+		if err := faults.Fire(faults.SiteExec); err != nil {
 			return err
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"sync"
 
 	"hpfperf/internal/compiler"
@@ -56,6 +57,12 @@ type Config struct {
 	// Workers bounds pool concurrency when Engine is nil (<= 0 uses
 	// GOMAXPROCS); the derived engine still shares the default cache.
 	Workers int
+	// CheckpointDir, when non-empty, makes each sweep record completed
+	// points to <dir>/<artifact>.ckpt so a killed run resumes from
+	// where it stopped; point evaluation is deterministic, so a resumed
+	// run renders byte-identical output. The file is removed when the
+	// sweep completes.
+	CheckpointDir string
 }
 
 // DefaultConfig returns the full-fidelity experiment configuration.
@@ -77,6 +84,21 @@ func (c Config) engine() *sweep.Engine {
 		return sweep.New(sweep.Options{Workers: c.Workers, Cache: d.Cache(), Stats: d.Stats()})
 	}
 	return sweep.Default()
+}
+
+// checkpoint returns the durable-progress configuration for one
+// artifact's sweep, or nil when checkpointing is off. The key
+// fingerprints every Config field that changes point values or the
+// point grid, so stale state from a different configuration is
+// discarded rather than resumed.
+func (c Config) checkpoint(artifact string) *sweep.Checkpoint {
+	if c.CheckpointDir == "" {
+		return nil
+	}
+	return &sweep.Checkpoint{
+		Path: filepath.Join(c.CheckpointDir, artifact+".ckpt"),
+		Key:  fmt.Sprintf("%s|quick=%t|runs=%d|perturb=%g", artifact, c.Quick, c.Runs, c.Perturb),
+	}
 }
 
 var logMu sync.Mutex
@@ -209,7 +231,7 @@ func Table2(cfg Config) ([]AccuracyRow, error) {
 		}
 	}
 	eng := cfg.engine()
-	res, err := sweep.Map(eng, len(pts), func(k int) (AccuracyPoint, error) {
+	res, err := sweep.MapCheckpoint(eng, len(pts), cfg.checkpoint("table2"), func(k int) (AccuracyPoint, error) {
 		pt := pts[k]
 		p := progs[pt.row]
 		ap, err := accuracyPoint(eng, p, pt.size, pt.procs, cfg)
@@ -362,7 +384,7 @@ func Figure45(procs int, cfg Config) ([]LaplaceSeries, error) {
 		}
 	}
 	eng := cfg.engine()
-	res, err := sweep.Map(eng, len(pts), func(k int) ([2]float64, error) {
+	res, err := sweep.MapCheckpoint(eng, len(pts), cfg.checkpoint(fmt.Sprintf("fig45-p%d", procs)), func(k int) ([2]float64, error) {
 		pt := pts[k]
 		cse := cases[pt.cse]
 		n := sizes[pt.sizeIdx]
@@ -535,7 +557,7 @@ func Figure8(cfg Config) ([]ExperimentTime, error) {
 		}
 	}
 	eng := cfg.engine()
-	res, err := sweep.Map(eng, len(pts), func(k int) (float64, error) {
+	res, err := sweep.MapCheckpoint(eng, len(pts), cfg.checkpoint("fig8"), func(k int) (float64, error) {
 		pt := pts[k]
 		src := cases[pt.cse].prog.Source(sizes[pt.sizeIdx], 4)
 		_, meas, err := eng.EstimateAndMeasure(src, cfg.Runs, cfg.Perturb)

@@ -189,7 +189,9 @@ type AnalyzeResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Stage names the pipeline stage that failed ("decode", "compile",
-	// "interpret", "execute", "search", "deadline", "internal").
+	// "interpret", "execute", "search", "deadline", "internal",
+	// "overload" for shed/breaker/drain rejections, "transient" for
+	// retryable failures worth resubmitting).
 	Stage string `json:"stage,omitempty"`
 }
 

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a per-route circuit breaker state, exported in
+// /metrics as a gauge.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits all requests (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits a single probe request.
+	BreakerHalfOpen
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-route circuit breaker: after threshold consecutive
+// internal failures (HTTP 500 — panics and injected faults, never
+// client errors or deadline expiries) it opens and sheds the route's
+// requests for cooldown, then admits a single half-open probe whose
+// outcome closes or re-opens it. This keeps a route whose pipeline is
+// persistently crashing from burning worker slots that healthy routes
+// need — load shedding by failure history rather than by queue depth.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // lifetime count of closed/half-open -> open
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may proceed. When it may not, retry
+// is how long the caller should advertise in Retry-After.
+func (b *breaker) allow(now time.Time) (retry time.Duration, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if since := now.Sub(b.openedAt); since >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return 0, true // this request is the probe
+		} else {
+			return b.cooldown - since, false
+		}
+	case BreakerHalfOpen:
+		if b.probing {
+			return b.cooldown, false // one probe at a time
+		}
+		b.probing = true
+		return 0, true
+	}
+	return 0, true
+}
+
+// report records a request outcome. failure means an internal server
+// failure (HTTP 500), not any non-2xx.
+func (b *breaker) report(failure bool, now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !failure:
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+	case b.state == BreakerHalfOpen:
+		// The probe failed: re-open and restart the cooldown.
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.opens++
+	default:
+		b.fails++
+		if b.state == BreakerClosed && b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	}
+}
+
+// snapshot returns the state and lifetime open count for /metrics.
+func (b *breaker) snapshot() (BreakerState, int64) {
+	if b == nil {
+		return BreakerClosed, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

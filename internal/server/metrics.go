@@ -40,11 +40,21 @@ func (h *histogram) observe(seconds float64) {
 // (compiles, cache hits, evictions) are read live from the engine at
 // render time rather than duplicated here.
 type metrics struct {
-	requests map[string]*atomic.Int64 // "route|code" -> count
-	latency  map[string]*histogram    // route -> histogram
-	inflight atomic.Int64
-	rejected atomic.Int64 // requests refused by the concurrency gate
-	panics   atomic.Int64 // handler panics recovered
+	requests        map[string]*atomic.Int64 // "route|code" -> count
+	latency         map[string]*histogram    // route -> histogram
+	inflight        atomic.Int64
+	queued          atomic.Int64 // requests currently waiting for a worker slot
+	rejected        atomic.Int64 // drain refusals + clients gone while queued
+	shed            atomic.Int64 // requests shed by the gate with 429 + Retry-After
+	breakerRejected atomic.Int64 // requests refused by an open circuit breaker
+	panics          atomic.Int64 // handler panics recovered
+}
+
+// breakerStat is one route's circuit-breaker view for /metrics.
+type breakerStat struct {
+	route string
+	state BreakerState
+	opens int64
 }
 
 func newMetrics(routes []string) *metrics {
@@ -66,7 +76,7 @@ func (m *metrics) key(route string, code int) string {
 
 // render writes the Prometheus text exposition of the server counters
 // plus the live sweep-engine and cache counters.
-func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.CacheStats) {
+func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.CacheStats, brs []breakerStat) {
 	fmt.Fprintf(b, "# HELP hpfserve_requests_total Completed requests by route and status code.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_requests_total counter\n")
 	keys := make([]string, 0, len(m.requests))
@@ -102,12 +112,37 @@ func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.Cache
 	fmt.Fprintf(b, "# HELP hpfserve_inflight_requests Requests currently being served.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_inflight_requests gauge\n")
 	fmt.Fprintf(b, "hpfserve_inflight_requests %d\n", m.inflight.Load())
-	fmt.Fprintf(b, "# HELP hpfserve_rejected_total Requests refused by the concurrency gate or during drain.\n")
+	fmt.Fprintf(b, "# HELP hpfserve_queued_requests Requests currently waiting for a worker slot.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_queued_requests gauge\n")
+	fmt.Fprintf(b, "hpfserve_queued_requests %d\n", m.queued.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_rejected_total Requests refused during drain or abandoned by their client while queued.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_rejected_total counter\n")
 	fmt.Fprintf(b, "hpfserve_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_shed_total Requests shed by the saturated concurrency gate (429 + Retry-After).\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_shed_total counter\n")
+	fmt.Fprintf(b, "hpfserve_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_breaker_rejected_total Requests refused by an open circuit breaker.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_breaker_rejected_total counter\n")
+	fmt.Fprintf(b, "hpfserve_breaker_rejected_total %d\n", m.breakerRejected.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_breaker_state Circuit breaker state by route (0=closed, 1=half-open, 2=open).\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_breaker_state gauge\n")
+	for _, br := range brs {
+		fmt.Fprintf(b, "hpfserve_breaker_state{route=%q} %d\n", br.route, int(br.state))
+	}
+	fmt.Fprintf(b, "# HELP hpfserve_breaker_opens_total Circuit breaker open transitions by route.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_breaker_opens_total counter\n")
+	for _, br := range brs {
+		fmt.Fprintf(b, "hpfserve_breaker_opens_total{route=%q} %d\n", br.route, br.opens)
+	}
 	fmt.Fprintf(b, "# HELP hpfserve_panics_total Handler panics recovered into error responses.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_panics_total counter\n")
 	fmt.Fprintf(b, "hpfserve_panics_total %d\n", m.panics.Load())
+	fmt.Fprintf(b, "# HELP sweep_point_retries_total Transient sweep-point failures retried with backoff.\n")
+	fmt.Fprintf(b, "# TYPE sweep_point_retries_total counter\n")
+	fmt.Fprintf(b, "sweep_point_retries_total %d\n", snap.Retries)
+	fmt.Fprintf(b, "# HELP sweep_point_panics_total Sweep-point panics recovered into typed errors.\n")
+	fmt.Fprintf(b, "# TYPE sweep_point_panics_total counter\n")
+	fmt.Fprintf(b, "sweep_point_panics_total %d\n", snap.PointPanics)
 
 	fmt.Fprintf(b, "# HELP sweep_stage_runs_total Pipeline stage executions (cache misses that did work).\n")
 	fmt.Fprintf(b, "# TYPE sweep_stage_runs_total counter\n")

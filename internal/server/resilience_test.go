@@ -1,0 +1,329 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpfperf/internal/faults"
+	"hpfperf/internal/sweep"
+)
+
+const tinyProgram = `      PROGRAM TINY
+!HPF$ PROCESSORS P(4)
+      REAL A(32)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+      A = 1.0
+      PRINT *, A(1)
+      END PROGRAM TINY
+`
+
+func withServerFaults(t *testing.T, spec string, seed int64) {
+	t.Helper()
+	inj, err := faults.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Activate(inj)
+	t.Cleanup(faults.Deactivate)
+}
+
+// TestQueueFullShedsImmediately pins the load-shedding satellite: with
+// one worker slot and queue depth 1, a third concurrent request must be
+// shed at once with 429 + Retry-After and counted in hpfserve_shed_total
+// (not in the drain/abandon counter).
+func TestQueueFullShedsImmediately(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		MaxQueueDepth: 1,
+		QueueWait:     5 * time.Second,
+	})
+
+	// Fire four concurrent slow requests at a gate with one slot and
+	// one queue seat: one runs, one queues, the surplus must be shed
+	// immediately (not held for QueueWait — the 5s budget vs. the
+	// ~700ms a slow request takes bounds the distinction).
+	const concurrent = 4
+	slow := map[string]any{"source": bigSource(60), "runs": 2}
+	type outcome struct {
+		resp *http.Response
+		body []byte
+	}
+	results := make(chan outcome, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/measure", slow)
+			results <- outcome{resp, body}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	shed := 0
+	for out := range results {
+		if out.resp.StatusCode != http.StatusTooManyRequests {
+			continue
+		}
+		shed++
+		if ra := out.resp.Header.Get("Retry-After"); ra == "" {
+			t.Error("shed response missing Retry-After")
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(out.body, &er); err != nil || er.Stage != "overload" {
+			t.Errorf("shed body = %s (stage %q), want overload stage", out.body, er.Stage)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("gate never shed a request with slot and queue both full")
+	}
+
+	metricsBody := string(mustReadAll(t, ts.URL+"/metrics"))
+	if !strings.Contains(metricsBody, "hpfserve_shed_total") {
+		t.Fatalf("metrics missing shed counter:\n%s", metricsBody)
+	}
+	for _, line := range strings.Split(metricsBody, "\n") {
+		if strings.HasPrefix(line, "hpfserve_shed_total ") {
+			if strings.TrimPrefix(line, "hpfserve_shed_total ") == "0" {
+				t.Errorf("shed counter is zero after a 429: %s", line)
+			}
+		}
+	}
+}
+
+func mustReadAll(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestQueueWaitExpiryShed: a queued request whose wait expires is shed
+// with 429 (not left hanging and not 503).
+func TestQueueWaitExpiryShed(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		MaxQueueDepth: 4,
+		QueueWait:     50 * time.Millisecond,
+	})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Hold the only slot long enough for the probe's wait to expire.
+		resp, _ := post(t, ts.URL+"/v1/measure", map[string]any{"source": bigSource(80), "runs": 3})
+		resp.Body.Close()
+		close(release)
+	}()
+	time.Sleep(30 * time.Millisecond) // let the slow request take the slot
+	resp, body := post(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram})
+	if resp.StatusCode == http.StatusOK {
+		t.Skip("slow request finished before the probe queued; nothing to assert")
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d body %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-expiry shed missing Retry-After")
+	}
+	<-release
+	wg.Wait()
+}
+
+// TestBreakerOpensAndRecovers drives a route to threshold consecutive
+// 500s via fault injection, asserts the breaker opens (503 overload
+// without invoking the pipeline), then waits out the cooldown with
+// faults off and asserts a half-open probe closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	const threshold = 3
+	withServerFaults(t, "server.predict:1:error", 1)
+	_, ts := newTestServer(t, Config{
+		BreakerThreshold: threshold,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	body := map[string]any{"source": tinyProgram}
+
+	for i := 0; i < threshold; i++ {
+		resp, raw := post(t, ts.URL+"/v1/predict", body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d: status = %d body %s, want 500", i, resp.StatusCode, raw)
+		}
+	}
+	// The breaker is now open: next request is refused without running
+	// the handler (stage "overload", Retry-After set).
+	resp, raw := post(t, ts.URL+"/v1/predict", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-threshold status = %d body %s, want 503", resp.StatusCode, raw)
+	}
+	var er ErrorResponse
+	if json.Unmarshal(raw, &er) != nil || er.Stage != "overload" || !strings.Contains(er.Error, "circuit breaker") {
+		t.Errorf("breaker rejection body = %s", raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("breaker rejection missing Retry-After")
+	}
+
+	// Other routes are unaffected (per-route breakers).
+	if resp, raw := post(t, ts.URL+"/v1/analyze", map[string]any{"source": tinyProgram}); resp.StatusCode != http.StatusOK {
+		t.Errorf("analyze status = %d body %s while predict breaker open", resp.StatusCode, raw)
+	}
+
+	// The open state is visible in /metrics.
+	metrics := string(mustReadAll(t, ts.URL+"/metrics"))
+	if !strings.Contains(metrics, `hpfserve_breaker_state{route="predict"} 2`) {
+		t.Errorf("metrics do not show predict breaker open:\n%s", grepLines(metrics, "breaker"))
+	}
+
+	// Heal the route and wait out the cooldown: the half-open probe
+	// succeeds and the breaker closes.
+	faults.Deactivate()
+	time.Sleep(150 * time.Millisecond)
+	if resp, raw := post(t, ts.URL+"/v1/predict", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe status = %d body %s, want 200", resp.StatusCode, raw)
+	}
+	if resp, raw := post(t, ts.URL+"/v1/predict", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery status = %d body %s, want 200", resp.StatusCode, raw)
+	}
+	metrics = string(mustReadAll(t, ts.URL+"/metrics"))
+	if !strings.Contains(metrics, `hpfserve_breaker_state{route="predict"} 0`) {
+		t.Errorf("breaker did not close after successful probe:\n%s", grepLines(metrics, "breaker"))
+	}
+	if !strings.Contains(metrics, `hpfserve_breaker_opens_total{route="predict"} 1`) {
+		t.Errorf("open transition not counted:\n%s", grepLines(metrics, "breaker"))
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestBreakerIgnoresClientErrors: 4xx responses must not open the
+// breaker — only internal (500) failures count.
+func TestBreakerIgnoresClientErrors(t *testing.T) {
+	const threshold = 2
+	_, ts := newTestServer(t, Config{BreakerThreshold: threshold})
+	for i := 0; i < threshold*3; i++ {
+		resp, _ := post(t, ts.URL+"/v1/predict", map[string]any{"source": ""})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	}
+	resp, raw := post(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body %s after client errors, want 200 (breaker must stay closed)", resp.StatusCode, raw)
+	}
+}
+
+// TestTypedPanicClassification is the satellite fix for the brittle
+// strings.Contains(err.Error(), "internal panic") match: a wrapped
+// *sweep.PanicError classifies as 500 internal, while an ordinary error
+// whose text merely contains "internal panic" does not.
+func TestTypedPanicClassification(t *testing.T) {
+	pe := fmt.Errorf("interpret: %w", &sweep.PanicError{Stage: "interpret tiny", Value: "boom"})
+	aerr := ctxErr(pe, http.StatusUnprocessableEntity, "interpret")
+	if aerr.status != http.StatusInternalServerError || aerr.stage != "internal" {
+		t.Errorf("typed panic → %d %q, want 500 internal", aerr.status, aerr.stage)
+	}
+
+	impostor := errors.New(`user program printed "internal panic: oops"`)
+	aerr = ctxErr(impostor, http.StatusUnprocessableEntity, "interpret")
+	if aerr.status != http.StatusUnprocessableEntity || aerr.stage != "interpret" {
+		t.Errorf("impostor text → %d %q, want fallback 422 interpret", aerr.status, aerr.stage)
+	}
+
+	tr := fmt.Errorf("point: %w", &faults.InjectedError{Site: "sweep"})
+	aerr = ctxErr(tr, http.StatusUnprocessableEntity, "interpret")
+	if aerr.status != http.StatusServiceUnavailable || aerr.stage != "transient" {
+		t.Errorf("transient → %d %q, want 503 transient", aerr.status, aerr.stage)
+	}
+
+	dl := fmt.Errorf("sweep: %w", context.DeadlineExceeded)
+	aerr = ctxErr(dl, http.StatusUnprocessableEntity, "interpret")
+	if aerr.status != http.StatusGatewayTimeout || aerr.stage != "deadline" {
+		t.Errorf("deadline → %d %q, want 504 deadline", aerr.status, aerr.stage)
+	}
+}
+
+// TestInjectedServerPanicRecovered: the panic fault kind exercises the
+// handler's recover path end to end and is counted in /metrics.
+func TestInjectedServerPanicRecovered(t *testing.T) {
+	withServerFaults(t, "server.analyze:1:panic", 3)
+	_, ts := newTestServer(t, Config{BreakerThreshold: -1})
+	resp, raw := post(t, ts.URL+"/v1/analyze", map[string]any{"source": tinyProgram})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d body %s, want 500 from injected panic", resp.StatusCode, raw)
+	}
+	var er ErrorResponse
+	if json.Unmarshal(raw, &er) != nil || er.Stage != "internal" {
+		t.Errorf("body = %s, want internal stage", raw)
+	}
+	metrics := string(mustReadAll(t, ts.URL+"/metrics"))
+	if strings.Contains(metrics, "hpfserve_panics_total 0\n") {
+		t.Error("injected panic not counted in hpfserve_panics_total")
+	}
+	// The server survives: faults off, the same route works.
+	faults.Deactivate()
+	if resp, raw := post(t, ts.URL+"/v1/analyze", map[string]any{"source": tinyProgram}); resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d body %s after recovery", resp.StatusCode, raw)
+	}
+}
+
+// TestDrainRejectionAdvertisesRetryAfter: the drain refusal is an
+// overload signal clients may retry against a peer, so it carries
+// Retry-After now.
+func TestDrainRejectionAdvertisesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := post(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d body %s, want 503 while draining", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("drain rejection missing Retry-After")
+	}
+	var er ErrorResponse
+	if json.Unmarshal(raw, &er) != nil || er.Stage != "overload" {
+		t.Errorf("drain body = %s, want overload stage", raw)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+		BreakerState(9): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hpfperf/internal/autotune"
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/exec"
+	"hpfperf/internal/faults"
 	"hpfperf/internal/ipsc"
 	"hpfperf/internal/report"
 	"hpfperf/internal/sweep"
@@ -38,8 +39,22 @@ type Config struct {
 	// MaxBodyBytes caps request body size (<= 0 = 1 MiB).
 	MaxBodyBytes int64
 	// MaxConcurrent bounds requests evaluated simultaneously; further
-	// requests wait for a slot until their deadline (<= 0 = 4×workers).
+	// requests join a bounded wait queue (<= 0 = 4×workers).
 	MaxConcurrent int
+	// QueueWait bounds how long a request may wait for a worker slot
+	// before being shed with 429 + Retry-After (<= 0 = 10s).
+	QueueWait time.Duration
+	// MaxQueueDepth bounds how many requests may wait for a slot at
+	// once; beyond it requests are shed immediately with 429
+	// (<= 0 = 4×MaxConcurrent).
+	MaxQueueDepth int
+	// BreakerThreshold is the consecutive internal-failure (HTTP 500)
+	// count that opens a route's circuit breaker (0 = 8, < 0 disables
+	// the breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds a route before
+	// admitting a half-open probe (<= 0 = 5s).
+	BreakerCooldown time.Duration
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (<= 0 = 30s).
 	DefaultTimeout time.Duration
@@ -52,11 +67,12 @@ type Config struct {
 // Server is the hpfserve HTTP API. Create with New, expose with
 // Handler, and drain with Shutdown before process exit.
 type Server struct {
-	cfg Config
-	eng *sweep.Engine
-	mux *http.ServeMux
-	sem chan struct{}
-	met *metrics
+	cfg      Config
+	eng      *sweep.Engine
+	mux      *http.ServeMux
+	sem      chan struct{}
+	met      *metrics
+	breakers map[string]*breaker // per-route; nil map when disabled
 
 	reqMu    sync.Mutex // guards met.requests growth
 	inflight sync.WaitGroup
@@ -91,12 +107,31 @@ func New(cfg Config) *Server {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4 * eng.Workers()
 	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 10 * time.Second
+	}
+	if cfg.MaxQueueDepth <= 0 {
+		cfg.MaxQueueDepth = 4 * cfg.MaxConcurrent
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 8
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	routes := []string{routePredict, routeMeasure, routeAutotune, routeAnalyze}
 	s := &Server{
 		cfg: cfg,
 		eng: eng,
 		mux: http.NewServeMux(),
 		sem: make(chan struct{}, cfg.MaxConcurrent),
-		met: newMetrics([]string{routePredict, routeMeasure, routeAutotune, routeAnalyze}),
+		met: newMetrics(routes),
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = make(map[string]*breaker, len(routes))
+		for _, r := range routes {
+			s.breakers[r] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
 	}
 	s.mux.HandleFunc("/v1/predict", s.api(routePredict, s.handlePredict))
 	s.mux.HandleFunc("/v1/measure", s.api(routeMeasure, s.handleMeasure))
@@ -161,10 +196,64 @@ func (s *Server) timeout(ms int64) time.Duration {
 	return d
 }
 
+// retryAfterHeader advertises when a shed client should come back;
+// whole seconds, never below 1 (the header's granularity).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+}
+
+// shed rejects a request with 429 + Retry-After and counts it in the
+// dedicated shed counter (distinguishable from other rejections in
+// /metrics).
+func (s *Server) shed(w http.ResponseWriter, hint time.Duration, err error) int {
+	s.met.shed.Add(1)
+	retryAfterHeader(w, hint)
+	writeError(w, http.StatusTooManyRequests, "overload", err)
+	return http.StatusTooManyRequests
+}
+
+// acquireSlot runs the load-shedding concurrency gate: take a free
+// slot immediately, otherwise join the bounded wait queue for at most
+// QueueWait. A full queue or an expired wait sheds the request (429 +
+// Retry-After); a client that goes away while queued gets 503. ok
+// reports whether a slot was acquired (the caller must release it).
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (code int, ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return http.StatusOK, true
+	default:
+	}
+	if s.met.queued.Add(1) > int64(s.cfg.MaxQueueDepth) {
+		s.met.queued.Add(-1)
+		return s.shed(w, s.cfg.QueueWait/2, fmt.Errorf("server saturated: %d requests in flight and wait queue full", cap(s.sem))), false
+	}
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.met.queued.Add(-1)
+		return http.StatusOK, true
+	case <-timer.C:
+		s.met.queued.Add(-1)
+		return s.shed(w, s.cfg.QueueWait/2, fmt.Errorf("no worker slot within %v", s.cfg.QueueWait)), false
+	case <-r.Context().Done():
+		s.met.queued.Add(-1)
+		s.met.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "overload", fmt.Errorf("cancelled while waiting for a worker slot"))
+		return http.StatusServiceUnavailable, false
+	}
+}
+
 // api wraps one POST handler with the serving-stack concerns: method
-// filtering, drain refusal, the concurrency gate, the body-size cap,
-// panic recovery, latency/metrics accounting and JSON error rendering.
+// filtering, drain refusal, the circuit breaker, the load-shedding
+// concurrency gate, the body-size cap, fault injection, panic
+// recovery, latency/metrics accounting and JSON error rendering.
 func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any, *apiError)) http.HandlerFunc {
+	br := s.breakers[route] // nil when breakers are disabled
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		code := http.StatusOK
@@ -182,9 +271,25 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 		if s.draining.Load() {
 			code = http.StatusServiceUnavailable
 			s.met.rejected.Add(1)
-			writeError(w, code, "decode", fmt.Errorf("server is draining"))
+			retryAfterHeader(w, s.cfg.QueueWait)
+			writeError(w, code, "overload", fmt.Errorf("server is draining"))
 			return
 		}
+
+		// The circuit breaker fails fast before any work when the route's
+		// pipeline has been failing consecutively; only internal failures
+		// (HTTP 500) count against it.
+		if retry, ok := br.allow(start); !ok {
+			code = http.StatusServiceUnavailable
+			s.met.breakerRejected.Add(1)
+			retryAfterHeader(w, retry)
+			writeError(w, code, "overload", fmt.Errorf("circuit breaker open for %s", route))
+			return
+		}
+		// Every path below reports its outcome, so a half-open probe can
+		// never be leaked in flight.
+		defer func() { br.report(code == http.StatusInternalServerError, time.Now()) }()
+
 		s.inflight.Add(1)
 		defer s.inflight.Done()
 		s.met.inflight.Add(1)
@@ -203,17 +308,11 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 			return
 		}
 
-		// The concurrency gate bounds simultaneous sweeps; waiters give
-		// up when the client goes away.
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			code = http.StatusServiceUnavailable
-			s.met.rejected.Add(1)
-			writeError(w, code, "decode", fmt.Errorf("cancelled while waiting for a worker slot"))
+		var ok bool
+		if code, ok = s.acquireSlot(w, r); !ok {
 			return
 		}
+		defer func() { <-s.sem }()
 
 		var resp any
 		var aerr *apiError
@@ -224,10 +323,20 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 					aerr = errf(http.StatusInternalServerError, "internal", "panic: %v", rec)
 				}
 			}()
+			// Chaos hook: -chaos / HPFPERF_FAULTS can error, panic or
+			// delay any route here; the panic kind exercises the recover
+			// above.
+			if ferr := faults.Fire(faults.ServerSite(route)); ferr != nil {
+				aerr = &apiError{status: http.StatusInternalServerError, stage: "internal", err: ferr}
+				return
+			}
 			resp, aerr = h(r.Context(), body)
 		}()
 		if aerr != nil {
 			code = aerr.status
+			if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+				retryAfterHeader(w, time.Second)
+			}
 			s.logf("%s: %d %v", route, code, aerr.err)
 			writeError(w, code, aerr.stage, aerr.err)
 			return
@@ -238,15 +347,20 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 }
 
 // ctxErr classifies a pipeline error: deadline and cancellation get
-// timeout statuses, everything else falls through to fallback.
+// timeout statuses, recovered panics are typed (*sweep.PanicError →
+// 500), other transient failures advertise 503 so well-behaved clients
+// retry, and everything else falls through to fallback.
 func ctxErr(err error, fallbackStatus int, stage string) *apiError {
+	var pe *sweep.PanicError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return &apiError{status: http.StatusGatewayTimeout, stage: "deadline", err: err}
 	case errors.Is(err, context.Canceled):
 		return &apiError{status: http.StatusServiceUnavailable, stage: "deadline", err: err}
-	case strings.Contains(err.Error(), "internal panic"):
-		return &apiError{status: http.StatusInternalServerError, stage: stage, err: err}
+	case errors.As(err, &pe):
+		return &apiError{status: http.StatusInternalServerError, stage: "internal", err: err}
+	case sweep.IsTransient(err):
+		return &apiError{status: http.StatusServiceUnavailable, stage: "transient", err: err}
 	}
 	return &apiError{status: fallbackStatus, stage: stage, err: err}
 }
@@ -455,9 +569,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var brs []breakerStat
+	for _, route := range []string{routeAnalyze, routeAutotune, routeMeasure, routePredict} {
+		if b, ok := s.breakers[route]; ok {
+			state, opens := b.snapshot()
+			brs = append(brs, breakerStat{route: route, state: state, opens: opens})
+		}
+	}
 	var b strings.Builder
 	s.reqMu.Lock()
-	s.met.render(&b, s.eng.Snapshot(), s.eng.Cache().CacheStats())
+	s.met.render(&b, s.eng.Snapshot(), s.eng.Cache().CacheStats(), brs)
 	s.reqMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())

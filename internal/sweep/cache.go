@@ -15,6 +15,7 @@ import (
 
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
+	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/sysmodel"
 )
@@ -215,14 +216,40 @@ func (c *Cache) dropReport(key string, e *reportEntry) {
 	}
 }
 
+// dropCompile removes a compile entry if it still maps to e (used to
+// un-cache panicked or fault-injected builds).
+func (c *Cache) dropCompile(key string, e *compileEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.compiles[key]; ok && cur == e {
+		delete(c.compiles, key)
+		if e.elem != nil {
+			c.compileLRU.Remove(e.elem)
+			e.elem = nil
+		}
+	}
+}
+
+// poisoned reports whether a build error must not be memoized:
+// cancellations are the requester's failure, and transient failures
+// (recovered panics, injected faults) may succeed on rebuild. Only
+// deterministic pipeline errors stay cached.
+func poisoned(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || IsTransient(err)
+}
+
 // recoverToErr converts a panic in the front end or the interpretation
-// engine into an error, so one malformed request cannot take down a
-// long-running process sharing this cache (hpfserve maps it to an HTTP
-// status). The single-flight completion channel must be closed even
-// when the builder panics, or waiters would park forever.
+// engine into a typed *PanicError, so one malformed request cannot take
+// down a long-running process sharing this cache (hpfserve classifies
+// it with errors.As and maps it to HTTP 500). The single-flight
+// completion channel must be closed even when the builder panics, or
+// waiters would park forever.
 func recoverToErr(stage string, err *error) {
 	if r := recover(); r != nil {
-		*err = fmt.Errorf("%s: internal panic: %v", stage, r)
+		*err = &PanicError{Stage: stage, Value: r}
 	}
 }
 
@@ -259,11 +286,20 @@ func (c *Cache) Compile(ctx context.Context, src string, opts compiler.Options, 
 	start := time.Now()
 	func() {
 		defer recoverToErr("compile", &e.err)
+		if e.err = faults.Fire(faults.SiteCompile); e.err != nil {
+			return
+		}
 		e.prog, e.err = compiler.CompileWith(src, opts)
 	}()
 	if stats != nil {
 		stats.Compiles.Add(1)
 		stats.CompileNS.Add(int64(time.Since(start)))
+	}
+	if poisoned(e.err) {
+		// A panicked or fault-injected build must not pin its key: the
+		// next request rebuilds. Deterministic compile errors stay
+		// cached (they will fail identically every time).
+		c.dropCompile(key, e)
 	}
 	close(e.done)
 	return e.prog, e.err
@@ -311,6 +347,9 @@ func (c *Cache) Interpret(ctx context.Context, src string, copts compiler.Option
 	}
 	func() {
 		defer recoverToErr("interpret", &e.err)
+		if e.err = faults.Fire(faults.SiteCache); e.err != nil {
+			return
+		}
 		var prog *hir.Program
 		prog, e.err = c.Compile(ctx, src, copts, stats)
 		if e.err != nil {
@@ -318,9 +357,9 @@ func (c *Cache) Interpret(ctx context.Context, src string, copts compiler.Option
 		}
 		e.rep, e.err = runInterp(ctx, prog, iopts, machine, stats)
 	}()
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
-		// A cancelled build is the requester's failure, not the key's:
-		// don't poison the cache with it.
+	if poisoned(e.err) {
+		// A cancelled, panicked or fault-injected build is the attempt's
+		// failure, not the key's: don't poison the cache with it.
 		c.dropReport(key, e)
 	}
 	close(e.done)

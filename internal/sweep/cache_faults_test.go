@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/core"
+	"hpfperf/internal/faults"
+)
+
+// withFaults installs an injector for the duration of one test. Tests
+// using it must not run in parallel with each other (the injector is
+// process-global).
+func withFaults(t *testing.T, spec string, seed int64) {
+	t.Helper()
+	inj, err := faults.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Activate(inj)
+	t.Cleanup(faults.Deactivate)
+}
+
+// TestCacheSurvivesFaultChurn is the satellite acceptance test: the
+// LRU must never be poisoned by cancelled, panicked or fault-injected
+// builds. Concurrent lookups race cancellation and eviction churn
+// while the builders inject errors and panics; afterwards, with faults
+// off, every key must compile and interpret cleanly — a poisoned entry
+// would replay its failure from cache.
+func TestCacheSurvivesFaultChurn(t *testing.T) {
+	withFaults(t, "compile:0.2:error,compile:0.05:panic,cache:0.2:error,cache:0.05:panic", 7)
+
+	const (
+		cacheCap = 8 // far fewer slots than keys: constant eviction churn
+		keys     = 32
+		workers  = 8
+		rounds   = 40
+	)
+	c := NewCacheSize(cacheCap)
+	var stats Stats
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 99))
+			for r := 0; r < rounds; r++ {
+				key := int(rng.Int64N(keys))
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if rng.Int64N(4) == 0 {
+					// Race a cancellation against the build.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Int64N(200))*time.Microsecond)
+				}
+				if rng.Int64N(2) == 0 {
+					_, _ = c.Compile(ctx, tinySource(key), compiler.Options{}, &stats)
+				} else {
+					_, _ = c.Interpret(ctx, tinySource(key), compiler.Options{}, core.DefaultOptions(), "ipsc860", &stats)
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Faults off: every key must now build cleanly. A cached injected
+	// error or cached panic would fail here.
+	faults.Deactivate()
+	for key := 0; key < keys; key++ {
+		if _, err := c.Compile(context.Background(), tinySource(key), compiler.Options{}, &stats); err != nil {
+			t.Errorf("key %d: compile poisoned: %v", key, err)
+		}
+		rep, err := c.Interpret(context.Background(), tinySource(key), compiler.Options{}, core.DefaultOptions(), "ipsc860", &stats)
+		if err != nil {
+			t.Errorf("key %d: report poisoned: %v", key, err)
+		} else if rep.TotalUS() <= 0 {
+			t.Errorf("key %d: empty report from cache", key)
+		}
+	}
+	if cs := c.CacheStats(); cs.CompileEntries > cacheCap || cs.ReportEntries > cacheCap {
+		t.Errorf("cache exceeded cap under fault churn: %+v", cs)
+	}
+}
+
+// TestFaultInjectedCompileNotCached pins the poison rule directly: an
+// injected compile fault must not be memoized, while a deterministic
+// front-end error must stay cached (intentional negative caching).
+func TestFaultInjectedCompileNotCached(t *testing.T) {
+	withFaults(t, "compile:1:error", 1)
+	c := NewCacheSize(4)
+	var stats Stats
+	src := tinySource(1)
+	if _, err := c.Compile(context.Background(), src, compiler.Options{}, &stats); err == nil {
+		t.Fatal("want injected error at rate 1.0")
+	}
+	faults.Deactivate()
+	if _, err := c.Compile(context.Background(), src, compiler.Options{}, &stats); err != nil {
+		t.Fatalf("injected error was cached: %v", err)
+	}
+	// Two compile runs for one key: the failure was not memoized.
+	if got := stats.Compiles.Load(); got != 2 {
+		t.Errorf("compiles = %d, want 2", got)
+	}
+}
+
+// TestDeterministicCompileErrorStaysCached guards the boundary of the
+// poison rule: real (non-transient) compile errors are still negative-
+// cached, so a broken program is not re-parsed on every lookup.
+func TestDeterministicCompileErrorStaysCached(t *testing.T) {
+	c := NewCacheSize(4)
+	var stats Stats
+	src := "      PROGRAM BAD\n      THIS IS NOT FORTRAN (\n      END\n"
+	_, err1 := c.Compile(context.Background(), src, compiler.Options{}, &stats)
+	_, err2 := c.Compile(context.Background(), src, compiler.Options{}, &stats)
+	if err1 == nil || err2 == nil {
+		t.Fatalf("errs = %v / %v, want deterministic failure", err1, err2)
+	}
+	if got := stats.Compiles.Load(); got != 1 {
+		t.Errorf("compiles = %d, want 1 (error should be cached)", got)
+	}
+	if got := stats.CompileHits.Load(); got != 1 {
+		t.Errorf("compile hits = %d, want 1", got)
+	}
+}
+
+// TestInterpFaultSiteReachable proves the interp site is actually
+// threaded through the AAU loop (a site that never fires would make
+// chaos specs silently meaningless).
+func TestInterpFaultSiteReachable(t *testing.T) {
+	withFaults(t, fmt.Sprintf("%s:1:error", faults.SiteInterp), 1)
+	c := NewCacheSize(4)
+	var stats Stats
+	_, err := c.Interpret(context.Background(), tinySource(2), compiler.Options{}, core.DefaultOptions(), "ipsc860", &stats)
+	if err == nil {
+		t.Fatal("interp site did not fire at rate 1.0")
+	}
+	if !IsTransient(err) {
+		t.Errorf("injected interp error not transient: %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Checkpoint configures durable progress for a long sweep: each
+// completed point's result is marshaled to a JSON file so a killed run
+// (process crash, SIGKILL, exhausted fault budget) restarts from the
+// completed points instead of from scratch. Point evaluation in this
+// module is deterministic, so a resumed sweep yields byte-identical
+// results to an uninterrupted one.
+type Checkpoint struct {
+	// Path is the checkpoint file. Written atomically (temp file +
+	// rename) so a crash mid-write never corrupts an existing file.
+	Path string
+	// Key identifies the sweep (artifact name, configuration
+	// fingerprint). A file whose key or point count mismatches is
+	// discarded, never partially reused.
+	Key string
+	// FlushEvery bounds completions between writes (<= 0 = 1, i.e.
+	// flush after every completed point).
+	FlushEvery int
+}
+
+// ckptFile is the on-disk format: results are kept as raw JSON so the
+// loader never needs to re-marshal values it did not produce.
+type ckptFile struct {
+	Key  string                     `json:"key"`
+	N    int                        `json:"n"`
+	Done map[string]json.RawMessage `json:"done"`
+}
+
+// ckptState tracks completion during one checkpointed Map run.
+type ckptState struct {
+	ck      *Checkpoint
+	n       int
+	mu      sync.Mutex
+	done    map[string]json.RawMessage
+	pending int // completions since the last flush
+}
+
+// loadCheckpointInto reads ck.Path and fills results for every point
+// whose result is on file, returning the resume state and a skip mask.
+// A missing, unreadable, corrupt or mismatched file yields an empty
+// state (fresh start) — resuming must never be less robust than
+// rerunning.
+func loadCheckpointInto[T any](ck *Checkpoint, n int, results []T) (*ckptState, []bool) {
+	st := &ckptState{ck: ck, n: n, done: make(map[string]json.RawMessage)}
+	skip := make([]bool, n)
+	raw, err := os.ReadFile(ck.Path)
+	if err != nil {
+		return st, skip
+	}
+	var f ckptFile
+	if err := json.Unmarshal(raw, &f); err != nil || f.Key != ck.Key || f.N != n {
+		return st, skip
+	}
+	for key, msg := range f.Done {
+		i, err := strconv.Atoi(key)
+		if err != nil || i < 0 || i >= n {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(msg, &v); err != nil {
+			continue
+		}
+		results[i] = v
+		st.done[key] = msg
+		skip[i] = true
+	}
+	return st, skip
+}
+
+// record stores one completed point and flushes per policy.
+func (st *ckptState) record(i int, v any) {
+	msg, err := json.Marshal(v)
+	if err != nil {
+		return // unmarshalable results simply aren't checkpointed
+	}
+	every := st.ck.FlushEvery
+	if every <= 0 {
+		every = 1
+	}
+	st.mu.Lock()
+	st.done[strconv.Itoa(i)] = msg
+	st.pending++
+	flush := st.pending >= every
+	if flush {
+		st.pending = 0
+	}
+	st.mu.Unlock()
+	if flush {
+		st.flush()
+	}
+}
+
+// flush writes the checkpoint file atomically (temp + rename).
+func (st *ckptState) flush() error {
+	st.mu.Lock()
+	raw, err := json.Marshal(ckptFile{Key: st.ck.Key, N: st.n, Done: st.done})
+	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(st.ck.Path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), st.ck.Path)
+}
+
+// MapCheckpoint is MapCheckpointCtx without cancellation.
+func MapCheckpoint[T any](e *Engine, n int, ck *Checkpoint, fn func(i int) (T, error)) ([]T, error) {
+	return MapCheckpointCtx(context.Background(), e, n, ck, fn)
+}
+
+// MapCheckpointCtx is MapCtx with durable progress: points already
+// recorded in ck's file are returned without re-evaluating fn, each
+// newly completed point is recorded, and the file is flushed on every
+// exit path (success, point failure, cancellation). On full success
+// the file is removed — a complete sweep needs no resume state. A nil
+// ck degrades to plain MapCtx.
+//
+// T must round-trip through encoding/json for resumed results to be
+// identical to freshly computed ones (true for the numeric point types
+// this module sweeps: Go prints floats in their shortest form that
+// parses back exactly).
+func MapCheckpointCtx[T any](ctx context.Context, e *Engine, n int, ck *Checkpoint, fn func(i int) (T, error)) ([]T, error) {
+	if ck == nil {
+		return MapCtx(ctx, e, n, fn)
+	}
+	if ck.Path == "" {
+		return nil, fmt.Errorf("sweep: checkpoint has no path")
+	}
+	prefill := make([]T, n)
+	st, skip := loadCheckpointInto(ck, n, prefill)
+	res, err := MapCtx(ctx, e, n, func(i int) (T, error) {
+		if skip[i] {
+			return prefill[i], nil
+		}
+		v, ferr := fn(i)
+		if ferr == nil {
+			st.record(i, v)
+		}
+		return v, ferr
+	})
+	if err != nil {
+		// Keep resume state for the completed points.
+		if ferr := st.flush(); ferr != nil {
+			return res, fmt.Errorf("%w (checkpoint flush also failed: %v)", err, ferr)
+		}
+		return res, err
+	}
+	os.Remove(ck.Path)
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PanicError is a recovered panic from the compilation pipeline, the
+// interpretation engine, or a sweep point body. It replaces the old
+// string-matched "internal panic" errors: callers classify it with
+// errors.As (hpfserve maps it to HTTP 500) instead of substring
+// matching. Panics are treated as transient for retry purposes — a
+// point that panicked gets its bounded retries before the sweep gives
+// up on it.
+type PanicError struct {
+	// Stage names where the panic was recovered ("compile",
+	// "interpret", "sweep point 12", ...).
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: internal panic: %v", e.Stage, e.Value)
+}
+
+// Transient marks the error retryable (see IsTransient).
+func (e *PanicError) Transient() bool { return true }
+
+// IsTransient reports whether err is marked retryable: any error in
+// its chain implementing `Transient() bool` and returning true
+// (faults.InjectedError, PanicError). Deterministic pipeline errors
+// (parse/compile/interpret failures) and context errors are permanent —
+// retrying them would re-derive the same failure.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}

@@ -27,6 +27,12 @@ type Stats struct {
 	Execs atomic.Int64
 	// Points counts sweep points completed through Map.
 	Points atomic.Int64
+	// Retries counts transient point failures retried by Map's bounded
+	// backoff loop.
+	Retries atomic.Int64
+	// PointPanics counts panics recovered from point bodies (isolated
+	// into *PanicError instead of crashing the pool).
+	PointPanics atomic.Int64
 	// Per-stage cumulative wall time, nanoseconds (summed across workers,
 	// so stage times can exceed WallNS on multicore).
 	CompileNS atomic.Int64
@@ -46,6 +52,8 @@ type Snapshot struct {
 	ReportMisses  int64
 	Execs         int64
 	Points        int64
+	Retries       int64
+	PointPanics   int64
 	CompileTime   time.Duration
 	InterpTime    time.Duration
 	ExecTime      time.Duration
@@ -66,6 +74,8 @@ func (s *Stats) Snapshot() Snapshot {
 		ReportMisses:  s.ReportMisses.Load(),
 		Execs:         s.Execs.Load(),
 		Points:        s.Points.Load(),
+		Retries:       s.Retries.Load(),
+		PointPanics:   s.PointPanics.Load(),
 		CompileTime:   time.Duration(s.CompileNS.Load()),
 		InterpTime:    time.Duration(s.InterpNS.Load()),
 		ExecTime:      time.Duration(s.ExecNS.Load()),
@@ -87,6 +97,8 @@ func (s *Stats) Reset() {
 	s.ReportMisses.Store(0)
 	s.Execs.Store(0)
 	s.Points.Store(0)
+	s.Retries.Store(0)
+	s.PointPanics.Store(0)
 	s.CompileNS.Store(0)
 	s.InterpNS.Store(0)
 	s.ExecNS.Store(0)
@@ -104,6 +116,11 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "  interpret   %d runs, cache %d hit / %d miss, %v\n",
 		s.Interps, s.ReportHits, s.ReportMisses, s.InterpTime.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  execute     %d runs, %v\n", s.Execs, s.ExecTime.Round(time.Microsecond))
+	// Resilience counters only appear when something actually went wrong,
+	// keeping happy-path -stats output identical to earlier releases.
+	if s.Retries > 0 || s.PointPanics > 0 {
+		fmt.Fprintf(&b, "  resilience  %d retries, %d point panics recovered\n", s.Retries, s.PointPanics)
+	}
 	fmt.Fprintf(&b, "  wall        %v", s.WallTime.Round(time.Microsecond))
 	return b.String()
 }

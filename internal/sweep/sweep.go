@@ -15,6 +15,7 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
 	"hpfperf/internal/exec"
+	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
 )
@@ -33,6 +35,7 @@ type Engine struct {
 	workers int
 	cache   *Cache
 	stats   *Stats
+	retry   RetryPolicy
 }
 
 // Options configure a new engine.
@@ -43,11 +46,14 @@ type Options struct {
 	Cache *Cache
 	// Stats receives counters; nil creates a private block.
 	Stats *Stats
+	// Retry bounds the per-point retry loop for transient failures
+	// (zero value selects DefaultRetryPolicy).
+	Retry RetryPolicy
 }
 
 // New returns an engine with the given options.
 func New(opts Options) *Engine {
-	e := &Engine{workers: opts.Workers, cache: opts.Cache, stats: opts.Stats}
+	e := &Engine{workers: opts.Workers, cache: opts.Cache, stats: opts.Stats, retry: opts.Retry.normalized()}
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
 	}
@@ -92,8 +98,48 @@ func (e *Engine) Snapshot() Snapshot { return e.stats.Snapshot() }
 // failures the error of the lowest failing index is returned (matching
 // what a serial loop would have surfaced first); results of successful
 // points are still filled in.
+//
+// Each point runs isolated: a panicking fn is recovered into a
+// *PanicError instead of crashing the pool, and transient failures
+// (IsTransient) are retried under the engine's RetryPolicy with
+// exponential backoff and jitter. Deterministic errors fail the point
+// on the first attempt, so happy-path sweeps behave exactly as before.
 func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	return MapCtx(context.Background(), e, n, fn)
+}
+
+// guardPoint runs one attempt of one point, recovering panics into
+// typed errors so a single bad point cannot take down the process.
+func guardPoint[T any](e *Engine, i int, fn func(i int) (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.stats.PointPanics.Add(1)
+			err = &PanicError{Stage: fmt.Sprintf("sweep point %d", i), Value: r}
+		}
+	}()
+	if err := faults.Fire(faults.SiteSweep); err != nil {
+		return res, err
+	}
+	return fn(i)
+}
+
+// runPoint is the per-point body of MapCtx: panic isolation plus
+// bounded retry of transient failures.
+func runPoint[T any](ctx context.Context, e *Engine, i int, fn func(i int) (T, error)) (T, error) {
+	for attempt := 1; ; attempt++ {
+		res, err := guardPoint(e, i, fn)
+		if err == nil || attempt >= e.retry.MaxAttempts || !IsTransient(err) {
+			return res, err
+		}
+		e.stats.Retries.Add(1)
+		t := time.NewTimer(e.retry.backoff(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return res, err // report the attempt's failure, not ctx.Err()
+		}
+	}
 }
 
 // MapCtx is Map with cooperative cancellation: once ctx ends, no new
@@ -122,7 +168,7 @@ func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, err
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = runPoint(ctx, e, i, fn)
 			}
 		}()
 	}
