@@ -4,12 +4,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"hpfperf/internal/experiments"
 	"hpfperf/internal/faults"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/sweep"
 )
 
@@ -29,6 +32,7 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		stats   = flag.Bool("stats", false, "print sweep engine statistics (compile/interpret/execute counters, cache hits/misses, points/sec) to stderr")
 		ckpt    = flag.String("checkpoint", "", "directory for sweep checkpoints; a killed run resumes from completed points")
+		spanOut = flag.String("trace-out", "", "write the run's observability span tree as JSON to this file (render with hpftrace -spans)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,21 @@ func main() {
 	}
 	eng := sweep.New(sweep.Options{Workers: *workers})
 	cfg.Engine = eng
+	if *spanOut != "" {
+		tracer := obs.NewTracer(obs.NewTraceID())
+		root := tracer.Root("hpfexp")
+		cfg.Ctx = obs.ContextWithSpan(context.Background(), root)
+		defer func() {
+			root.End()
+			f, err := os.Create(*spanOut)
+			check(err)
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			check(enc.Encode(tracer.Tree()))
+			fmt.Fprintf(os.Stderr, "span tree written to %s\n", *spanOut)
+		}()
+	}
 	if !(*all || *table2 || *fig3 || *fig4 || *fig5 || *fig7 || *fig8 || *abl) {
 		flag.Usage()
 		os.Exit(2)

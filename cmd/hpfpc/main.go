@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"hpfperf"
+	"hpfperf/internal/obs"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 		spmd     = flag.Bool("spmd", false, "print the compiled SPMD node program")
 		critical = flag.Bool("critical", false, "list the program's critical variables")
 		traceOut = flag.String("trace", "", "write a ParaGraph interpretation trace to this file")
+		spanOut  = flag.String("trace-out", "", "write the run's observability span tree as JSON to this file (render with hpftrace -spans)")
 		maskDens = flag.Float64("mask", 1.0, "assumed FORALL/WHERE mask density")
 		noMem    = flag.Bool("nomem", false, "disable the memory-hierarchy model")
 		avgLoad  = flag.Bool("avgload", false, "use average instead of max-loaded processor accounting")
@@ -49,7 +53,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := hpfperf.Compile(src)
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *spanOut != "" {
+		tracer = obs.NewTracer(obs.NewTraceID())
+		root := tracer.Root("hpfpc")
+		defer writeSpanTree(*spanOut, tracer, root)
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	prog, err := hpfperf.CompileContext(ctx, src)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,7 +94,7 @@ func main() {
 		opts.MemoryModel = &off
 	}
 	if *auto > 0 {
-		cands, err := hpfperf.AutoDistribute(src, *auto, &hpfperf.AutoDistributeOptions{Predict: opts})
+		cands, err := hpfperf.AutoDistributeContext(ctx, src, *auto, &hpfperf.AutoDistributeOptions{Predict: opts})
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +114,7 @@ func main() {
 		}
 		return
 	}
-	pred, err := hpfperf.Predict(prog, opts)
+	pred, err := hpfperf.PredictContext(ctx, prog, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -135,6 +147,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
+}
+
+// writeSpanTree closes the root span and dumps the tracer's tree as
+// JSON — the format hpftrace -spans reads back.
+func writeSpanTree(path string, tracer *obs.Tracer, root *obs.Span) {
+	root.End()
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tracer.Tree()); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "span tree written to %s\n", path)
 }
 
 func loadSource(progName string, size, procs int, args []string) (string, error) {

@@ -1,15 +1,17 @@
 // Command hpfserve runs the HPF/Fortran 90D performance-interpretation
 // framework as a long-running HTTP/JSON service: POST /v1/predict
 // interprets a program, /v1/measure executes it on the simulated
-// iPSC/860, /v1/autotune searches directive variants; GET /healthz and
-// /metrics expose liveness and counters. Requests share one bounded
-// worker pool and one bounded LRU compile/report cache, honor
-// per-request deadlines, and drain gracefully on SIGINT/SIGTERM.
+// iPSC/860, /v1/autotune searches directive variants; GET /healthz,
+// /metrics and /v1/traces expose liveness, counters and recent request
+// traces. Requests share one bounded worker pool and one bounded LRU
+// compile/report cache, honor per-request deadlines, and drain
+// gracefully on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	hpfserve -addr :8080
 //	curl -s localhost:8080/v1/predict -d '{"source":"..."}'
+//	curl -s localhost:8080/v1/predict -H 'X-HPF-Trace: 1' -d '{"source":"..."}'
 package main
 
 import (
@@ -17,14 +19,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"hpfperf/internal/faults"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/server"
 )
 
@@ -39,17 +43,26 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested timeouts")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
 		quiet      = flag.Bool("quiet", false, "suppress request logging")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		queueWait  = flag.Duration("queue-wait", 0, "how long a request may wait for a worker slot before being shed (0 = 10s)")
 		queueDepth = flag.Int("queue-depth", 0, "waiting requests admitted before immediate shedding (0 = 4x max-concurrent)")
 		brThresh   = flag.Int("breaker-threshold", 0, "consecutive internal failures that open a route's circuit breaker (0 = 8, negative disables)")
 		brCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds a route before probing (0 = 5s)")
+		traceAll   = flag.Bool("trace-all", false, "trace every request into the /v1/traces ring (clients still opt into inline trees with X-HPF-Trace: 1)")
+		traceRing  = flag.Int("trace-ring", 0, "traces retained for GET /v1/traces (0 = 64)")
+		debugAddr  = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (e.g. localhost:6060); never expose publicly")
 		chaos      = flag.String("chaos", "", "fault-injection spec site:rate[:kind[:delay]],... (default from HPFPERF_FAULTS; kinds: error, panic, delay)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection decisions")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "hpfserve: ", log.LstdFlags|log.Lmicroseconds)
-	var reqLog *log.Logger
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpfserve:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	var reqLog *slog.Logger
 	if !*quiet {
 		reqLog = logger
 	}
@@ -61,10 +74,11 @@ func main() {
 	if spec != "" {
 		inj, err := faults.Parse(spec, *chaosSeed)
 		if err != nil {
-			logger.Fatalf("chaos: %v", err)
+			logger.Error("chaos spec invalid", "err", err.Error())
+			os.Exit(1)
 		}
 		faults.Activate(inj)
-		logger.Printf("CHAOS MODE: injecting faults (%s, seed=%d) — not for production use", spec, *chaosSeed)
+		logger.Warn("CHAOS MODE: injecting faults — not for production use", "spec", spec, "seed", *chaosSeed)
 	}
 
 	srv := server.New(server.Config{
@@ -79,6 +93,8 @@ func main() {
 		BreakerThreshold: *brThresh,
 		BreakerCooldown:  *brCooldown,
 		Log:              reqLog,
+		TraceAll:         *traceAll,
+		TraceRing:        *traceRing,
 	})
 
 	httpSrv := &http.Server{
@@ -87,31 +103,50 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		// pprof rides a dedicated mux on a dedicated listener so the
+		// profiling surface never shares an address with the public API.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err.Error())
+			}
+		}()
+		logger.Info("pprof listening", "addr", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d)", *addr, srv.Engine().Workers())
+	logger.Info("listening", "addr", *addr, "workers", srv.Engine().Workers(), "trace_all", *traceAll)
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Fatalf("serve: %v", err)
+			logger.Error("serve failed", "err", err.Error())
+			os.Exit(1)
 		}
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down; draining in-flight requests (budget %v)", *drain)
+	logger.Info("shutting down; draining in-flight requests", "budget", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		logger.Printf("drain: %v", err)
+		logger.Warn("drain incomplete", "err", err.Error())
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	snap := srv.Engine().Snapshot()
 	fmt.Fprintf(os.Stderr, "%s\n", snap)
-	logger.Printf("bye")
+	logger.Info("bye")
 }

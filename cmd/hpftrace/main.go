@@ -1,28 +1,36 @@
 // Command hpftrace renders a ParaGraph-format interpretation trace (as
 // produced by hpfpc -trace) as a per-processor utilization timeline — a
 // text-mode stand-in for the ParaGraph visualization package the paper
-// feeds its traces to.
+// feeds its traces to. With -spans it instead renders an observability
+// span tree (as written by hpfpc/hpfexp -trace-out, or the "trace"
+// field of an X-HPF-Trace response) through the same gantt path: one
+// lane per nesting depth, like a flame graph on its side.
 //
 // Usage:
 //
 //	hpfpc -prog "Laplace (Blk-X)" -trace lap.trc
 //	hpftrace lap.trc
+//	hpfpc -prog "Laplace (Blk-X)" -trace-out lap.span.json
+//	hpftrace -spans lap.span.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"hpfperf/internal/obs"
 	"hpfperf/internal/trace"
 )
 
 func main() {
 	width := flag.Int("width", 72, "timeline width in buckets")
 	summary := flag.Bool("summary", false, "print per-processor activity totals instead")
+	spans := flag.Bool("spans", false, "input is a JSON span tree (from -trace-out or an X-HPF-Trace response), not a PICL trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hpftrace [-width N] [-summary] trace-file")
+		fmt.Fprintln(os.Stderr, "usage: hpftrace [-width N] [-summary] [-spans] trace-file")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -30,6 +38,15 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
+	if *spans {
+		tree, err := parseSpanTree(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(trace.RenderSpanTree(tree))
+		fmt.Print(trace.FromSpanTree(tree).Gantt(*width))
+		return
+	}
 	tr, err := trace.Parse(f)
 	if err != nil {
 		fatal(err)
@@ -49,6 +66,25 @@ func main() {
 		return
 	}
 	fmt.Print(tr.Gantt(*width))
+}
+
+// parseSpanTree accepts either a bare obs.Tree document or a full API
+// response that carries the tree in its "trace" field.
+func parseSpanTree(f *os.File) (*obs.Tree, error) {
+	var envelope struct {
+		Trace *obs.Tree `json:"trace"`
+		obs.Tree
+	}
+	if err := json.NewDecoder(f).Decode(&envelope); err != nil {
+		return nil, fmt.Errorf("parsing span tree: %w", err)
+	}
+	if envelope.Trace != nil {
+		return envelope.Trace, nil
+	}
+	if envelope.Root == nil {
+		return nil, fmt.Errorf("no span tree in %s (want a -trace-out file or a response with a trace field)", f.Name())
+	}
+	return &envelope.Tree, nil
 }
 
 func fatal(err error) {

@@ -46,6 +46,8 @@ type (
 	AnalyzeResponse = server.AnalyzeResponse
 	// HealthResponse is the body of GET /healthz.
 	HealthResponse = server.HealthResponse
+	// TracesResponse is the body of GET /v1/traces.
+	TracesResponse = server.TracesResponse
 )
 
 // APIError is a non-2xx response from hpfserve.
@@ -134,6 +136,9 @@ type Config struct {
 	HTTPClient *http.Client
 	// Retry bounds the retry loop (zero value = DefaultRetryPolicy).
 	Retry RetryPolicy
+	// Trace opts every request into server-side tracing (the X-HPF-Trace
+	// header): responses carry their span tree in the trace field.
+	Trace bool
 }
 
 // Client talks to one hpfserve instance.
@@ -141,6 +146,7 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy
+	trace bool
 }
 
 // New returns a client for the server at cfg.BaseURL.
@@ -153,6 +159,7 @@ func New(cfg Config) *Client {
 		base:  strings.TrimRight(cfg.BaseURL, "/"),
 		hc:    hc,
 		retry: cfg.Retry.normalized(),
+		trace: cfg.Trace,
 	}
 }
 
@@ -211,6 +218,30 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	return &out, nil
 }
 
+// Traces calls GET /v1/traces: the server's ring of recent request
+// traces, newest first.
+func (c *Client) Traces(ctx context.Context) (*TracesResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/traces", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(hresp.Body)
+	lr := io.LimitReader(hresp.Body, 8<<20)
+	if hresp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(lr)
+		return nil, &APIError{Status: hresp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	var out TracesResponse
+	if err := json.NewDecoder(lr).Decode(&out); err != nil {
+		return nil, fmt.Errorf("traces: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
 // do POSTs req as JSON to path, retrying temporary failures, and
 // decodes a 200 body into out.
 func (c *Client) do(ctx context.Context, path string, req, out any) error {
@@ -248,6 +279,9 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) er
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if c.trace {
+		hreq.Header.Set("X-HPF-Trace", "1")
+	}
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		// Network-level failure: retryable unless the context ended.

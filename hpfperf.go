@@ -31,6 +31,7 @@ import (
 	"hpfperf/internal/exec"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/report"
 	"hpfperf/internal/sem"
 	"hpfperf/internal/suite"
@@ -48,7 +49,14 @@ type Program struct {
 // Compile parses, analyzes and compiles HPF/Fortran 90D source text
 // through the five compilation steps of the framework's phase 1.
 func Compile(src string) (*Program, error) {
-	p, err := compiler.Compile(src)
+	return CompileContext(context.Background(), src)
+}
+
+// CompileContext is Compile under a context. When the context carries
+// an active obs trace (see internal/obs), the compilation phases record
+// as spans: compile > {parse, sem > partition, comm-insert}.
+func CompileContext(ctx context.Context, src string) (*Program, error) {
+	p, err := compiler.CompileWithContext(ctx, src, compiler.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +230,10 @@ func PredictContext(ctx context.Context, p *Program, opts *PredictOptions) (*Pre
 	if err != nil {
 		return nil, err
 	}
-	it, err := core.NewContext(ctx, p.hir, mach, opts.toCore())
+	ictx, span := obs.Start(ctx, "interp")
+	defer span.End()
+	span.SetAttrInt("procs", p.Processors())
+	it, err := core.NewContext(ictx, p.hir, mach, opts.toCore())
 	if err != nil {
 		return nil, err
 	}

@@ -15,10 +15,12 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 
 	"hpfperf/internal/ast"
 	"hpfperf/internal/hir"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/parser"
 	"hpfperf/internal/sem"
 	"hpfperf/internal/token"
@@ -38,15 +40,23 @@ func Compile(src string) (*hir.Program, error) {
 	return CompileWith(src, Options{})
 }
 
-func compileNoOpt(src string, opts Options) (*hir.Program, error) {
+func compileNoOpt(ctx context.Context, src string, opts Options) (*hir.Program, error) {
+	_, ps := obs.Start(ctx, "parse")
 	prog, err := parser.Parse(src)
+	ps.End()
 	if err != nil {
 		return nil, err
 	}
-	info, err := sem.Analyze(prog)
+	sctx, ss := obs.Start(ctx, "sem")
+	info, err := sem.AnalyzeContext(sctx, prog)
+	ss.End()
 	if err != nil {
 		return nil, err
 	}
+	// Lowering performs sequentialization plus communication detection
+	// and insertion (steps 3-5), so it carries the comm-insert span.
+	_, ls := obs.Start(ctx, "comm-insert")
+	defer ls.End()
 	return LowerWith(info, opts)
 }
 

@@ -1,7 +1,10 @@
 package compiler
 
 import (
+	"context"
+
 	"hpfperf/internal/hir"
+	"hpfperf/internal/obs"
 )
 
 // Options control compilation. They correspond to the generated-code
@@ -16,7 +19,16 @@ type Options struct {
 
 // CompileWith compiles with explicit options.
 func CompileWith(src string, opts Options) (*hir.Program, error) {
-	prog, err := compileNoOpt(src, opts)
+	return CompileWithContext(context.Background(), src, opts)
+}
+
+// CompileWithContext compiles with explicit options under a context.
+// When the context carries an active obs span, the phases record as
+// child spans: compile > {parse, sem > partition, comm-insert}.
+func CompileWithContext(ctx context.Context, src string, opts Options) (*hir.Program, error) {
+	cctx, span := obs.Start(ctx, "compile")
+	defer span.End()
+	prog, err := compileNoOpt(cctx, src, opts)
 	if err != nil {
 		return nil, err
 	}

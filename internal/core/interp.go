@@ -11,6 +11,7 @@ import (
 	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/sem"
 	"hpfperf/internal/sysmodel"
 )
@@ -134,6 +135,10 @@ type Interpreter struct {
 
 	ctx       context.Context // cooperative cancellation for Interpret
 	ctxStride int             // AAU interpretations since the last ctx check
+
+	// span is the context's obs span, cached once at construction: when
+	// tracing is off it is nil and each AAU pays one nil check.
+	span *obs.Span
 }
 
 // New builds an interpreter for a compiled program on the given machine
@@ -159,10 +164,14 @@ func NewContext(ctx context.Context, prog *hir.Program, mach *sysmodel.Machine, 
 	if procs > mach.MaxNodes {
 		return nil, fmt.Errorf("core: program needs %d processors, %s has %d", procs, mach.Name, mach.MaxNodes)
 	}
+	span := obs.SpanFromContext(ctx)
 	lib := opts.CommLibrary
 	if lib == nil {
+		cs := span.StartChild("calibrate")
+		cs.SetAttrInt("procs", procs)
 		var err error
 		lib, err = ipsc.CalibrateMachineContext(ctx, mach, procs)
+		cs.End()
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +180,7 @@ func NewContext(ctx context.Context, prog *hir.Program, mach *sysmodel.Machine, 
 	for k := range opts.Values {
 		pinned[k] = true
 	}
-	return &Interpreter{prog: prog, mach: mach, lib: lib, opts: opts, pinned: pinned, ctx: ctx}, nil
+	return &Interpreter{prog: prog, mach: mach, lib: lib, opts: opts, pinned: pinned, ctx: ctx, span: span}, nil
 }
 
 // Interpret runs the interpretation algorithm over the SAAG and returns
@@ -428,6 +437,29 @@ func (it *Interpreter) interpAAUs(aaus []*AAU, env absEnv, mult float64) (Metric
 }
 
 func (it *Interpreter) interpAAU(a *AAU, env absEnv, mult float64) (Metrics, error) {
+	if it.span != nil {
+		return it.interpAAUTraced(a, env, mult)
+	}
+	return it.interpAAUKind(a, env, mult)
+}
+
+// interpAAUTraced wraps one AAU interpretation in an interp.<kind> span.
+// The current span is swapped so nested AAUs parent correctly, then
+// restored: the interpreter is single-goroutine so a plain field works.
+func (it *Interpreter) interpAAUTraced(a *AAU, env absEnv, mult float64) (Metrics, error) {
+	parent := it.span
+	s := parent.StartChild("interp." + a.Kind.String())
+	if a.Line > 0 {
+		s.SetAttrInt("line", a.Line)
+	}
+	it.span = s
+	m, err := it.interpAAUKind(a, env, mult)
+	s.End()
+	it.span = parent
+	return m, err
+}
+
+func (it *Interpreter) interpAAUKind(a *AAU, env absEnv, mult float64) (Metrics, error) {
 	switch a.Kind {
 	case Seq:
 		return it.interpSeq(a, env, mult), nil

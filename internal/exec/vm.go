@@ -12,6 +12,7 @@ import (
 	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/sem"
 )
 
@@ -78,7 +79,11 @@ func RunContext(ctx context.Context, prog *hir.Program, mach *ipsc.Machine, opts
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = 2_000_000_000
 	}
+	_, span := obs.Start(ctx, "exec.vm")
+	defer span.End()
+	span.SetAttrInt("runs", opts.Runs)
 	grid := prog.Info.Grid
+	span.SetAttrInt("procs", grid.Size())
 	if grid.Size() != mach.Nodes() {
 		return nil, fmt.Errorf("exec: program grid %s has %d processors but machine has %d nodes",
 			grid, grid.Size(), mach.Nodes())

@@ -23,6 +23,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -57,6 +58,10 @@ type Config struct {
 	// Workers bounds pool concurrency when Engine is nil (<= 0 uses
 	// GOMAXPROCS); the derived engine still shares the default cache.
 	Workers int
+	// Ctx, when non-nil, flows into every sweep point: it carries
+	// cancellation and, when it holds an obs span, traces each
+	// artifact's compiles and interpretations (hpfexp -trace-out).
+	Ctx context.Context
 	// CheckpointDir, when non-empty, makes each sweep record completed
 	// points to <dir>/<artifact>.ckpt so a killed run resumes from
 	// where it stopped; point evaluation is deterministic, so a resumed
@@ -73,6 +78,13 @@ func DefaultConfig() Config {
 // QuickConfig returns a reduced configuration for smoke tests.
 func QuickConfig() Config {
 	return Config{Quick: true, Runs: 1, Perturb: 0.01}
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) engine() *sweep.Engine {
@@ -115,7 +127,7 @@ func (c Config) logf(format string, args ...any) {
 // interprets it and runs it on the simulated machine, returning
 // (estimated, measured) microseconds.
 func EstimateAndMeasure(src string, cfg Config) (estUS, measUS float64, err error) {
-	return cfg.engine().EstimateAndMeasure(src, cfg.Runs, cfg.Perturb)
+	return cfg.engine().EstimateAndMeasureContext(cfg.ctx(), src, cfg.Runs, cfg.Perturb)
 }
 
 // ---------------------------------------------------------------------------
@@ -231,7 +243,7 @@ func Table2(cfg Config) ([]AccuracyRow, error) {
 		}
 	}
 	eng := cfg.engine()
-	res, err := sweep.MapCheckpoint(eng, len(pts), cfg.checkpoint("table2"), func(k int) (AccuracyPoint, error) {
+	res, err := sweep.MapCheckpointCtx(cfg.ctx(), eng, len(pts), cfg.checkpoint("table2"), func(k int) (AccuracyPoint, error) {
 		pt := pts[k]
 		p := progs[pt.row]
 		ap, err := accuracyPoint(eng, p, pt.size, pt.procs, cfg)
@@ -265,7 +277,7 @@ func Table2Row(p *suite.Program, cfg Config) (AccuracyRow, error) {
 		}
 	}
 	eng := cfg.engine()
-	res, err := sweep.Map(eng, len(pts), func(k int) (AccuracyPoint, error) {
+	res, err := sweep.MapCtx(cfg.ctx(), eng, len(pts), func(k int) (AccuracyPoint, error) {
 		return accuracyPoint(eng, p, pts[k].size, pts[k].procs, cfg)
 	})
 	if err != nil {
@@ -277,7 +289,7 @@ func Table2Row(p *suite.Program, cfg Config) (AccuracyRow, error) {
 
 // accuracyPoint evaluates one (size, procs) comparison of one program.
 func accuracyPoint(eng *sweep.Engine, p *suite.Program, size, procs int, cfg Config) (AccuracyPoint, error) {
-	est, meas, err := eng.EstimateAndMeasure(p.Source(size, procs), cfg.Runs, cfg.Perturb)
+	est, meas, err := eng.EstimateAndMeasureContext(cfg.ctx(), p.Source(size, procs), cfg.Runs, cfg.Perturb)
 	if err != nil {
 		return AccuracyPoint{}, fmt.Errorf("size %d procs %d: %w", size, procs, err)
 	}
@@ -384,11 +396,11 @@ func Figure45(procs int, cfg Config) ([]LaplaceSeries, error) {
 		}
 	}
 	eng := cfg.engine()
-	res, err := sweep.MapCheckpoint(eng, len(pts), cfg.checkpoint(fmt.Sprintf("fig45-p%d", procs)), func(k int) ([2]float64, error) {
+	res, err := sweep.MapCheckpointCtx(cfg.ctx(), eng, len(pts), cfg.checkpoint(fmt.Sprintf("fig45-p%d", procs)), func(k int) ([2]float64, error) {
 		pt := pts[k]
 		cse := cases[pt.cse]
 		n := sizes[pt.sizeIdx]
-		e, m, err := eng.EstimateAndMeasure(cse.prog.Source(n, procs), cfg.Runs, cfg.Perturb)
+		e, m, err := eng.EstimateAndMeasureContext(cfg.ctx(), cse.prog.Source(n, procs), cfg.Runs, cfg.Perturb)
 		if err != nil {
 			return [2]float64{}, fmt.Errorf("%s n=%d: %w", cse.label, n, err)
 		}
@@ -557,10 +569,10 @@ func Figure8(cfg Config) ([]ExperimentTime, error) {
 		}
 	}
 	eng := cfg.engine()
-	res, err := sweep.MapCheckpoint(eng, len(pts), cfg.checkpoint("fig8"), func(k int) (float64, error) {
+	res, err := sweep.MapCheckpointCtx(cfg.ctx(), eng, len(pts), cfg.checkpoint("fig8"), func(k int) (float64, error) {
 		pt := pts[k]
 		src := cases[pt.cse].prog.Source(sizes[pt.sizeIdx], 4)
-		_, meas, err := eng.EstimateAndMeasure(src, cfg.Runs, cfg.Perturb)
+		_, meas, err := eng.EstimateAndMeasureContext(cfg.ctx(), src, cfg.Runs, cfg.Perturb)
 		return meas, err
 	})
 	if err != nil {

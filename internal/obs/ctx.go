@@ -1,0 +1,33 @@
+package obs
+
+import "context"
+
+type ctxKey int
+
+const spanKey ctxKey = 0
+
+// ContextWithSpan returns a context carrying the span as the current
+// parent for instrumentation further down the call stack.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the context's current span, or nil when the
+// request is untraced. Callers on hot paths cache the result once and
+// branch on nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Start opens a child of the context's current span and returns a
+// derived context carrying the new span. On an untraced context it
+// returns (ctx, nil) without allocating.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.StartChild(name)
+	return ContextWithSpan(ctx, s), s
+}

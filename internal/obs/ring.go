@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one completed request trace retained in the ring.
+type TraceRecord struct {
+	TraceID string    `json:"trace_id"`
+	Route   string    `json:"route"`
+	Status  int       `json:"status"`
+	DurUS   float64   `json:"dur_us"`
+	Start   time.Time `json:"start"`
+	Tree    *Tree     `json:"tree"`
+}
+
+// Ring retains the last N traces served, for GET /v1/traces. It is a
+// fixed-size overwrite buffer: adds never block or allocate beyond the
+// initial capacity.
+type Ring struct {
+	mu   sync.Mutex
+	recs []TraceRecord
+	next int
+	full bool
+}
+
+// NewRing returns a ring retaining up to n traces (n < 1 is clamped to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{recs: make([]TraceRecord, n)}
+}
+
+// Add inserts a record, evicting the oldest when full.
+func (r *Ring) Add(rec TraceRecord) {
+	r.mu.Lock()
+	r.recs[r.next] = rec
+	r.next++
+	if r.next == len(r.recs) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.recs)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.recs)
+		}
+		out = append(out, r.recs[idx])
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package obs
+
+import "fmt"
+
+// ParseTraceparent extracts the trace ID from a W3C trace-context
+// `traceparent` header (version 00: `00-<32 hex>-<16 hex>-<2 hex>`).
+// It returns the trace ID, or an error for malformed values; callers
+// typically fall back to NewTraceID then.
+func ParseTraceparent(h string) (traceID string, err error) {
+	if len(h) < 55 {
+		return "", fmt.Errorf("traceparent too short (%d bytes)", len(h))
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", fmt.Errorf("traceparent: bad field separators")
+	}
+	id := h[3:35]
+	allZero := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", fmt.Errorf("traceparent: non-hex trace ID")
+		}
+		if c != '0' {
+			allZero = false
+		}
+	}
+	if allZero {
+		return "", fmt.Errorf("traceparent: all-zero trace ID")
+	}
+	return id, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent header for the
+// given trace ID, minting a fresh parent span ID.
+func FormatTraceparent(traceID string) string {
+	return "00-" + traceID + "-" + NewSpanID() + "-01"
+}

@@ -1,10 +1,12 @@
 package sem
 
 import (
+	"context"
 	"fmt"
 
 	"hpfperf/internal/ast"
 	"hpfperf/internal/dist"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/token"
 )
 
@@ -12,6 +14,13 @@ import (
 // implicit typing, directive resolution (into dist descriptors), and a
 // full typing/shape pass over all statements.
 func Analyze(prog *ast.Program) (*Info, error) {
+	return AnalyzeContext(context.Background(), prog)
+}
+
+// AnalyzeContext is Analyze under a context. With an active obs span it
+// records directive resolution — the data-partitioning step of the
+// compilation model — as a child "partition" span.
+func AnalyzeContext(ctx context.Context, prog *ast.Program) (*Info, error) {
 	a := &analyzer{
 		info: &Info{
 			Prog:      prog,
@@ -23,7 +32,9 @@ func Analyze(prog *ast.Program) (*Info, error) {
 		},
 	}
 	a.collectDecls()
+	_, ps := obs.Start(ctx, "partition")
 	a.resolveDirectives()
+	ps.End()
 	a.checkStmts(prog.Body, nil)
 	if len(a.errs) > 0 {
 		return a.info, a.errs[0]

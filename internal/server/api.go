@@ -18,8 +18,34 @@ import (
 	"hpfperf/internal/analysis"
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/sem"
 )
+
+// ResponseMeta carries the per-request correlation identifiers (and,
+// when the client opted in with X-HPF-Trace: 1, the span tree) on every
+// success response. It is embedded in each response type.
+type ResponseMeta struct {
+	// RequestID uniquely identifies this request in the server logs.
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the request's W3C trace ID (client-supplied via
+	// traceparent, or minted by the server).
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the request's span tree (only with X-HPF-Trace: 1).
+	Trace *obs.Tree `json:"trace,omitempty"`
+}
+
+func (m *ResponseMeta) setMeta(reqID, traceID string, tree *obs.Tree) {
+	m.RequestID = reqID
+	m.TraceID = traceID
+	m.Trace = tree
+}
+
+// metaSetter is what api() uses to stamp correlation IDs onto a
+// handler's response without knowing its concrete type.
+type metaSetter interface {
+	setMeta(reqID, traceID string, tree *obs.Tree)
+}
 
 // PredictOptions selects the model options of one interpretation
 // request (the JSON mirror of core.Options plus compile options).
@@ -95,6 +121,7 @@ type PredictRequest struct {
 
 // PredictResponse is the body of a successful predict call.
 type PredictResponse struct {
+	ResponseMeta
 	Program  string   `json:"program"`
 	Procs    int      `json:"procs"`
 	EstUS    float64  `json:"est_us"`
@@ -125,6 +152,7 @@ type MeasureRequest struct {
 
 // MeasureResponse is the body of a successful measure call.
 type MeasureResponse struct {
+	ResponseMeta
 	Program    string    `json:"program"`
 	Procs      int       `json:"procs"`
 	MeasuredUS float64   `json:"measured_us"`
@@ -158,6 +186,7 @@ type AutotuneCandidate struct {
 
 // AutotuneResponse is the body of a successful autotune call.
 type AutotuneResponse struct {
+	ResponseMeta
 	Candidates []AutotuneCandidate `json:"candidates"`
 	// BestSource is the recommended rewritten program (when requested).
 	BestSource string  `json:"best_source,omitempty"`
@@ -176,6 +205,7 @@ type AnalyzeRequest struct {
 // is always present (possibly empty) so the schema is stable for clean
 // programs.
 type AnalyzeResponse struct {
+	ResponseMeta
 	Program     string                `json:"program"`
 	Procs       int                   `json:"procs"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
@@ -185,7 +215,10 @@ type AnalyzeResponse struct {
 	ElapsedUS   float64               `json:"elapsed_us"`
 }
 
-// ErrorResponse is the body of every non-2xx API response.
+// ErrorResponse is the body of every non-2xx API response. RequestID
+// and TraceID are present on every response path — including shed
+// (429), breaker-open, and drain rejections — so a refused request is
+// still correlatable with server logs and traces.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Stage names the pipeline stage that failed ("decode", "compile",
@@ -193,6 +226,16 @@ type ErrorResponse struct {
 	// "overload" for shed/breaker/drain rejections, "transient" for
 	// retryable failures worth resubmitting).
 	Stage string `json:"stage,omitempty"`
+	// RequestID identifies the request in the server logs.
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the request's W3C trace ID.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TracesResponse is the body of GET /v1/traces: the most recent traced
+// requests, newest first.
+type TracesResponse struct {
+	Traces []obs.TraceRecord `json:"traces"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -212,8 +255,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, stage string, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Stage: stage})
+func writeError(w http.ResponseWriter, status int, stage string, err error, meta reqMeta) {
+	writeJSON(w, status, ErrorResponse{
+		Error: err.Error(), Stage: stage,
+		RequestID: meta.reqID, TraceID: meta.traceID,
+	})
 }
 
 // apiError carries an HTTP status and stage label through a handler.

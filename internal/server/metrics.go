@@ -14,24 +14,41 @@ import (
 // (~µs) and a full measurement sweep (~s).
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
+// exemplar links one histogram bucket to a recent trace that landed in
+// it, so a tail-latency bucket on /metrics can be followed to the
+// corresponding span tree on /v1/traces.
+type exemplar struct {
+	traceID string
+	seconds float64
+}
+
 // histogram is a fixed-bucket latency histogram with atomic counters
 // (one per route; written on every request, read by /metrics).
 type histogram struct {
-	counts []atomic.Int64 // len(latencyBuckets)+1; last is +Inf
-	sumNS  atomic.Int64
-	total  atomic.Int64
+	counts    []atomic.Int64 // len(latencyBuckets)+1; last is +Inf
+	exemplars []atomic.Value // of exemplar; last traced request per bucket
+	sumNS     atomic.Int64
+	total     atomic.Int64
 }
 
 func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+	return &histogram{
+		counts:    make([]atomic.Int64, len(latencyBuckets)+1),
+		exemplars: make([]atomic.Value, len(latencyBuckets)+1),
+	}
 }
 
-func (h *histogram) observe(seconds float64) {
+// observe records one request latency. traceID is non-empty only for
+// traced requests; it becomes the bucket's exemplar.
+func (h *histogram) observe(seconds float64, traceID string) {
 	i := 0
 	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
 		i++
 	}
 	h.counts[i].Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(exemplar{traceID: traceID, seconds: seconds})
+	}
 	h.sumNS.Add(int64(seconds * 1e9))
 	h.total.Add(1)
 }
@@ -48,6 +65,17 @@ type metrics struct {
 	shed            atomic.Int64 // requests shed by the gate with 429 + Retry-After
 	breakerRejected atomic.Int64 // requests refused by an open circuit breaker
 	panics          atomic.Int64 // handler panics recovered
+}
+
+// writeExemplar appends an OpenMetrics-style exemplar (` # {trace_id=
+// "..."} value`) to a bucket line when a traced request has landed in
+// that bucket, linking the histogram to GET /v1/traces.
+func writeExemplar(b *strings.Builder, v *atomic.Value) {
+	ex, ok := v.Load().(exemplar)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=%q} %g", ex.traceID, ex.seconds)
 }
 
 // breakerStat is one route's circuit-breaker view for /metrics.
@@ -101,10 +129,14 @@ func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.Cache
 		cum := int64(0)
 		for i, ub := range latencyBuckets {
 			cum += h.counts[i].Load()
-			fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+			fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d", r, ub, cum)
+			writeExemplar(b, &h.exemplars[i])
+			b.WriteByte('\n')
 		}
 		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d", r, cum)
+		writeExemplar(b, &h.exemplars[len(latencyBuckets)])
+		b.WriteByte('\n')
 		fmt.Fprintf(b, "hpfserve_request_duration_seconds_sum{route=%q} %g\n", r, float64(h.sumNS.Load())/1e9)
 		fmt.Fprintf(b, "hpfserve_request_duration_seconds_count{route=%q} %d\n", r, h.total.Load())
 	}

@@ -314,6 +314,123 @@ func TestDrainRejectionAdvertisesRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRefusalsCarryCorrelationIDs is the regression test for the
+// request-ID gap: shed (429), breaker-open (503), and drain (503)
+// refusals used to omit request_id/trace_id, leaving refused requests
+// uncorrelatable with server logs. Every refusal path must now carry
+// both fields in the body and the X-HPF-Request-Id header.
+func TestRefusalsCarryCorrelationIDs(t *testing.T) {
+	checkIDs := func(t *testing.T, resp *http.Response, raw []byte) {
+		t.Helper()
+		if resp.Header.Get("X-HPF-Request-Id") == "" {
+			t.Error("refusal missing X-HPF-Request-Id header")
+		}
+		if resp.Header.Get("traceparent") == "" {
+			t.Error("refusal missing traceparent header")
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil {
+			t.Fatalf("refusal body not JSON: %v: %s", err, raw)
+		}
+		if er.RequestID == "" {
+			t.Errorf("refusal body missing request_id: %s", raw)
+		}
+		if er.TraceID == "" {
+			t.Errorf("refusal body missing trace_id: %s", raw)
+		}
+		if got := resp.Header.Get("X-HPF-Request-Id"); got != er.RequestID {
+			t.Errorf("header request ID %q != body request_id %q", got, er.RequestID)
+		}
+	}
+
+	t.Run("shed-429", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{
+			MaxConcurrent: 1,
+			MaxQueueDepth: 1,
+			QueueWait:     5 * time.Second,
+		})
+		slow := map[string]any{"source": bigSource(60), "runs": 2}
+		type outcome struct {
+			resp *http.Response
+			body []byte
+		}
+		const concurrent = 4
+		results := make(chan outcome, concurrent)
+		var wg sync.WaitGroup
+		for i := 0; i < concurrent; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, body := post(t, ts.URL+"/v1/measure", slow)
+				results <- outcome{resp, body}
+			}()
+		}
+		wg.Wait()
+		close(results)
+		shed := 0
+		for out := range results {
+			if out.resp.StatusCode != http.StatusTooManyRequests {
+				continue
+			}
+			shed++
+			checkIDs(t, out.resp, out.body)
+		}
+		if shed == 0 {
+			t.Fatal("gate never shed a request; cannot assert the 429 path")
+		}
+	})
+
+	t.Run("breaker-open-503", func(t *testing.T) {
+		const threshold = 2
+		withServerFaults(t, "server.predict:1:error", 7)
+		_, ts := newTestServer(t, Config{
+			BreakerThreshold: threshold,
+			BreakerCooldown:  time.Minute,
+		})
+		body := map[string]any{"source": tinyProgram}
+		for i := 0; i < threshold; i++ {
+			resp, raw := post(t, ts.URL+"/v1/predict", body)
+			if resp.StatusCode != http.StatusInternalServerError {
+				t.Fatalf("request %d: status = %d body %s, want 500", i, resp.StatusCode, raw)
+			}
+			checkIDs(t, resp, raw) // 500s carry IDs too
+		}
+		resp, raw := post(t, ts.URL+"/v1/predict", body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("post-threshold status = %d body %s, want 503", resp.StatusCode, raw)
+		}
+		checkIDs(t, resp, raw)
+	})
+
+	t.Run("drain-503", func(t *testing.T) {
+		s, ts := newTestServer(t, Config{})
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		resp, raw := post(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d body %s, want 503 while draining", resp.StatusCode, raw)
+		}
+		checkIDs(t, resp, raw)
+	})
+
+	t.Run("method-not-allowed-405", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		resp, err := http.Get(ts.URL + "/v1/predict")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+		checkIDs(t, resp, raw)
+	})
+}
+
 func TestBreakerStateString(t *testing.T) {
 	cases := map[BreakerState]string{
 		BreakerClosed:   "closed",

@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -20,6 +20,7 @@ import (
 	"hpfperf/internal/exec"
 	"hpfperf/internal/faults"
 	"hpfperf/internal/ipsc"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/report"
 	"hpfperf/internal/sweep"
 	"hpfperf/internal/sysmodel"
@@ -60,8 +61,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts (<= 0 = 5m).
 	MaxTimeout time.Duration
-	// Log receives request logs (nil = silent).
-	Log *log.Logger
+	// Log receives structured request logs (nil = silent). Request logs
+	// carry request_id and trace_id attributes for correlation with
+	// traced responses and /v1/traces.
+	Log *slog.Logger
+	// TraceAll forces tracing of every request, as if each carried
+	// X-HPF-Trace: 1 (the span tree is still only inlined in responses
+	// to requests that asked for it; forced traces land in the ring).
+	TraceAll bool
+	// TraceRing bounds the /v1/traces ring buffer (<= 0 = 64).
+	TraceRing int
 }
 
 // Server is the hpfserve HTTP API. Create with New, expose with
@@ -72,6 +81,7 @@ type Server struct {
 	mux      *http.ServeMux
 	sem      chan struct{}
 	met      *metrics
+	ring     *obs.Ring           // last N request traces (GET /v1/traces)
 	breakers map[string]*breaker // per-route; nil map when disabled
 
 	reqMu    sync.Mutex // guards met.requests growth
@@ -119,13 +129,17 @@ func New(cfg Config) *Server {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 64
+	}
 	routes := []string{routePredict, routeMeasure, routeAutotune, routeAnalyze}
 	s := &Server{
-		cfg: cfg,
-		eng: eng,
-		mux: http.NewServeMux(),
-		sem: make(chan struct{}, cfg.MaxConcurrent),
-		met: newMetrics(routes),
+		cfg:  cfg,
+		eng:  eng,
+		mux:  http.NewServeMux(),
+		sem:  make(chan struct{}, cfg.MaxConcurrent),
+		met:  newMetrics(routes),
+		ring: obs.NewRing(cfg.TraceRing),
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = make(map[string]*breaker, len(routes))
@@ -137,6 +151,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/measure", s.api(routeMeasure, s.handleMeasure))
 	s.mux.HandleFunc("/v1/autotune", s.api(routeAutotune, s.handleAutotune))
 	s.mux.HandleFunc("/v1/analyze", s.api(routeAnalyze, s.handleAnalyze))
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -166,9 +181,39 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
+// reqMeta is the per-request correlation state: the request ID (always
+// minted), the trace ID (from a client traceparent header or minted),
+// and the tracer when this request records spans.
+type reqMeta struct {
+	reqID   string
+	traceID string
+	tracer  *obs.Tracer // nil when the request is untraced
+	inline  bool        // client asked for the tree in the response
+}
+
+// newMeta mints the request's correlation IDs, honoring a well-formed
+// client traceparent, and decides whether to trace: the client opts in
+// with X-HPF-Trace: 1, or Config.TraceAll forces it.
+func (s *Server) newMeta(r *http.Request) reqMeta {
+	m := reqMeta{reqID: obs.NewSpanID()}
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if id, err := obs.ParseTraceparent(tp); err == nil {
+			m.traceID = id
+		}
+	}
+	if m.traceID == "" {
+		m.traceID = obs.NewTraceID()
+	}
+	m.inline = r.Header.Get("X-HPF-Trace") == "1"
+	if m.inline || s.cfg.TraceAll {
+		m.tracer = obs.NewTracer(m.traceID)
+	}
+	return m
+}
+
+func (s *Server) log(level slog.Level, msg string, args ...any) {
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf(format, args...)
+		s.cfg.Log.Log(context.Background(), level, msg, args...)
 	}
 }
 
@@ -209,10 +254,10 @@ func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
 // shed rejects a request with 429 + Retry-After and counts it in the
 // dedicated shed counter (distinguishable from other rejections in
 // /metrics).
-func (s *Server) shed(w http.ResponseWriter, hint time.Duration, err error) int {
+func (s *Server) shed(w http.ResponseWriter, hint time.Duration, err error, meta reqMeta) int {
 	s.met.shed.Add(1)
 	retryAfterHeader(w, hint)
-	writeError(w, http.StatusTooManyRequests, "overload", err)
+	writeError(w, http.StatusTooManyRequests, "overload", err, meta)
 	return http.StatusTooManyRequests
 }
 
@@ -221,7 +266,7 @@ func (s *Server) shed(w http.ResponseWriter, hint time.Duration, err error) int 
 // QueueWait. A full queue or an expired wait sheds the request (429 +
 // Retry-After); a client that goes away while queued gets 503. ok
 // reports whether a slot was acquired (the caller must release it).
-func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (code int, ok bool) {
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request, meta reqMeta) (code int, ok bool) {
 	select {
 	case s.sem <- struct{}{}:
 		return http.StatusOK, true
@@ -229,7 +274,7 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (code int, 
 	}
 	if s.met.queued.Add(1) > int64(s.cfg.MaxQueueDepth) {
 		s.met.queued.Add(-1)
-		return s.shed(w, s.cfg.QueueWait/2, fmt.Errorf("server saturated: %d requests in flight and wait queue full", cap(s.sem))), false
+		return s.shed(w, s.cfg.QueueWait/2, fmt.Errorf("server saturated: %d requests in flight and wait queue full", cap(s.sem)), meta), false
 	}
 	timer := time.NewTimer(s.cfg.QueueWait)
 	defer timer.Stop()
@@ -239,11 +284,11 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (code int, 
 		return http.StatusOK, true
 	case <-timer.C:
 		s.met.queued.Add(-1)
-		return s.shed(w, s.cfg.QueueWait/2, fmt.Errorf("no worker slot within %v", s.cfg.QueueWait)), false
+		return s.shed(w, s.cfg.QueueWait/2, fmt.Errorf("no worker slot within %v", s.cfg.QueueWait), meta), false
 	case <-r.Context().Done():
 		s.met.queued.Add(-1)
 		s.met.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "overload", fmt.Errorf("cancelled while waiting for a worker slot"))
+		writeError(w, http.StatusServiceUnavailable, "overload", fmt.Errorf("cancelled while waiting for a worker slot"), meta)
 		return http.StatusServiceUnavailable, false
 	}
 }
@@ -257,22 +302,47 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		code := http.StatusOK
+		// Correlation IDs are minted before any branch, and echoed both
+		// as headers and in every JSON body — including shed, breaker,
+		// drain and method rejections — so no response is anonymous.
+		meta := s.newMeta(r)
+		w.Header().Set("X-HPF-Request-Id", meta.reqID)
+		w.Header().Set("traceparent", obs.FormatTraceparent(meta.traceID))
+
+		var root *obs.Span
+		if meta.tracer != nil {
+			root = meta.tracer.Root("server." + route)
+		}
 		defer func() {
-			s.met.latency[route].observe(time.Since(start).Seconds())
+			elapsed := time.Since(start)
+			var exemplarID string
+			if meta.tracer != nil {
+				root.End()
+				exemplarID = meta.traceID
+				s.ring.Add(obs.TraceRecord{
+					TraceID: meta.traceID,
+					Route:   route,
+					Status:  code,
+					DurUS:   float64(elapsed) / float64(time.Microsecond),
+					Start:   start,
+					Tree:    meta.tracer.Tree(),
+				})
+			}
+			s.met.latency[route].observe(elapsed.Seconds(), exemplarID)
 			s.recordRequest(route, code)
 		}()
 
 		if r.Method != http.MethodPost {
 			code = http.StatusMethodNotAllowed
 			w.Header().Set("Allow", http.MethodPost)
-			writeError(w, code, "decode", fmt.Errorf("use POST"))
+			writeError(w, code, "decode", fmt.Errorf("use POST"), meta)
 			return
 		}
 		if s.draining.Load() {
 			code = http.StatusServiceUnavailable
 			s.met.rejected.Add(1)
 			retryAfterHeader(w, s.cfg.QueueWait)
-			writeError(w, code, "overload", fmt.Errorf("server is draining"))
+			writeError(w, code, "overload", fmt.Errorf("server is draining"), meta)
 			return
 		}
 
@@ -283,7 +353,7 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 			code = http.StatusServiceUnavailable
 			s.met.breakerRejected.Add(1)
 			retryAfterHeader(w, retry)
-			writeError(w, code, "overload", fmt.Errorf("circuit breaker open for %s", route))
+			writeError(w, code, "overload", fmt.Errorf("circuit breaker open for %s", route), meta)
 			return
 		}
 		// Every path below reports its outcome, so a half-open probe can
@@ -300,20 +370,24 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
 				code = http.StatusRequestEntityTooLarge
-				writeError(w, code, "decode", fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+				writeError(w, code, "decode", fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes), meta)
 			} else {
 				code = http.StatusBadRequest
-				writeError(w, code, "decode", err)
+				writeError(w, code, "decode", err, meta)
 			}
 			return
 		}
 
 		var ok bool
-		if code, ok = s.acquireSlot(w, r); !ok {
+		if code, ok = s.acquireSlot(w, r, meta); !ok {
 			return
 		}
 		defer func() { <-s.sem }()
 
+		ctx := r.Context()
+		if root != nil {
+			ctx = obs.ContextWithSpan(ctx, root)
+		}
 		var resp any
 		var aerr *apiError
 		func() {
@@ -330,20 +404,44 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 				aerr = &apiError{status: http.StatusInternalServerError, stage: "internal", err: ferr}
 				return
 			}
-			resp, aerr = h(r.Context(), body)
+			resp, aerr = h(ctx, body)
 		}()
 		if aerr != nil {
 			code = aerr.status
 			if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
 				retryAfterHeader(w, time.Second)
 			}
-			s.logf("%s: %d %v", route, code, aerr.err)
-			writeError(w, code, aerr.stage, aerr.err)
+			s.log(slog.LevelWarn, "request failed",
+				"route", route, "code", code, "stage", aerr.stage, "err", aerr.err.Error(),
+				"request_id", meta.reqID, "trace_id", meta.traceID)
+			writeError(w, code, aerr.stage, aerr.err, meta)
 			return
 		}
-		s.logf("%s: 200 in %v", route, time.Since(start).Round(time.Microsecond))
+		if m, isMeta := resp.(metaSetter); isMeta {
+			var tree *obs.Tree
+			if meta.tracer != nil && meta.inline {
+				// Close the root now so the inlined tree carries the final
+				// request duration (the deferred End keeps this first end).
+				root.End()
+				tree = meta.tracer.Tree()
+			}
+			m.setMeta(meta.reqID, meta.traceID, tree)
+		}
+		s.log(slog.LevelInfo, "request served",
+			"route", route, "code", code, "elapsed", time.Since(start).Round(time.Microsecond).String(),
+			"request_id", meta.reqID, "trace_id", meta.traceID)
 		writeJSON(w, code, resp)
 	}
+}
+
+// handleTraces serves the retained recent request traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "decode", fmt.Errorf("use GET"), reqMeta{})
+		return
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.ring.Snapshot()})
 }
 
 // ctxErr classifies a pipeline error: deadline and cancellation get

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hpfperf/internal/obs"
+)
+
+// postTraced is post with the X-HPF-Trace opt-in header (and optionally
+// a client traceparent).
+func postTraced(t *testing.T, url string, body any, traceparent string) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-HPF-Trace", "1")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// collectSpans flattens a span tree into name -> cumulative duration.
+func collectSpans(root *obs.Node) map[string]float64 {
+	out := make(map[string]float64)
+	root.Walk(func(_ int, n *obs.Node) { out[n.Name] += n.DurUS })
+	return out
+}
+
+// checkWellFormed asserts the structural trace invariants: single root,
+// no orphans, every child inside its parent's duration budget.
+func checkWellFormed(t *testing.T, tree *obs.Tree) {
+	t.Helper()
+	if tree == nil || tree.Root == nil {
+		t.Fatal("trace tree missing")
+	}
+	if tree.Orphans != 0 {
+		t.Errorf("trace has %d orphan spans", tree.Orphans)
+	}
+	if tree.TraceID == "" {
+		t.Error("trace has no trace ID")
+	}
+	tree.Root.Walk(func(_ int, n *obs.Node) {
+		if n.DurUS < 0 {
+			t.Errorf("span %s has negative duration %g", n.Name, n.DurUS)
+		}
+		// Children may run concurrently, so durations need not sum below
+		// the parent's — but each must fit inside the parent's window
+		// (1% + 1us slack for clock granularity).
+		end := n.StartUS + n.DurUS*1.01 + 1
+		for _, c := range n.Children {
+			if c.StartUS+1 < n.StartUS || c.StartUS+c.DurUS > end {
+				t.Errorf("span %s [%.1f..%.1f]us escapes parent %s [%.1f..%.1f]us",
+					c.Name, c.StartUS, c.StartUS+c.DurUS, n.Name, n.StartUS, n.StartUS+n.DurUS)
+			}
+		}
+	})
+}
+
+// TestPredictTraceSpanTree is the tentpole acceptance check: a traced
+// predict on the Laplace example returns a well-formed span tree whose
+// compile+interp durations account for the reported request latency
+// (within 10% on a cache-miss request).
+func TestPredictTraceSpanTree(t *testing.T) {
+	const tries = 5
+	var lastErr string
+	for attempt := 0; attempt < tries; attempt++ {
+		_, ts := newTestServer(t, Config{})
+		resp, body := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": bigSource(10)}, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: %d: %s", resp.StatusCode, body)
+		}
+		var out PredictResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.RequestID == "" || out.TraceID == "" {
+			t.Fatalf("missing correlation IDs: %+v", out.ResponseMeta)
+		}
+		checkWellFormed(t, out.Trace)
+		if got := out.Trace.Root.Name; got != "server.predict" {
+			t.Fatalf("root span = %q, want server.predict", got)
+		}
+		spans := collectSpans(out.Trace.Root)
+		for _, want := range []string{"compile", "parse", "sem", "partition", "comm-insert", "interp", "cache.lookup"} {
+			if _, ok := spans[want]; !ok {
+				t.Fatalf("span %q missing from trace (have %v)", want, keys(spans))
+			}
+		}
+		// interp.<kind> child spans decompose the interpretation.
+		var kindSpans int
+		for name := range spans {
+			if strings.HasPrefix(name, "interp.") {
+				kindSpans++
+			}
+		}
+		if kindSpans == 0 {
+			t.Fatalf("no interp.<aau-kind> spans in trace (have %v)", keys(spans))
+		}
+		// The phase decomposition accounts for the reported latency.
+		sum := spans["compile"] + spans["interp"]
+		if out.ElapsedUS <= 0 {
+			t.Fatalf("elapsed_us = %g", out.ElapsedUS)
+		}
+		ratio := sum / out.ElapsedUS
+		if ratio >= 0.9 && ratio <= 1.01 {
+			return // acceptance met
+		}
+		lastErr = strings.TrimSpace(
+			strings.Join([]string{"compile+interp spans sum to", js(sum), "us vs elapsed", js(out.ElapsedUS), "us"}, " "))
+	}
+	t.Fatalf("span durations never accounted for request latency in %d attempts: %s", tries, lastErr)
+}
+
+func js(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestUntracedRequestHasIDsButNoTree(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-HPF-Request-Id") == "" {
+		t.Error("missing X-HPF-Request-Id header")
+	}
+	if resp.Header.Get("traceparent") == "" {
+		t.Error("missing traceparent header")
+	}
+	var out PredictResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID == "" || out.TraceID == "" {
+		t.Errorf("untraced response lost correlation IDs: %+v", out.ResponseMeta)
+	}
+	if out.Trace != nil {
+		t.Error("untraced response carries a span tree")
+	}
+}
+
+func TestTraceparentPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	clientID := obs.NewTraceID()
+	tp := obs.FormatTraceparent(clientID)
+	resp, body := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram}, tp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d: %s", resp.StatusCode, body)
+	}
+	var out PredictResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != clientID {
+		t.Errorf("trace_id = %q, want client-supplied %q", out.TraceID, clientID)
+	}
+	if got := resp.Header.Get("traceparent"); !strings.Contains(got, clientID) {
+		t.Errorf("traceparent response header %q does not carry trace ID %q", got, clientID)
+	}
+	// A malformed traceparent falls back to a fresh server-minted ID.
+	resp2, body2 := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram}, "garbage")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d: %s", resp2.StatusCode, body2)
+	}
+	var out2 PredictResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.TraceID) != 32 {
+		t.Errorf("fallback trace_id = %q, want fresh 32-hex ID", out2.TraceID)
+	}
+}
+
+func TestTracesRing(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceRing: 4})
+	for i := 0; i < 6; i++ {
+		resp, body := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram}, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces: %d", resp.StatusCode)
+	}
+	var out TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 4 {
+		t.Fatalf("ring retained %d traces, want 4", len(out.Traces))
+	}
+	for i, rec := range out.Traces {
+		if rec.Route != "predict" || rec.Status != http.StatusOK {
+			t.Errorf("trace %d: route=%q status=%d", i, rec.Route, rec.Status)
+		}
+		checkWellFormed(t, rec.Tree)
+		if i > 0 && rec.Start.After(out.Traces[i-1].Start) {
+			t.Errorf("traces not newest-first at index %d", i)
+		}
+	}
+	// POST is rejected on the traces endpoint.
+	presp, _ := post(t, ts.URL+"/v1/traces", map[string]any{})
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/traces = %d, want 405", presp.StatusCode)
+	}
+}
+
+func TestTraceAllConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceAll: true})
+	// No opt-in header: the tree must land in the ring but stay out of
+	// the response body.
+	resp, body := post(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d: %s", resp.StatusCode, body)
+	}
+	var out PredictResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != nil {
+		t.Error("trace-all inlined a tree without the opt-in header")
+	}
+	tresp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var traces TracesResponse
+	if err := json.NewDecoder(tresp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Traces) == 0 {
+		t.Fatal("trace-all recorded nothing in the ring")
+	}
+	checkWellFormed(t, traces.Traces[0].Tree)
+}
+
+func TestMetricsExemplars(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d: %s", resp.StatusCode, body)
+	}
+	var out PredictResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	text := buf.String()
+	if !strings.Contains(text, `# {trace_id="`+out.TraceID+`"}`) {
+		t.Errorf("/metrics carries no exemplar for trace %s", out.TraceID)
+	}
+	// The exemplar rides a predict histogram bucket line.
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, `hpfserve_request_duration_seconds_bucket{route="predict"`) &&
+			strings.Contains(line, "# {trace_id=") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no predict bucket line carries an exemplar")
+	}
+}

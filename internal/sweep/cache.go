@@ -17,6 +17,7 @@ import (
 	"hpfperf/internal/core"
 	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
+	"hpfperf/internal/obs"
 	"hpfperf/internal/sysmodel"
 )
 
@@ -267,6 +268,7 @@ func (c *Cache) Compile(ctx context.Context, src string, opts compiler.Options, 
 		if stats != nil {
 			stats.CompileHits.Add(1)
 		}
+		cacheSpan(ctx, "compile", key, "hit")
 		select {
 		case <-e.done:
 			return e.prog, e.err
@@ -283,13 +285,14 @@ func (c *Cache) Compile(ctx context.Context, src string, opts compiler.Options, 
 	if stats != nil {
 		stats.CompileMisses.Add(1)
 	}
+	cacheSpan(ctx, "compile", key, "miss")
 	start := time.Now()
 	func() {
 		defer recoverToErr("compile", &e.err)
 		if e.err = faults.Fire(faults.SiteCompile); e.err != nil {
 			return
 		}
-		e.prog, e.err = compiler.CompileWith(src, opts)
+		e.prog, e.err = compiler.CompileWithContext(ctx, src, opts)
 	}()
 	if stats != nil {
 		stats.Compiles.Add(1)
@@ -329,6 +332,7 @@ func (c *Cache) Interpret(ctx context.Context, src string, copts compiler.Option
 		if stats != nil {
 			stats.ReportHits.Add(1)
 		}
+		cacheSpan(ctx, "report", key, "hit")
 		select {
 		case <-e.done:
 			return e.rep, e.err
@@ -345,6 +349,7 @@ func (c *Cache) Interpret(ctx context.Context, src string, copts compiler.Option
 	if stats != nil {
 		stats.ReportMisses.Add(1)
 	}
+	cacheSpan(ctx, "report", key, "miss")
 	func() {
 		defer recoverToErr("interpret", &e.err)
 		if e.err = faults.Fire(faults.SiteCache); e.err != nil {
@@ -375,17 +380,38 @@ func runInterp(ctx context.Context, prog *hir.Program, iopts core.Options, machi
 			return nil, err
 		}
 	}
+	ictx, span := obs.Start(ctx, "interp")
+	defer span.End()
 	start := time.Now()
-	it, err := core.NewContext(ctx, prog, mach, iopts)
+	it, err := core.NewContext(ictx, prog, mach, iopts)
 	if err != nil {
 		return nil, err
 	}
 	rep, err = it.Interpret()
+	if rep != nil {
+		span.SetAttrInt("procs", rep.Procs)
+	}
 	if stats != nil {
 		stats.Interps.Add(1)
 		stats.InterpNS.Add(int64(time.Since(start)))
 	}
 	return rep, err
+}
+
+// cacheSpan records one cache probe as an instant cache.lookup span.
+// No-op (one nil check inside Start) when the context is untraced.
+func cacheSpan(ctx context.Context, kind, key, outcome string) {
+	_, s := obs.Start(ctx, "cache.lookup")
+	if s == nil {
+		return
+	}
+	s.SetAttr("kind", kind)
+	s.SetAttr("outcome", outcome)
+	if len(key) > 32 {
+		key = key[:32]
+	}
+	s.SetAttr("key", key)
+	s.End()
 }
 
 // Len reports how many compiled programs the cache holds (for tests and

@@ -26,6 +26,7 @@ import (
 	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
+	"hpfperf/internal/obs"
 )
 
 // Engine couples a bounded worker pool with a compile/prediction cache
@@ -126,9 +127,15 @@ func guardPoint[T any](e *Engine, i int, fn func(i int) (T, error)) (res T, err 
 // runPoint is the per-point body of MapCtx: panic isolation plus
 // bounded retry of transient failures.
 func runPoint[T any](ctx context.Context, e *Engine, i int, fn func(i int) (T, error)) (T, error) {
+	_, span := obs.Start(ctx, "sweep.point")
+	span.SetAttrInt("index", i)
+	defer span.End()
 	for attempt := 1; ; attempt++ {
 		res, err := guardPoint(e, i, fn)
 		if err == nil || attempt >= e.retry.MaxAttempts || !IsTransient(err) {
+			if attempt > 1 {
+				span.SetAttrInt("retries", attempt-1)
+			}
 			return res, err
 		}
 		e.stats.Retries.Add(1)

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfperf/internal/obs"
+)
+
+// FromSpanTree converts an obs span tree (as written by -trace-out or
+// returned inline with X-HPF-Trace: 1) into a Trace so it renders
+// through the same gantt path as ParaGraph interpretation traces. Each
+// tree depth becomes one lane ("processor"): the root occupies lane 0,
+// its children lane 1, and so on — nested spans therefore stack
+// visually, like a flame graph on its side. Every span contributes one
+// busy block carrying the span name as its comment.
+func FromSpanTree(tree *obs.Tree) *Trace {
+	tr := &Trace{}
+	if tree == nil || tree.Root == nil {
+		return tr
+	}
+	depth := 0
+	tree.Root.Walk(func(d int, n *obs.Node) {
+		if d > depth {
+			depth = d
+		}
+		tr.Events = append(tr.Events,
+			Event{Type: BlockBegin, TimeUS: n.StartUS, Proc: d, Comment: n.Name},
+			Event{Type: BlockEnd, TimeUS: n.StartUS + n.DurUS, Proc: d})
+	})
+	tr.Procs = depth + 1
+	end := tree.Root.StartUS + tree.Root.DurUS
+	for p := 0; p < tr.Procs; p++ {
+		tr.Events = append(tr.Events,
+			Event{Type: TraceStart, TimeUS: tree.Root.StartUS, Proc: p},
+			Event{Type: TraceStop, TimeUS: end, Proc: p})
+	}
+	return tr
+}
+
+// RenderSpanTree is the text companion of the span gantt: the indented
+// span hierarchy with durations and attributes, one line per span.
+func RenderSpanTree(tree *obs.Tree) string {
+	var b strings.Builder
+	if tree == nil || tree.Root == nil {
+		return "(empty trace)\n"
+	}
+	fmt.Fprintf(&b, "trace %s, %d spans, %s\n", tree.TraceID, tree.Spans, fmtDur(tree.DurUS))
+	tree.Root.Walk(func(d int, n *obs.Node) {
+		fmt.Fprintf(&b, "  %s%-*s %10s", strings.Repeat("  ", d), 28-2*d, n.Name, fmtDur(n.DurUS))
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sortStrings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %s=%s", k, n.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// sortStrings is an insertion sort; attribute lists are tiny and this
+// keeps the package free of new imports.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
