@@ -36,6 +36,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if !(*all || *table2 || *fig3 || *fig4 || *fig5 || *fig7 || *fig8 || *abl) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	// HPFPERF_FAULTS activates deterministic fault injection (chaos
 	// testing of sweeps, retries and checkpoint/resume).
 	if spec := os.Getenv("HPFPERF_FAULTS"); spec != "" {
@@ -60,20 +65,11 @@ func main() {
 		tracer := obs.NewTracer(obs.NewTraceID())
 		root := tracer.Root("hpfexp")
 		cfg.Ctx = obs.ContextWithSpan(context.Background(), root)
-		defer func() {
-			root.End()
-			f, err := os.Create(*spanOut)
-			check(err)
-			defer f.Close()
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			check(enc.Encode(tracer.Tree()))
-			fmt.Fprintf(os.Stderr, "span tree written to %s\n", *spanOut)
-		}()
-	}
-	if !(*all || *table2 || *fig3 || *fig4 || *fig5 || *fig7 || *fig8 || *abl) {
-		flag.Usage()
-		os.Exit(2)
+		// Registered, not deferred: check() exits via os.Exit, which
+		// skips defers, and a failing experiment is exactly when the
+		// partial span tree matters. check runs the cleanups itself.
+		atExit(func() { writeSpanTree(*spanOut, tracer, root) })
+		defer runAtExit()
 	}
 
 	if *all || *fig3 {
@@ -121,9 +117,41 @@ func main() {
 	}
 }
 
+// writeSpanTree closes the root span and dumps the tracer's tree as
+// JSON — the format hpftrace -spans reads back.
+func writeSpanTree(path string, tracer *obs.Tracer, root *obs.Span) {
+	root.End()
+	f, err := os.Create(path)
+	check(err)
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(tracer.Tree()))
+	fmt.Fprintf(os.Stderr, "span tree written to %s\n", path)
+}
+
+// exitFns are cleanups that must run on both the normal return path
+// (via the deferred runAtExit) and the check() failure path (os.Exit
+// skips defers, so check invokes runAtExit itself).
+var exitFns []func()
+
+func atExit(f func()) { exitFns = append(exitFns, f) }
+
+// runAtExit runs and clears the registered cleanups; clearing first
+// makes it idempotent and breaks recursion when a cleanup itself
+// fails its check.
+func runAtExit() {
+	fns := exitFns
+	exitFns = nil
+	for _, f := range fns {
+		f()
+	}
+}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpfexp:", err)
+		runAtExit()
 		os.Exit(1)
 	}
 }

@@ -58,7 +58,11 @@ func main() {
 	if *spanOut != "" {
 		tracer = obs.NewTracer(obs.NewTraceID())
 		root := tracer.Root("hpfpc")
-		defer writeSpanTree(*spanOut, tracer, root)
+		// Registered, not deferred: fatal() exits via os.Exit, which
+		// skips defers, and a failing run is exactly when the partial
+		// span tree matters. fatal runs the cleanups itself.
+		atExit(func() { writeSpanTree(*spanOut, tracer, root) })
+		defer runAtExit()
 		ctx = obs.ContextWithSpan(ctx, root)
 	}
 	prog, err := hpfperf.CompileContext(ctx, src)
@@ -166,6 +170,24 @@ func writeSpanTree(path string, tracer *obs.Tracer, root *obs.Span) {
 	fmt.Fprintf(os.Stderr, "span tree written to %s\n", path)
 }
 
+// exitFns are cleanups that must run on both the normal return path
+// (via the deferred runAtExit) and the fatal path (os.Exit skips
+// defers, so fatal invokes runAtExit itself).
+var exitFns []func()
+
+func atExit(f func()) { exitFns = append(exitFns, f) }
+
+// runAtExit runs and clears the registered cleanups; clearing first
+// makes it idempotent and breaks recursion when a cleanup itself
+// calls fatal.
+func runAtExit() {
+	fns := exitFns
+	exitFns = nil
+	for _, f := range fns {
+		f()
+	}
+}
+
 func loadSource(progName string, size, procs int, args []string) (string, error) {
 	if progName != "" {
 		p, err := hpfperf.SuiteProgramByName(progName)
@@ -186,5 +208,6 @@ func loadSource(progName string, size, procs int, args []string) (string, error)
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hpfpc:", err)
+	runAtExit()
 	os.Exit(1)
 }

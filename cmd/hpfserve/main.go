@@ -1,9 +1,10 @@
 // Command hpfserve runs the HPF/Fortran 90D performance-interpretation
 // framework as a long-running HTTP/JSON service: POST /v1/predict
 // interprets a program, /v1/measure executes it on the simulated
-// iPSC/860, /v1/autotune searches directive variants; GET /healthz,
-// /metrics and /v1/traces expose liveness, counters and recent request
-// traces. Requests share one bounded worker pool and one bounded LRU
+// iPSC/860, /v1/autotune searches directive variants; GET /healthz and
+// /metrics expose liveness and counters. Recent request traces are
+// served at GET /v1/traces on the isolated -debug-addr listener, next
+// to pprof. Requests share one bounded worker pool and one bounded LRU
 // compile/report cache, honor per-request deadlines, and drain
 // gracefully on SIGINT/SIGTERM.
 //
@@ -49,8 +50,8 @@ func main() {
 		brThresh   = flag.Int("breaker-threshold", 0, "consecutive internal failures that open a route's circuit breaker (0 = 8, negative disables)")
 		brCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds a route before probing (0 = 5s)")
 		traceAll   = flag.Bool("trace-all", false, "trace every request into the /v1/traces ring (clients still opt into inline trees with X-HPF-Trace: 1)")
-		traceRing  = flag.Int("trace-ring", 0, "traces retained for GET /v1/traces (0 = 64)")
-		debugAddr  = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (e.g. localhost:6060); never expose publicly")
+		traceRing  = flag.Int("trace-ring", 0, "traces retained for GET /v1/traces on the debug listener (0 = 64)")
+		debugAddr  = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof and GET /v1/traces (e.g. localhost:6060); never expose publicly")
 		chaos      = flag.String("chaos", "", "fault-injection spec site:rate[:kind[:delay]],... (default from HPFPERF_FAULTS; kinds: error, panic, delay)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection decisions")
 	)
@@ -104,21 +105,26 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		// pprof rides a dedicated mux on a dedicated listener so the
-		// profiling surface never shares an address with the public API.
+		// pprof and the trace ring ride a dedicated mux on a dedicated
+		// listener: both expose internals (profiles; every request's
+		// route, timing and span attributes), so neither ever shares an
+		// address with the public API.
 		dbg := http.NewServeMux()
 		dbg.HandleFunc("/debug/pprof/", pprof.Index)
 		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/v1/traces", srv.TracesHandler())
 		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug listener failed", "addr", *debugAddr, "err", err.Error())
 			}
 		}()
-		logger.Info("pprof listening", "addr", *debugAddr)
+		logger.Info("debug listener up (pprof, /v1/traces)", "addr", *debugAddr)
+	} else if *traceAll {
+		logger.Warn("-trace-all set without -debug-addr: traces fill the ring but GET /v1/traces is unreachable")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

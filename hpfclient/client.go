@@ -219,7 +219,10 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 }
 
 // Traces calls GET /v1/traces: the server's ring of recent request
-// traces, newest first.
+// traces, newest first. Against an hpfserve daemon the endpoint lives
+// on the -debug-addr listener, not the API address — point BaseURL
+// there (embedded servers may opt into server.Config.ExposeTraces
+// instead).
 func (c *Client) Traces(ctx context.Context) (*TracesResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/traces", nil)
 	if err != nil {

@@ -44,6 +44,10 @@ type harness struct {
 
 func newHarness(t *testing.T, cfg server.Config, clientCfg hpfclient.Config) *harness {
 	t.Helper()
+	// The harness plays a trusted deployment where the client may read
+	// the trace ring; hpfserve itself only mounts /v1/traces on the
+	// isolated -debug-addr listener (server.TracesHandler).
+	cfg.ExposeTraces = true
 	srv := server.New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)

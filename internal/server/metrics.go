@@ -67,10 +67,16 @@ type metrics struct {
 	panics          atomic.Int64 // handler panics recovered
 }
 
-// writeExemplar appends an OpenMetrics-style exemplar (` # {trace_id=
+// writeExemplar appends an OpenMetrics exemplar (` # {trace_id=
 // "..."} value`) to a bucket line when a traced request has landed in
-// that bucket, linking the histogram to GET /v1/traces.
-func writeExemplar(b *strings.Builder, v *atomic.Value) {
+// that bucket, linking the histogram to GET /v1/traces. Exemplars are
+// only legal in the OpenMetrics exposition format — the classic
+// Prometheus text parser rejects the whole scrape on the `#` — so om
+// gates them on the client having negotiated OpenMetrics via Accept.
+func writeExemplar(b *strings.Builder, v *atomic.Value, om bool) {
+	if !om {
+		return
+	}
 	ex, ok := v.Load().(exemplar)
 	if !ok {
 		return
@@ -102,9 +108,11 @@ func (m *metrics) key(route string, code int) string {
 	return fmt.Sprintf("%s|%d", route, code)
 }
 
-// render writes the Prometheus text exposition of the server counters
-// plus the live sweep-engine and cache counters.
-func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.CacheStats, brs []breakerStat) {
+// render writes the text exposition of the server counters plus the
+// live sweep-engine and cache counters. om selects the OpenMetrics
+// format (exemplars on histogram buckets, trailing # EOF); false emits
+// the classic Prometheus text format, which has no exemplar syntax.
+func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.CacheStats, brs []breakerStat, om bool) {
 	fmt.Fprintf(b, "# HELP hpfserve_requests_total Completed requests by route and status code.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_requests_total counter\n")
 	keys := make([]string, 0, len(m.requests))
@@ -130,12 +138,12 @@ func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.Cache
 		for i, ub := range latencyBuckets {
 			cum += h.counts[i].Load()
 			fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d", r, ub, cum)
-			writeExemplar(b, &h.exemplars[i])
+			writeExemplar(b, &h.exemplars[i], om)
 			b.WriteByte('\n')
 		}
 		cum += h.counts[len(latencyBuckets)].Load()
 		fmt.Fprintf(b, "hpfserve_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d", r, cum)
-		writeExemplar(b, &h.exemplars[len(latencyBuckets)])
+		writeExemplar(b, &h.exemplars[len(latencyBuckets)], om)
 		b.WriteByte('\n')
 		fmt.Fprintf(b, "hpfserve_request_duration_seconds_sum{route=%q} %g\n", r, float64(h.sumNS.Load())/1e9)
 		fmt.Fprintf(b, "hpfserve_request_duration_seconds_count{route=%q} %d\n", r, h.total.Load())

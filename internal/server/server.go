@@ -71,6 +71,11 @@ type Config struct {
 	TraceAll bool
 	// TraceRing bounds the /v1/traces ring buffer (<= 0 = 64).
 	TraceRing int
+	// ExposeTraces also serves GET /v1/traces on the public API mux.
+	// Off by default: traces expose every request's route, timing and
+	// span attributes, so like pprof they belong on the isolated debug
+	// listener (TracesHandler / hpfserve -debug-addr).
+	ExposeTraces bool
 }
 
 // Server is the hpfserve HTTP API. Create with New, expose with
@@ -151,7 +156,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/measure", s.api(routeMeasure, s.handleMeasure))
 	s.mux.HandleFunc("/v1/autotune", s.api(routeAutotune, s.handleAutotune))
 	s.mux.HandleFunc("/v1/analyze", s.api(routeAnalyze, s.handleAnalyze))
-	s.mux.HandleFunc("/v1/traces", s.handleTraces)
+	if cfg.ExposeTraces {
+		s.mux.HandleFunc("/v1/traces", s.handleTraces)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -434,11 +441,23 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 	}
 }
 
+// TracesHandler returns the GET /v1/traces handler for mounting on a
+// separate trusted listener (hpfserve serves it on -debug-addr next to
+// pprof). Config.ExposeTraces instead mounts it on the public mux.
+func (s *Server) TracesHandler() http.Handler { return http.HandlerFunc(s.handleTraces) }
+
 // handleTraces serves the retained recent request traces, newest first.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	// Mint correlation IDs so even this endpoint's refusals are
+	// correlatable; the tracer is dropped — listing traces is not work
+	// worth spanning (and must not feed the ring it serves).
+	meta := s.newMeta(r)
+	meta.tracer = nil
+	w.Header().Set("X-HPF-Request-Id", meta.reqID)
+	w.Header().Set("traceparent", obs.FormatTraceparent(meta.traceID))
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "decode", fmt.Errorf("use GET"), reqMeta{})
+		writeError(w, http.StatusMethodNotAllowed, "decode", fmt.Errorf("use GET"), meta)
 		return
 	}
 	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.ring.Snapshot()})
@@ -666,6 +685,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, HealthResponse{Status: status, Inflight: s.met.inflight.Load()})
 }
 
+// acceptsOpenMetrics reports whether the scrape client negotiated the
+// OpenMetrics exposition format via its Accept header. Only that
+// format may carry exemplars; the classic text parser fails the whole
+// scrape on the exemplar's `#`.
+func acceptsOpenMetrics(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var brs []breakerStat
 	for _, route := range []string{routeAnalyze, routeAutotune, routeMeasure, routePredict} {
@@ -674,10 +701,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			brs = append(brs, breakerStat{route: route, state: state, opens: opens})
 		}
 	}
+	om := acceptsOpenMetrics(r)
 	var b strings.Builder
 	s.reqMu.Lock()
-	s.met.render(&b, s.eng.Snapshot(), s.eng.Cache().CacheStats(), brs)
+	s.met.render(&b, s.eng.Snapshot(), s.eng.Cache().CacheStats(), brs, om)
 	s.reqMu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if om {
+		b.WriteString("# EOF\n")
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 	_, _ = io.WriteString(w, b.String())
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -199,7 +200,7 @@ func TestTraceparentPropagation(t *testing.T) {
 }
 
 func TestTracesRing(t *testing.T) {
-	_, ts := newTestServer(t, Config{TraceRing: 4})
+	_, ts := newTestServer(t, Config{TraceRing: 4, ExposeTraces: true})
 	for i := 0; i < 6; i++ {
 		resp, body := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram}, "")
 		if resp.StatusCode != http.StatusOK {
@@ -230,15 +231,58 @@ func TestTracesRing(t *testing.T) {
 			t.Errorf("traces not newest-first at index %d", i)
 		}
 	}
-	// POST is rejected on the traces endpoint.
-	presp, _ := post(t, ts.URL+"/v1/traces", map[string]any{})
+	// POST is rejected on the traces endpoint, with correlation IDs on
+	// the refusal like every other response path.
+	presp, pbody := post(t, ts.URL+"/v1/traces", map[string]any{})
 	if presp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /v1/traces = %d, want 405", presp.StatusCode)
+	}
+	var perr ErrorResponse
+	if err := json.Unmarshal(pbody, &perr); err != nil {
+		t.Fatalf("decode 405 body: %v", err)
+	}
+	if perr.RequestID == "" || perr.TraceID == "" {
+		t.Errorf("405 refusal lost correlation IDs: %+v", perr)
+	}
+}
+
+// TestTracesHiddenByDefault pins the isolation contract: without
+// Config.ExposeTraces the ring is not reachable on the public mux
+// (hpfserve mounts TracesHandler on -debug-addr instead, next to
+// pprof).
+func TestTracesHiddenByDefault(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d: %s", resp.StatusCode, body)
+	}
+	gresp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/traces on public mux = %d, want 404", gresp.StatusCode)
+	}
+	// The ring is still populated and served by the standalone handler.
+	dbg := httptest.NewServer(s.TracesHandler())
+	defer dbg.Close()
+	tresp, err := http.Get(dbg.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var out TracesResponse
+	if err := json.NewDecoder(tresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 1 {
+		t.Errorf("debug handler served %d traces, want 1", len(out.Traces))
 	}
 }
 
 func TestTraceAllConfig(t *testing.T) {
-	_, ts := newTestServer(t, Config{TraceAll: true})
+	_, ts := newTestServer(t, Config{TraceAll: true, ExposeTraces: true})
 	// No opt-in header: the tree must land in the ring but stay out of
 	// the response body.
 	resp, body := post(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram})
@@ -267,6 +311,35 @@ func TestTraceAllConfig(t *testing.T) {
 	checkWellFormed(t, traces.Traces[0].Tree)
 }
 
+// scrape fetches /metrics with the given Accept header and returns the
+// response content type and body text.
+func scrape(t *testing.T, url, accept string) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.Header.Get("Content-Type"), buf.String()
+}
+
+// TestMetricsExemplars pins the exposition-format contract: exemplars
+// (which only the OpenMetrics format may carry) appear exactly when
+// the scraper negotiates OpenMetrics via Accept; the default classic
+// Prometheus text format stays exemplar-free so its parser never sees
+// a `#` after a sample value.
 func TestMetricsExemplars(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, body := postTraced(t, ts.URL+"/v1/predict", map[string]any{"source": tinyProgram}, "")
@@ -277,16 +350,32 @@ func TestMetricsExemplars(t *testing.T) {
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	mresp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
+
+	// A classic text-format scrape must carry no exemplars: every
+	// non-comment line is exactly `name{labels} value`.
+	ctype, text := scrape(t, ts.URL, "")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("default scrape content type = %q, want text/plain", ctype)
 	}
-	defer mresp.Body.Close()
-	var buf bytes.Buffer
-	buf.ReadFrom(mresp.Body)
-	text := buf.String()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "#") && strings.Contains(line, "# {") {
+			t.Errorf("classic-format line carries an exemplar: %s", line)
+		}
+	}
+	if strings.Contains(text, "# EOF") {
+		t.Error("classic-format scrape carries an OpenMetrics EOF marker")
+	}
+
+	// An OpenMetrics scrape carries the exemplar and the EOF marker.
+	ctype, text = scrape(t, ts.URL, "application/openmetrics-text; version=1.0.0")
+	if !strings.HasPrefix(ctype, "application/openmetrics-text") {
+		t.Errorf("openmetrics scrape content type = %q", ctype)
+	}
+	if !strings.HasSuffix(strings.TrimRight(text, "\n"), "# EOF") {
+		t.Error("openmetrics scrape does not end with # EOF")
+	}
 	if !strings.Contains(text, `# {trace_id="`+out.TraceID+`"}`) {
-		t.Errorf("/metrics carries no exemplar for trace %s", out.TraceID)
+		t.Errorf("openmetrics scrape carries no exemplar for trace %s", out.TraceID)
 	}
 	// The exemplar rides a predict histogram bucket line.
 	found := false
