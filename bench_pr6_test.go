@@ -1,0 +1,133 @@
+// BENCH_PR6.json harness: the sweep-engine throughput snapshot.
+//
+// TestEmitBenchPR6 (gated on HPFPERF_EMIT_BENCH) measures the warm-cache
+// and cold-cache Table 2 quick sweeps and writes the points/sec numbers
+// to BENCH_PR6.json. TestCheckBenchPR6 (gated on HPFPERF_CHECK_BENCH)
+// re-measures and fails when throughput regressed more than 20% against
+// the committed snapshot — the CI bench job's regression gate.
+package hpfperf_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"hpfperf/internal/experiments"
+	"hpfperf/internal/sweep"
+)
+
+// sweepBenchRecord is one row of BENCH_PR6.json.
+type sweepBenchRecord struct {
+	Name         string  `json:"name"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+const benchPR6File = "BENCH_PR6.json"
+
+// sweepCachedRecord measures the warm-engine sweep: one untimed warmup
+// run populates every cache (compiled programs, prediction forms,
+// reports, measurements), the stats are reset so the warmup does not
+// dilute the rate, and the timed iterations then replay the full grid
+// against the caches.
+func sweepCachedRecord(t *testing.T) sweepBenchRecord {
+	t.Helper()
+	cfg := benchCfg()
+	cfg.Engine = sweep.New(sweep.Options{})
+	if _, err := experiments.Table2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine.Stats().Reset()
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Table2(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	snap := cfg.Engine.Snapshot()
+	return sweepBenchRecord{Name: "BenchmarkSweepCached", NsPerOp: r.NsPerOp(), PointsPerSec: snap.PointsPerSec}
+}
+
+// sweepParallelRecord measures the cold-cache sweep on a GOMAXPROCS
+// pool: every iteration gets a fresh engine (so the compile stage really
+// runs) sharing one stats block for the aggregate rate.
+func sweepParallelRecord(t *testing.T) sweepBenchRecord {
+	t.Helper()
+	stats := &sweep.Stats{}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := benchCfg()
+			cfg.Engine = sweep.New(sweep.Options{Stats: stats})
+			if _, err := experiments.Table2(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	snap := stats.Snapshot()
+	return sweepBenchRecord{Name: "BenchmarkSweepParallel", NsPerOp: r.NsPerOp(), PointsPerSec: snap.PointsPerSec}
+}
+
+// TestEmitBenchPR6 writes the sweep throughput snapshot to
+// BENCH_PR6.json when HPFPERF_EMIT_BENCH is set.
+func TestEmitBenchPR6(t *testing.T) {
+	if os.Getenv("HPFPERF_EMIT_BENCH") == "" {
+		t.Skip("set HPFPERF_EMIT_BENCH=1 to emit " + benchPR6File)
+	}
+	records := []sweepBenchRecord{sweepCachedRecord(t), sweepParallelRecord(t)}
+	f, err := os.Create(benchPR6File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		t.Logf("%s: %d ns/op, %.1f points/sec", r.Name, r.NsPerOp, r.PointsPerSec)
+	}
+}
+
+// TestCheckBenchPR6 re-measures the sweep benchmarks and fails when
+// points/sec regressed more than 20% against the committed snapshot.
+// Raw points/sec depends on the host, so the comparison is normalized
+// by the cold-cache (SweepParallel) rate of the same run — the cold
+// sweep is pure pipeline work and tracks machine speed, so the ratio
+// cached/parallel isolates exactly the caching win this PR introduced.
+// Gated on HPFPERF_CHECK_BENCH so local `go test ./...` stays fast.
+func TestCheckBenchPR6(t *testing.T) {
+	if os.Getenv("HPFPERF_CHECK_BENCH") == "" {
+		t.Skip("set HPFPERF_CHECK_BENCH=1 to diff against " + benchPR6File)
+	}
+	data, err := os.ReadFile(benchPR6File)
+	if err != nil {
+		t.Fatalf("no committed snapshot: %v", err)
+	}
+	var committed []sweepBenchRecord
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatalf("malformed %s: %v", benchPR6File, err)
+	}
+	byName := make(map[string]sweepBenchRecord, len(committed))
+	for _, r := range committed {
+		byName[r.Name] = r
+	}
+	wantCached, ok1 := byName["BenchmarkSweepCached"]
+	wantParallel, ok2 := byName["BenchmarkSweepParallel"]
+	if !ok1 || !ok2 || wantParallel.PointsPerSec <= 0 {
+		t.Fatalf("snapshot incomplete: %+v", committed)
+	}
+	gotCached := sweepCachedRecord(t)
+	gotParallel := sweepParallelRecord(t)
+
+	committedSpeedup := wantCached.PointsPerSec / wantParallel.PointsPerSec
+	freshSpeedup := gotCached.PointsPerSec / gotParallel.PointsPerSec
+	floor := committedSpeedup * 0.8
+	t.Logf("cached %.1f points/sec, cold %.1f points/sec: %.0fx caching speedup (committed %.0fx, floor %.0fx)",
+		gotCached.PointsPerSec, gotParallel.PointsPerSec, freshSpeedup, committedSpeedup, floor)
+	if freshSpeedup < floor {
+		t.Errorf("caching speedup %.0fx is a >20%% points/sec regression against the committed %.0fx",
+			freshSpeedup, committedSpeedup)
+	}
+}

@@ -71,8 +71,11 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweepGrid(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweepGrid(b, 0) }
 
 // BenchmarkSweepCached reruns the grid against a warm engine: every
-// compile and interpretation is served from cache, leaving only the
-// simulated executions.
+// compile, interpretation and (since the simulator is deterministic per
+// MeasureSpec) simulated execution is served from cache. The points/sec
+// metric here includes the untimed warmup in the engine's wall clock;
+// BENCH_PR6.json carries the steady-state rate measured after a stats
+// reset.
 func BenchmarkSweepCached(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Engine = sweep.New(sweep.Options{})

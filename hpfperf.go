@@ -272,6 +272,79 @@ func (pr *Prediction) Line(line int) string { return report.LineQuery(pr.rep, li
 // abstraction unit by its ID (IDs are visible in the AAG view).
 func (pr *Prediction) AAU(id int) string { return report.AAUQuery(pr.rep, id) }
 
+// CompiledPrediction is the closure-compiled prediction form of a
+// program: the SAAG is lowered once into pre-compiled cost thunks, and
+// each evaluation runs those thunks instead of re-dispatching on the
+// statement tree. Build it once per program, then evaluate repeatedly
+// (and concurrently) with varying critical-variable values and trip
+// counts — unchanged cost subtrees are served from the form's internal
+// memo, which is what makes parameter sweeps incremental.
+type CompiledPrediction struct {
+	cp *core.Compiled
+}
+
+// CompilePrediction lowers the program's abstraction graph into the
+// compiled prediction form for the machine selected by opts (nil =
+// iPSC/860 defaults). Static options (memory model, load model, mask
+// density, comm model, machine) are bound at compile time; IntValues
+// and TripCounts act as defaults that EvaluateWith can override per
+// evaluation.
+func (p *Program) CompilePrediction(opts *PredictOptions) (*CompiledPrediction, error) {
+	return p.CompilePredictionContext(context.Background(), opts)
+}
+
+// CompilePredictionContext is CompilePrediction with cooperative
+// cancellation of the machine-calibration step.
+func (p *Program) CompilePredictionContext(ctx context.Context, opts *PredictOptions) (*CompiledPrediction, error) {
+	var machName string
+	if opts != nil {
+		machName = opts.Machine
+	}
+	mach, err := sysmodel.MachineByName(machName)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := core.CompilePrediction(ctx, p.hir, mach, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledPrediction{cp: cp}, nil
+}
+
+// Evaluate runs the compiled prediction under the values and trip
+// counts bound at compile time. The result is byte-identical to
+// Predict with the same options.
+func (cp *CompiledPrediction) Evaluate() (*Prediction, error) {
+	rep, err := cp.cp.Evaluate(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{rep: rep}, nil
+}
+
+// EvaluateWith re-evaluates the prediction under new critical-variable
+// values and trip counts (both may be nil), reusing memoized subtree
+// costs whose resolved inputs are unchanged.
+func (cp *CompiledPrediction) EvaluateWith(intValues map[string]int64, tripCounts map[int]int) (*Prediction, error) {
+	return cp.EvaluateWithContext(context.Background(), intValues, tripCounts)
+}
+
+// EvaluateWithContext is EvaluateWith with cooperative cancellation.
+func (cp *CompiledPrediction) EvaluateWithContext(ctx context.Context, intValues map[string]int64, tripCounts map[int]int) (*Prediction, error) {
+	var values map[string]sem.Value
+	if len(intValues) > 0 {
+		values = make(map[string]sem.Value, len(intValues))
+		for k, v := range intValues {
+			values[k] = sem.IntVal(v)
+		}
+	}
+	rep, err := cp.cp.EvaluateWith(ctx, values, tripCounts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{rep: rep}, nil
+}
+
 // CriticalVariable reports one variable whose value affects control flow
 // (§4.2: loop limits, branch conditions, shift amounts).
 type CriticalVariable struct {

@@ -286,3 +286,75 @@ func TestMachineSelection(t *testing.T) {
 		t.Errorf("paragon prediction error %.1f%%", e)
 	}
 }
+
+// dynSrc has an untraceable critical variable (NITER arrives from a
+// reduction-guarded IF), so EvaluateWith actually changes the outcome.
+const dynSrc = `PROGRAM dyn
+PARAMETER (N = 128)
+REAL A(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+S = SUM(A)
+IF (S .GT. 0.5) THEN
+NITER = 3
+ELSE
+NITER = 9
+ENDIF
+DO IT = 1, NITER
+FORALL (K=1:N) A(K) = A(K) + 1.5
+ENDDO
+R = SUM(A)
+PRINT *, R
+END`
+
+func TestCompiledPredictionMatchesPredict(t *testing.T) {
+	p, err := hpfperf.Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := hpfperf.Predict(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := p.CompilePrediction(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Microseconds() != pred.Microseconds() {
+		t.Errorf("compiled form = %g us, tree interpretation = %g us", got.Microseconds(), pred.Microseconds())
+	}
+}
+
+func TestCompiledPredictionIncrementalValues(t *testing.T) {
+	p, err := hpfperf.Compile(dynSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := p.CompilePrediction(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i, niter := range []int64{2, 8, 2} {
+		vals := map[string]int64{"NITER": niter}
+		got, err := cp.EvaluateWith(vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := hpfperf.Predict(p, &hpfperf.PredictOptions{IntValues: vals})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Microseconds() != ref.Microseconds() {
+			t.Errorf("NITER=%d: compiled %g us, reference %g us", niter, got.Microseconds(), ref.Microseconds())
+		}
+		if i == 1 && got.Microseconds() == last {
+			t.Error("changing NITER did not change the prediction; values ignored?")
+		}
+		last = got.Microseconds()
+	}
+}

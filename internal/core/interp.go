@@ -3,8 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 
 	"hpfperf/internal/analysis"
 	"hpfperf/internal/dist"
@@ -90,17 +90,36 @@ func (r *Report) LineMetrics(line int) Metrics {
 }
 
 // LineRangeMetrics sums metrics over an inclusive source line range
-// (a sub-AAG query).
+// (a sub-AAG query). The scan is ascending by line so the floating-point
+// accumulation order — and therefore the result, bit for bit — matches
+// the original sorted-keys implementation without allocating or sorting.
 func (r *Report) LineRangeMetrics(lo, hi int) Metrics {
 	var out Metrics
-	lines := make([]int, 0, len(r.ByLine))
-	for l := range r.ByLine {
-		lines = append(lines, l)
+	if len(r.ByLine) == 0 || hi < lo {
+		return out
 	}
-	sort.Ints(lines)
-	for _, l := range lines {
-		if l >= lo && l <= hi {
-			out.Accumulate(*r.ByLine[l])
+	// Clamp the window to lines that actually occur, bounding the scan by
+	// the program length rather than the caller's range.
+	first := true
+	minLine, maxLine := 0, 0
+	for l := range r.ByLine {
+		if first || l < minLine {
+			minLine = l
+		}
+		if first || l > maxLine {
+			maxLine = l
+		}
+		first = false
+	}
+	if lo < minLine {
+		lo = minLine
+	}
+	if hi > maxLine {
+		hi = maxLine
+	}
+	for l := lo; l <= hi; l++ {
+		if m, ok := r.ByLine[l]; ok {
+			out.Accumulate(*m)
 		}
 	}
 	return out
@@ -170,7 +189,7 @@ func NewContext(ctx context.Context, prog *hir.Program, mach *sysmodel.Machine, 
 		cs := span.StartChild("calibrate")
 		cs.SetAttrInt("procs", procs)
 		var err error
-		lib, err = ipsc.CalibrateMachineContext(ctx, mach, procs)
+		lib, err = calibratedLib(ctx, mach, procs)
 		cs.End()
 		if err != nil {
 			return nil, err
@@ -183,9 +202,53 @@ func NewContext(ctx context.Context, prog *hir.Program, mach *sysmodel.Machine, 
 	return &Interpreter{prog: prog, mach: mach, lib: lib, opts: opts, pinned: pinned, ctx: ctx, span: span}, nil
 }
 
-// Interpret runs the interpretation algorithm over the SAAG and returns
-// the predicted performance report.
+// calibCache memoizes machine calibration: CalibrateMachineContext is
+// deterministic (noise-free simulation of a registry-built machine), so
+// one library per (machine, size, procs) serves every interpreter.
+// Machines are only ever constructed by the sysmodel registry and only
+// vary by MaxNodes, which the key includes.
+var calibCache sync.Map // "name|maxnodes|procs" -> *ipsc.CommLibrary
+
+func calibratedLib(ctx context.Context, mach *sysmodel.Machine, procs int) (*ipsc.CommLibrary, error) {
+	// A cache hit must not weaken the cancellation contract the
+	// uncached calibration run provided.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%d|%d", mach.Name, mach.MaxNodes, procs)
+	if v, ok := calibCache.Load(key); ok {
+		return v.(*ipsc.CommLibrary), nil
+	}
+	lib, err := ipsc.CalibrateMachineContext(ctx, mach, procs)
+	if err != nil {
+		// Calibration errors (e.g. ctx cancellation) are never cached.
+		return nil, err
+	}
+	calibCache.Store(key, lib)
+	return lib, nil
+}
+
+// Interpret runs the interpretation over the SAAG and returns the
+// predicted performance report. The hot path compiles the program to the
+// closure-based prediction form (see compile.go) and evaluates it; the
+// reference tree-walking interpreter is used when per-AAU tracing is
+// active (the compiled form does not emit interp.<kind> spans) or when
+// HPFPERF_TREEWALK=1 forces it.
 func (it *Interpreter) Interpret() (*Report, error) {
+	if it.span != nil || treeWalkOnly {
+		return it.InterpretTree()
+	}
+	c, err := compile(it)
+	if err != nil {
+		return nil, err
+	}
+	return c.evaluate(it.ctx, it.opts.Values, it.opts.TripCounts, false)
+}
+
+// InterpretTree runs the reference tree-walking interpretation algorithm
+// over the SAAG. It is the semantic baseline the compiled form is
+// differentially tested against, and the path taken under tracing.
+func (it *Interpreter) InterpretTree() (*Report, error) {
 	// Chaos hook at entry, so the interp site is reachable even for
 	// programs too small to hit the per-stride hook below.
 	if err := faults.Fire(faults.SiteInterp); err != nil {
@@ -576,6 +639,10 @@ func (it *Interpreter) interpIter(a *AAU, env absEnv, mult float64) (Metrics, er
 
 // resolveTriplet resolves loop bounds through the abstract environment.
 func (it *Interpreter) resolveTriplet(x *hir.Loop, env absEnv) (lo, hi, step int, ok bool) {
+	return resolveTriplet(x, env)
+}
+
+func resolveTriplet(x *hir.Loop, env absEnv) (lo, hi, step int, ok bool) {
 	lv, ok1 := evalScalar(x.Lo, env)
 	hv, ok2 := evalScalar(x.Hi, env)
 	sv, ok3 := evalScalar(x.Step, env)
@@ -605,7 +672,10 @@ func countTrips(lo, hi, step int) int {
 // partitionTrips returns the per-processor iteration share of a
 // partitioned loop under the configured load model.
 func (it *Interpreter) partitionTrips(par *hir.ParSpec, lo, hi, step int) float64 {
-	m := it.prog.Info.ArrayMap(par.Array)
+	return partitionTrips(it.prog.Info.ArrayMap(par.Array), par, it.opts.LoadModel, lo, hi, step)
+}
+
+func partitionTrips(m *dist.ArrayMap, par *hir.ParSpec, load LoadModel, lo, hi, step int) float64 {
 	if m == nil || m.Replicated {
 		return float64(countTrips(lo, hi, step))
 	}
@@ -614,7 +684,7 @@ func (it *Interpreter) partitionTrips(par *hir.ParSpec, lo, hi, step int) float6
 		return float64(countTrips(lo, hi, step))
 	}
 	glo, ghi := lo+par.Offset, hi+par.Offset
-	if it.opts.LoadModel == Average {
+	if load == Average {
 		return float64(countTrips(lo, hi, step)) / float64(dd.NProc)
 	}
 	return float64(dd.MaxLoopCount(glo, ghi, step))
@@ -624,7 +694,11 @@ func (it *Interpreter) partitionTrips(par *hir.ParSpec, lo, hi, step int) float6
 // tracer recorded blocking definitions it names each one with its source
 // line; otherwise it falls back to listing the unresolved variables.
 func (it *Interpreter) loopBoundsErr(line int, x *hir.Loop, env absEnv) error {
-	if bs := it.trace.LoopBlockers(x); len(bs) > 0 {
+	return loopBoundsErr(it.trace, line, x, env)
+}
+
+func loopBoundsErr(tr *analysis.Trace, line int, x *hir.Loop, env absEnv) error {
+	if bs := tr.LoopBlockers(x); len(bs) > 0 {
 		parts := make([]string, len(bs))
 		for i, b := range bs {
 			parts[i] = b.String()
@@ -708,8 +782,8 @@ func (it *Interpreter) interpCondt(a *AAU, env absEnv, mult float64) (Metrics, e
 	if err != nil {
 		return Metrics{}, err
 	}
-	killAssigned(x.Then, env)
-	killAssigned(x.Else, env)
+	it.killAssigned(x.Then, env)
+	it.killAssigned(x.Else, env)
 	self.Accumulate(tm)
 	self.Accumulate(em)
 	return self, nil
@@ -721,7 +795,11 @@ func (it *Interpreter) interpCondt(a *AAU, env absEnv, mult float64) (Metrics, e
 // evalPW evaluates a piecewise collective model, optionally degraded to
 // its long-message segment only (the SimpleCommModel ablation).
 func (it *Interpreter) evalPW(p ipsc.Piecewise, n int) float64 {
-	if it.opts.SimpleCommModel {
+	return evalPW(it.opts.SimpleCommModel, p, n)
+}
+
+func evalPW(simple bool, p ipsc.Piecewise, n int) float64 {
+	if simple {
 		return p.Long.Eval(n)
 	}
 	return p.Eval(n)
@@ -748,6 +826,10 @@ func (it *Interpreter) killAssigned(ss []hir.Stmt, env absEnv) {
 
 // stripBytesMax returns the worst per-node halo volume of a shift.
 func (it *Interpreter) stripBytesMax(m *dist.ArrayMap, elemBytes, dim, delta int) int {
+	return stripBytesMax(m, elemBytes, dim, delta)
+}
+
+func stripBytesMax(m *dist.ArrayMap, elemBytes, dim, delta int) int {
 	if delta < 0 {
 		delta = -delta
 	}
@@ -777,7 +859,12 @@ func (it *Interpreter) interpComm(a *AAU, env absEnv, mult float64) Metrics {
 	switch x := a.Stmt.(type) {
 	case *hir.Shift:
 		sym := it.prog.Info.Sym(x.Array)
-		if sym.Map != nil && !sym.Map.Replicated && sym.Map.Dims[x.Dim].NProc > 1 {
+		switch {
+		case sym == nil:
+			it.warnf("line %d: shift of unknown array %s ignored", a.Line, x.Array)
+		case sym.Map != nil && (x.Dim < 0 || x.Dim >= len(sym.Map.Dims)):
+			it.warnf("line %d: shift of %s along invalid dimension %d ignored", a.Line, x.Array, x.Dim)
+		case sym.Map != nil && !sym.Map.Replicated && sym.Map.Dims[x.Dim].NProc > 1:
 			vol := it.stripBytesMax(sym.Map, sym.Type.Bytes(), x.Dim, x.Offset)
 			bytes = float64(vol)
 			commUS = it.evalPW(it.lib.Shift, vol)
@@ -793,6 +880,10 @@ func (it *Interpreter) interpComm(a *AAU, env absEnv, mult float64) Metrics {
 			src, dim, shiftE = eo.Src, eo.Dim, eo.Shift
 		}
 		sym := it.prog.Info.Sym(src)
+		if sym == nil {
+			it.warnf("line %d: shift of unknown array %s ignored", a.Line, src)
+			break
+		}
 		shift := 1
 		if v, ok := evalScalar(shiftE, env); ok {
 			shift = int(v.AsInt())

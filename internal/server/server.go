@@ -17,7 +17,6 @@ import (
 	"hpfperf/internal/analysis"
 	"hpfperf/internal/autotune"
 	"hpfperf/internal/compiler"
-	"hpfperf/internal/exec"
 	"hpfperf/internal/faults"
 	"hpfperf/internal/ipsc"
 	"hpfperf/internal/obs"
@@ -577,11 +576,21 @@ func (s *Server) handleMeasure(ctx context.Context, body []byte) (any, *apiError
 	if runs <= 0 {
 		runs = 1
 	}
-	m, err := ipsc.New(cfg)
-	if err != nil {
+	// Validate the machine construction eagerly (node count vs the
+	// machine's cube size) so misconfiguration stays a 400 before the
+	// cached execution path runs.
+	if _, err := ipsc.New(cfg); err != nil {
 		return nil, errf(http.StatusBadRequest, "decode", "%v", err)
 	}
-	res, err := exec.RunContext(ctx, prog, m, exec.Options{Runs: runs})
+	spec := sweep.MeasureSpec{
+		Machine:    req.Machine,
+		Runs:       runs,
+		PerturbAmp: cfg.PerturbAmp,
+		TimerResUS: cfg.TimerResUS,
+		Seed:       cfg.Seed,
+		CacheModel: cfg.CacheModel,
+	}
+	res, err := s.eng.MeasureContext(ctx, req.Source, compiler.Options{}, spec)
 	if err != nil {
 		return nil, ctxErr(err, http.StatusUnprocessableEntity, "execute")
 	}

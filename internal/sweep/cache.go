@@ -15,8 +15,10 @@ import (
 
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
+	"hpfperf/internal/exec"
 	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
+	"hpfperf/internal/ipsc"
 	"hpfperf/internal/obs"
 	"hpfperf/internal/sysmodel"
 )
@@ -37,25 +39,40 @@ const DefaultCacheEntries = 4096
 // context, so a cancelled request stops waiting without disturbing the
 // build.
 //
+// Four artifact kinds are cached, one bounded map each: compiled
+// programs (*hir.Program), closure-compiled prediction forms
+// (*core.Compiled, keyed by the static interpretation options only, so
+// one form serves every Values/TripCounts combination through its
+// incremental EvaluateWith path), whole interpretation reports
+// (*core.Report), and simulated-execution results (*exec.Result — the
+// simulator is deterministic for a fixed MeasureSpec, which is what
+// makes measurement memoizable at all).
+//
 // The cache is a bounded LRU: each map holds at most cap entries and
 // evicts the least recently used entry beyond that, counting evictions.
 // Evicted entries remain valid for goroutines already holding them;
 // only the memoization is lost.
 //
-// Cached *hir.Program and *core.Report values are shared between
-// callers: both are treated as immutable after construction everywhere
-// in this module (the simulator and the report renderers only read
-// them), which is what makes the memoization sound.
+// Cached values are shared between callers: all four kinds are treated
+// as immutable after construction everywhere in this module (the
+// simulator, the evaluators and the report renderers only read them),
+// which is what makes the memoization sound.
 type Cache struct {
 	mu         sync.Mutex
 	cap        int
 	compiles   map[string]*compileEntry
 	compileLRU *list.List // of string keys; front = most recent
+	predicts   map[string]*predictEntry
+	predictLRU *list.List
 	reports    map[string]*reportEntry
 	reportLRU  *list.List
+	measures   map[string]*measureEntry
+	measureLRU *list.List
 
 	compileEvictions atomic.Int64
+	predictEvictions atomic.Int64
 	reportEvictions  atomic.Int64
+	measureEvictions atomic.Int64
 }
 
 // NewCache returns an empty cache bounded at DefaultCacheEntries
@@ -72,8 +89,12 @@ func NewCacheSize(n int) *Cache {
 		cap:        n,
 		compiles:   make(map[string]*compileEntry),
 		compileLRU: list.New(),
+		predicts:   make(map[string]*predictEntry),
+		predictLRU: list.New(),
 		reports:    make(map[string]*reportEntry),
 		reportLRU:  list.New(),
+		measures:   make(map[string]*measureEntry),
+		measureLRU: list.New(),
 	}
 }
 
@@ -84,10 +105,24 @@ type compileEntry struct {
 	err  error
 }
 
+type predictEntry struct {
+	done chan struct{}
+	elem *list.Element
+	cp   *core.Compiled
+	err  error
+}
+
 type reportEntry struct {
 	done chan struct{}
 	elem *list.Element
 	rep  *core.Report
+	err  error
+}
+
+type measureEntry struct {
+	done chan struct{}
+	elem *list.Element
+	res  *exec.Result
 	err  error
 }
 
@@ -96,9 +131,13 @@ type reportEntry struct {
 type CacheStats struct {
 	Cap              int
 	CompileEntries   int
+	PredictEntries   int
 	ReportEntries    int
+	MeasureEntries   int
 	CompileEvictions int64
+	PredictEvictions int64
 	ReportEvictions  int64
+	MeasureEvictions int64
 }
 
 // Stats returns the cache occupancy and eviction counters.
@@ -108,9 +147,13 @@ func (c *Cache) CacheStats() CacheStats {
 	return CacheStats{
 		Cap:              c.cap,
 		CompileEntries:   len(c.compiles),
+		PredictEntries:   len(c.predicts),
 		ReportEntries:    len(c.reports),
+		MeasureEntries:   len(c.measures),
 		CompileEvictions: c.compileEvictions.Load(),
+		PredictEvictions: c.predictEvictions.Load(),
 		ReportEvictions:  c.reportEvictions.Load(),
+		MeasureEvictions: c.measureEvictions.Load(),
 	}
 }
 
@@ -128,16 +171,31 @@ func compileKey(src string, opts compiler.Options) string {
 	return fmt.Sprintf("%s|commopt=%t|reorder=%t", srcHash(src), !opts.NoCommOpt, !opts.NoLoopReorder)
 }
 
-// interpFingerprint renders core.Options deterministically, or reports
-// that the options cannot be fingerprinted (an injected CommLibrary has
-// no stable identity across mutations, so such runs are never cached).
-func interpFingerprint(opts core.Options) (string, bool) {
+// predictFingerprint renders the *static* interpretation options — the
+// ones core.CompilePrediction binds into the compiled form. Values and
+// TripCounts are deliberately excluded: they are per-evaluation inputs
+// of Compiled.EvaluateWith, so one cached form serves every combination
+// of them. An injected CommLibrary has no stable identity across
+// mutations, so such runs are never cached.
+func predictFingerprint(opts core.Options) (string, bool) {
 	if opts.CommLibrary != nil {
 		return "", false
 	}
+	return fmt.Sprintf("mem=%t|load=%d|mask=%g|branch=%g|simple=%t",
+		opts.MemoryModel, opts.LoadModel, opts.MaskDensity, opts.BranchProb, opts.SimpleCommModel), true
+}
+
+// interpFingerprint renders core.Options deterministically, or reports
+// that the options cannot be fingerprinted. It extends the static
+// predict fingerprint with the dynamic inputs (trip counts, pinned
+// values), since a whole report is specific to both.
+func interpFingerprint(opts core.Options) (string, bool) {
+	static, ok := predictFingerprint(opts)
+	if !ok {
+		return "", false
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "mem=%t|load=%d|mask=%g|branch=%g|simple=%t",
-		opts.MemoryModel, opts.LoadModel, opts.MaskDensity, opts.BranchProb, opts.SimpleCommModel)
+	b.WriteString(static)
 	if len(opts.TripCounts) > 0 {
 		lines := make([]int, 0, len(opts.TripCounts))
 		for l := range opts.TripCounts {
@@ -186,6 +244,41 @@ func (c *Cache) evictCompiles() {
 	}
 }
 
+// evictPredicts trims the compiled-prediction map to cap (caller holds
+// c.mu).
+func (c *Cache) evictPredicts() {
+	for len(c.predicts) > c.cap {
+		back := c.predictLRU.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(string)
+		if e, ok := c.predicts[key]; ok {
+			e.elem = nil
+			delete(c.predicts, key)
+		}
+		c.predictLRU.Remove(back)
+		c.predictEvictions.Add(1)
+	}
+}
+
+// evictMeasures trims the measurement map to cap (caller holds c.mu).
+func (c *Cache) evictMeasures() {
+	for len(c.measures) > c.cap {
+		back := c.measureLRU.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(string)
+		if e, ok := c.measures[key]; ok {
+			e.elem = nil
+			delete(c.measures, key)
+		}
+		c.measureLRU.Remove(back)
+		c.measureEvictions.Add(1)
+	}
+}
+
 // evictReports trims the report map to cap (caller holds c.mu).
 func (c *Cache) evictReports() {
 	for len(c.reports) > c.cap {
@@ -212,6 +305,32 @@ func (c *Cache) dropReport(key string, e *reportEntry) {
 		delete(c.reports, key)
 		if e.elem != nil {
 			c.reportLRU.Remove(e.elem)
+			e.elem = nil
+		}
+	}
+}
+
+// dropPredict removes a compiled-prediction entry if it still maps to e.
+func (c *Cache) dropPredict(key string, e *predictEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.predicts[key]; ok && cur == e {
+		delete(c.predicts, key)
+		if e.elem != nil {
+			c.predictLRU.Remove(e.elem)
+			e.elem = nil
+		}
+	}
+}
+
+// dropMeasure removes a measurement entry if it still maps to e.
+func (c *Cache) dropMeasure(key string, e *measureEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.measures[key]; ok && cur == e {
+		delete(c.measures, key)
+		if e.elem != nil {
+			c.measureLRU.Remove(e.elem)
 			e.elem = nil
 		}
 	}
@@ -308,12 +427,87 @@ func (c *Cache) Compile(ctx context.Context, src string, opts compiler.Options, 
 	return e.prog, e.err
 }
 
+// CompiledPrediction returns the closure-compiled prediction form for
+// (src, copts, static iopts) on the named machine abstraction, built at
+// most once per live key. The form is shared and concurrency-safe; its
+// subtree memoization accumulates across every EvaluateWith caller, so
+// incremental sweeps that vary only Values/TripCounts re-evaluate only
+// the cost terms those feed. Uncacheable options (injected CommLibrary)
+// build a private form.
+func (c *Cache) CompiledPrediction(ctx context.Context, src string, copts compiler.Options, iopts core.Options, machine string, stats *Stats) (*core.Compiled, error) {
+	fp, cacheable := predictFingerprint(iopts)
+	if !cacheable {
+		prog, err := c.Compile(ctx, src, copts, stats)
+		if err != nil {
+			return nil, err
+		}
+		return buildPredict(ctx, prog, iopts, machine)
+	}
+
+	key := compileKey(src, copts) + "|mach=" + machine + "|" + fp
+	c.mu.Lock()
+	if e, ok := c.predicts[key]; ok {
+		touch(c.predictLRU, e.elem)
+		c.mu.Unlock()
+		if stats != nil {
+			stats.PredictHits.Add(1)
+		}
+		cacheSpan(ctx, "predict", key, "hit")
+		select {
+		case <-e.done:
+			return e.cp, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &predictEntry{done: make(chan struct{})}
+	e.elem = c.predictLRU.PushFront(key)
+	c.predicts[key] = e
+	c.evictPredicts()
+	c.mu.Unlock()
+
+	if stats != nil {
+		stats.PredictMisses.Add(1)
+	}
+	cacheSpan(ctx, "predict", key, "miss")
+	func() {
+		defer recoverToErr("predict", &e.err)
+		var prog *hir.Program
+		prog, e.err = c.Compile(ctx, src, copts, stats)
+		if e.err != nil {
+			return
+		}
+		e.cp, e.err = buildPredict(ctx, prog, iopts, machine)
+	}()
+	if poisoned(e.err) {
+		c.dropPredict(key, e)
+	}
+	close(e.done)
+	return e.cp, e.err
+}
+
+// buildPredict resolves the machine abstraction and compiles the
+// prediction form (one calibration + SAAG build + closure compilation).
+func buildPredict(ctx context.Context, prog *hir.Program, iopts core.Options, machine string) (cp *core.Compiled, err error) {
+	defer recoverToErr("predict", &err)
+	var mach *sysmodel.Machine
+	if machine != "" {
+		mach, err = sysmodel.MachineByName(machine)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.CompilePrediction(ctx, prog, mach, iopts)
+}
+
 // Interpret returns the interpretation report for (src, copts, iopts)
 // on the named machine abstraction ("" = iPSC/860 default), memoizing
 // whole reports when the options are fingerprintable. Compilation
-// always goes through the compile cache. The builder honors ctx: a
-// report whose construction was cancelled is dropped from the cache so
-// a later request rebuilds it.
+// always goes through the compile cache, and report misses evaluate the
+// cached compiled prediction form instead of tree-walking (traced
+// requests keep the tree-walker so the interp.<kind> span structure
+// survives). The builder honors ctx: a report whose construction was
+// cancelled is dropped from the cache so a later request rebuilds it.
 func (c *Cache) Interpret(ctx context.Context, src string, copts compiler.Options, iopts core.Options, machine string, stats *Stats) (*core.Report, error) {
 	fp, cacheable := interpFingerprint(iopts)
 	if !cacheable {
@@ -360,7 +554,23 @@ func (c *Cache) Interpret(ctx context.Context, src string, copts compiler.Option
 		if e.err != nil {
 			return
 		}
-		e.rep, e.err = runInterp(ctx, prog, iopts, machine, stats)
+		if obs.SpanFromContext(ctx) != nil {
+			// A traced request wants the interp.<kind> span tree, which
+			// only the tree-walking interpreter emits.
+			e.rep, e.err = runInterp(ctx, prog, iopts, machine, stats)
+			return
+		}
+		var cp *core.Compiled
+		cp, e.err = c.CompiledPrediction(ctx, src, copts, iopts, machine, stats)
+		if e.err != nil {
+			return
+		}
+		start := time.Now()
+		e.rep, e.err = cp.EvaluateWith(ctx, iopts.Values, iopts.TripCounts)
+		if stats != nil {
+			stats.Interps.Add(1)
+			stats.InterpNS.Add(int64(time.Since(start)))
+		}
 	}()
 	if poisoned(e.err) {
 		// A cancelled, panicked or fault-injected build is the attempt's
@@ -396,6 +606,133 @@ func runInterp(ctx context.Context, prog *hir.Program, iopts core.Options, machi
 		stats.InterpNS.Add(int64(time.Since(start)))
 	}
 	return rep, err
+}
+
+// MeasureSpec pins every input of a simulated-execution run. The
+// simulator is deterministic for a fixed spec (the noise generator is
+// seeded), so (program, spec) fully determines the *exec.Result and
+// measurement becomes memoizable — the paper's experimentation loop
+// spends almost all of its time here, which is what makes this cache
+// the dominant sweep speedup.
+type MeasureSpec struct {
+	// Machine names the simulated system abstraction ("" = iPSC/860).
+	Machine string
+	// Runs is the number of perturbed timed runs to average (<= 0 = 1).
+	Runs int
+	// PerturbAmp is the per-run load-fluctuation amplitude.
+	PerturbAmp float64
+	// TimerResUS is the timing-routine resolution.
+	TimerResUS float64
+	// Seed drives the deterministic noise generator.
+	Seed int64
+	// CacheModel enables the simulator's data-cache miss model.
+	CacheModel bool
+}
+
+// DefaultMeasureSpec mirrors ipsc.DefaultConfig with the sweep loop's
+// two variable knobs: the run count and the perturbation amplitude.
+func DefaultMeasureSpec(runs int, perturb float64) MeasureSpec {
+	d := ipsc.DefaultConfig(1)
+	if runs <= 0 {
+		runs = 1
+	}
+	return MeasureSpec{
+		Runs:       runs,
+		PerturbAmp: perturb,
+		TimerResUS: d.TimerResUS,
+		Seed:       d.Seed,
+		CacheModel: d.CacheModel,
+	}
+}
+
+// fingerprint renders the spec deterministically for the cache key.
+func (sp MeasureSpec) fingerprint() string {
+	return fmt.Sprintf("mach=%s|runs=%d|amp=%g|timer=%g|seed=%d|cache=%t",
+		sp.Machine, sp.Runs, sp.PerturbAmp, sp.TimerResUS, sp.Seed, sp.CacheModel)
+}
+
+// Measure returns the simulated-execution result for (src, copts, spec),
+// running the simulator at most once per live key. Results are shared
+// and must be treated as immutable by callers. A cancelled, panicked or
+// fault-injected run is dropped from the cache so a later request
+// re-executes it.
+func (c *Cache) Measure(ctx context.Context, src string, copts compiler.Options, spec MeasureSpec, stats *Stats) (*exec.Result, error) {
+	if spec.Runs <= 0 {
+		spec.Runs = 1 // normalize before keying so runs=0 and runs=1 share
+	}
+	key := compileKey(src, copts) + "|" + spec.fingerprint()
+	c.mu.Lock()
+	if e, ok := c.measures[key]; ok {
+		touch(c.measureLRU, e.elem)
+		c.mu.Unlock()
+		if stats != nil {
+			stats.ExecHits.Add(1)
+		}
+		cacheSpan(ctx, "exec", key, "hit")
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &measureEntry{done: make(chan struct{})}
+	e.elem = c.measureLRU.PushFront(key)
+	c.measures[key] = e
+	c.evictMeasures()
+	c.mu.Unlock()
+
+	if stats != nil {
+		stats.ExecMisses.Add(1)
+	}
+	cacheSpan(ctx, "exec", key, "miss")
+	func() {
+		defer recoverToErr("execute", &e.err)
+		var prog *hir.Program
+		prog, e.err = c.Compile(ctx, src, copts, stats)
+		if e.err != nil {
+			return
+		}
+		e.res, e.err = runExec(ctx, prog, spec, stats)
+	}()
+	if poisoned(e.err) {
+		c.dropMeasure(key, e)
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+// runExec builds the simulated machine for spec and executes prog on it.
+func runExec(ctx context.Context, prog *hir.Program, spec MeasureSpec, stats *Stats) (*exec.Result, error) {
+	// The VM only polls ctx every few thousand statements; a small
+	// program can finish before the first poll. Check upfront so an
+	// already-dead request never executes (and never caches).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
+	if spec.Machine != "" {
+		base, err := sysmodel.MachineByName(spec.Machine)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Base = base
+	}
+	cfg.PerturbAmp = spec.PerturbAmp
+	cfg.TimerResUS = spec.TimerResUS
+	cfg.Seed = spec.Seed
+	cfg.CacheModel = spec.CacheModel
+	m, err := ipsc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := exec.RunContext(ctx, prog, m, exec.Options{Runs: spec.Runs})
+	if stats != nil {
+		stats.Execs.Add(1)
+		stats.ExecNS.Add(int64(time.Since(start)))
+	}
+	return res, err
 }
 
 // cacheSpan records one cache probe as an instant cache.lookup span.

@@ -266,3 +266,134 @@ func TestSnapshotIncludesEvictions(t *testing.T) {
 		t.Errorf("snapshot string missing stage names: %s", snap)
 	}
 }
+
+func TestMeasureCachedDeterministic(t *testing.T) {
+	// Two identical measure requests run the simulator once and share
+	// the result; changing any spec field is a distinct key.
+	c := NewCacheSize(8)
+	var stats Stats
+	src := tinySource(3)
+	spec := DefaultMeasureSpec(1, 0.01)
+
+	r1, err := c.Measure(context.Background(), src, compiler.Options{}, spec, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Measure(context.Background(), src, compiler.Options{}, spec, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical specs did not share one cached result")
+	}
+	if got := stats.Execs.Load(); got != 1 {
+		t.Errorf("execs = %d, want 1", got)
+	}
+	if stats.ExecHits.Load() != 1 || stats.ExecMisses.Load() != 1 {
+		t.Errorf("exec cache = %d hit / %d miss, want 1/1",
+			stats.ExecHits.Load(), stats.ExecMisses.Load())
+	}
+
+	reseeded := spec
+	reseeded.Seed++
+	r3, err := c.Measure(context.Background(), src, compiler.Options{}, reseeded, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("different seeds shared one cache entry")
+	}
+	if got := stats.Execs.Load(); got != 2 {
+		t.Errorf("execs after reseed = %d, want 2", got)
+	}
+}
+
+func TestMeasureRunsNormalizedBeforeKeying(t *testing.T) {
+	// runs <= 0 means one timed run everywhere; the zero and one forms
+	// must land on the same cache entry.
+	c := NewCacheSize(8)
+	var stats Stats
+	src := tinySource(4)
+	r1, err := c.Measure(context.Background(), src, compiler.Options{}, DefaultMeasureSpec(0, 0), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Measure(context.Background(), src, compiler.Options{}, DefaultMeasureSpec(1, 0), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("runs=0 and runs=1 produced distinct cache entries")
+	}
+}
+
+func TestCancelledMeasureNotCached(t *testing.T) {
+	c := NewCacheSize(8)
+	var stats Stats
+	src := tinySource(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Measure(ctx, src, compiler.Options{}, DefaultMeasureSpec(1, 0), &stats); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	res, err := c.Measure(context.Background(), src, compiler.Options{}, DefaultMeasureSpec(1, 0), &stats)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v (poisoned cache?)", err)
+	}
+	if res == nil || res.MeasuredUS <= 0 {
+		t.Fatal("retry produced no measurement")
+	}
+}
+
+func TestCompiledPredictionSharedAcrossValues(t *testing.T) {
+	// The compiled form is keyed by static options only: requests that
+	// differ in Values/TripCounts share one form and miss only the
+	// report cache, exercising the incremental EvaluateWith path.
+	c := NewCacheSize(16)
+	var stats Stats
+	src := tinySource(6)
+
+	a := core.DefaultOptions()
+	if _, err := c.Interpret(context.Background(), src, compiler.Options{}, a, "", &stats); err != nil {
+		t.Fatal(err)
+	}
+	b := core.DefaultOptions()
+	b.TripCounts = map[int]int{5: 9}
+	if _, err := c.Interpret(context.Background(), src, compiler.Options{}, b, "", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.ReportMisses.Load(); got != 2 {
+		t.Errorf("report misses = %d, want 2 (distinct dynamic options)", got)
+	}
+	if stats.PredictMisses.Load() != 1 || stats.PredictHits.Load() != 1 {
+		t.Errorf("predict cache = %d hit / %d miss, want 1/1 (one shared form)",
+			stats.PredictHits.Load(), stats.PredictMisses.Load())
+	}
+}
+
+func TestCacheInterpretMatchesTreeWalk(t *testing.T) {
+	// The cached compiled-form evaluation must be byte-identical to a
+	// fresh tree-walking interpretation of the same program.
+	c := NewCacheSize(8)
+	var stats Stats
+	src := tinySource(8)
+	rep, err := c.Interpret(context.Background(), src, compiler.Options{}, core.DefaultOptions(), "", &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := core.New(prog, nil, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := it.InterpretTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != ref.Total || rep.TotalUS() != ref.TotalUS() {
+		t.Errorf("cached compiled report diverges: %+v vs tree-walk %+v", rep.Total, ref.Total)
+	}
+}

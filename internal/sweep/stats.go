@@ -18,13 +18,23 @@ type Stats struct {
 	// CompileHits / CompileMisses count compile-cache lookups.
 	CompileHits   atomic.Int64
 	CompileMisses atomic.Int64
-	// Interps counts interpretation runs that actually executed.
+	// Interps counts interpretation runs (tree-walked or compiled-form
+	// evaluations) that actually executed.
 	Interps atomic.Int64
+	// PredictHits / PredictMisses count compiled-prediction-form cache
+	// lookups.
+	PredictHits   atomic.Int64
+	PredictMisses atomic.Int64
 	// ReportHits / ReportMisses count interpretation-report cache lookups.
 	ReportHits   atomic.Int64
 	ReportMisses atomic.Int64
-	// Execs counts simulated-machine executions (never cached).
+	// Execs counts simulated-machine executions that actually ran
+	// (measurement-cache misses that did work).
 	Execs atomic.Int64
+	// ExecHits / ExecMisses count measurement-result cache lookups (the
+	// simulator is deterministic per MeasureSpec, so results memoize).
+	ExecHits   atomic.Int64
+	ExecMisses atomic.Int64
 	// Points counts sweep points completed through Map.
 	Points atomic.Int64
 	// Retries counts transient point failures retried by Map's bounded
@@ -48,9 +58,13 @@ type Snapshot struct {
 	CompileHits   int64
 	CompileMisses int64
 	Interps       int64
+	PredictHits   int64
+	PredictMisses int64
 	ReportHits    int64
 	ReportMisses  int64
 	Execs         int64
+	ExecHits      int64
+	ExecMisses    int64
 	Points        int64
 	Retries       int64
 	PointPanics   int64
@@ -70,9 +84,13 @@ func (s *Stats) Snapshot() Snapshot {
 		CompileHits:   s.CompileHits.Load(),
 		CompileMisses: s.CompileMisses.Load(),
 		Interps:       s.Interps.Load(),
+		PredictHits:   s.PredictHits.Load(),
+		PredictMisses: s.PredictMisses.Load(),
 		ReportHits:    s.ReportHits.Load(),
 		ReportMisses:  s.ReportMisses.Load(),
 		Execs:         s.Execs.Load(),
+		ExecHits:      s.ExecHits.Load(),
+		ExecMisses:    s.ExecMisses.Load(),
 		Points:        s.Points.Load(),
 		Retries:       s.Retries.Load(),
 		PointPanics:   s.PointPanics.Load(),
@@ -93,9 +111,13 @@ func (s *Stats) Reset() {
 	s.CompileHits.Store(0)
 	s.CompileMisses.Store(0)
 	s.Interps.Store(0)
+	s.PredictHits.Store(0)
+	s.PredictMisses.Store(0)
 	s.ReportHits.Store(0)
 	s.ReportMisses.Store(0)
 	s.Execs.Store(0)
+	s.ExecHits.Store(0)
+	s.ExecMisses.Store(0)
 	s.Points.Store(0)
 	s.Retries.Store(0)
 	s.PointPanics.Store(0)
@@ -115,7 +137,12 @@ func (s Snapshot) String() string {
 		s.Compiles, s.CompileHits, s.CompileMisses, s.CompileTime.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  interpret   %d runs, cache %d hit / %d miss, %v\n",
 		s.Interps, s.ReportHits, s.ReportMisses, s.InterpTime.Round(time.Microsecond))
-	fmt.Fprintf(&b, "  execute     %d runs, %v\n", s.Execs, s.ExecTime.Round(time.Microsecond))
+	if s.PredictHits > 0 || s.PredictMisses > 0 {
+		fmt.Fprintf(&b, "  predict     compiled forms, cache %d hit / %d miss\n",
+			s.PredictHits, s.PredictMisses)
+	}
+	fmt.Fprintf(&b, "  execute     %d runs, cache %d hit / %d miss, %v\n",
+		s.Execs, s.ExecHits, s.ExecMisses, s.ExecTime.Round(time.Microsecond))
 	// Resilience counters only appear when something actually went wrong,
 	// keeping happy-path -stats output identical to earlier releases.
 	if s.Retries > 0 || s.PointPanics > 0 {

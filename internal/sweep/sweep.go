@@ -25,7 +25,6 @@ import (
 	"hpfperf/internal/exec"
 	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
-	"hpfperf/internal/ipsc"
 	"hpfperf/internal/obs"
 )
 
@@ -231,10 +230,25 @@ func (e *Engine) InterpretMachine(ctx context.Context, machine, src string, copt
 	return e.cache.Interpret(ctx, src, copts, iopts, machine, e.stats)
 }
 
+// Measure executes src on the simulated machine selected by spec,
+// memoizing the deterministic result per (source, options, spec). The
+// returned *exec.Result is shared — treat it as read-only.
+func (e *Engine) Measure(src string, copts compiler.Options, spec MeasureSpec) (*exec.Result, error) {
+	return e.MeasureContext(context.Background(), src, copts, spec)
+}
+
+// MeasureContext is Measure with cooperative cancellation: the
+// simulator's statement loop observes ctx, and a cancelled run is not
+// cached.
+func (e *Engine) MeasureContext(ctx context.Context, src string, copts compiler.Options, spec MeasureSpec) (*exec.Result, error) {
+	return e.cache.Measure(ctx, src, copts, spec, e.stats)
+}
+
 // EstimateAndMeasure is the per-point body of every accuracy sweep: it
 // compiles src once (cached), interprets it for the estimated time
 // (cached) and executes it on the simulated iPSC/860 for the measured
-// time. runs <= 0 means one timed run; perturb is the measured-run load
+// time (also cached — the simulator is deterministic per MeasureSpec).
+// runs <= 0 means one timed run; perturb is the measured-run load
 // fluctuation amplitude.
 func (e *Engine) EstimateAndMeasure(src string, runs int, perturb float64) (estUS, measUS float64, err error) {
 	return e.EstimateAndMeasureContext(context.Background(), src, runs, perturb)
@@ -243,27 +257,11 @@ func (e *Engine) EstimateAndMeasure(src string, runs int, perturb float64) (estU
 // EstimateAndMeasureContext is EstimateAndMeasure with cooperative
 // cancellation of both the interpretation and the simulated execution.
 func (e *Engine) EstimateAndMeasureContext(ctx context.Context, src string, runs int, perturb float64) (estUS, measUS float64, err error) {
-	prog, err := e.CompileContext(ctx, src, compiler.Options{})
-	if err != nil {
-		return 0, 0, err
-	}
 	rep, err := e.InterpretContext(ctx, src, compiler.Options{}, core.DefaultOptions())
 	if err != nil {
 		return 0, 0, err
 	}
-	mcfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
-	mcfg.PerturbAmp = perturb
-	m, err := ipsc.New(mcfg)
-	if err != nil {
-		return 0, 0, err
-	}
-	if runs <= 0 {
-		runs = 1
-	}
-	start := time.Now()
-	res, err := exec.RunContext(ctx, prog, m, exec.Options{Runs: runs})
-	e.stats.Execs.Add(1)
-	e.stats.ExecNS.Add(int64(time.Since(start)))
+	res, err := e.MeasureContext(ctx, src, compiler.Options{}, DefaultMeasureSpec(runs, perturb))
 	if err != nil {
 		return 0, 0, err
 	}

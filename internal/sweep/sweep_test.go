@@ -105,8 +105,11 @@ func TestRepeatedSweepCompilesOnce(t *testing.T) {
 	if snap.ReportHits != int64(len(sources)) {
 		t.Errorf("report hits = %d, want %d", snap.ReportHits, len(sources))
 	}
-	if snap.Execs != int64(2*len(sources)) {
-		t.Errorf("execs = %d, want %d (measurement never cached)", snap.Execs, 2*len(sources))
+	if snap.Execs != int64(len(sources)) {
+		t.Errorf("execs = %d, want %d (deterministic measurements memoized)", snap.Execs, len(sources))
+	}
+	if snap.ExecHits != int64(len(sources)) {
+		t.Errorf("exec hits = %d, want %d", snap.ExecHits, len(sources))
 	}
 	if e.Cache().Len() != len(sources) {
 		t.Errorf("cache holds %d programs, want %d", e.Cache().Len(), len(sources))
