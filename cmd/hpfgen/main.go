@@ -1,0 +1,159 @@
+// Command hpfgen generates seeded benchmark-kernel corpora and runs the
+// differential prediction↔execution validation harness over them.
+//
+// Usage:
+//
+//	hpfgen [flags]
+//
+//	-n COUNT          number of programs to generate (default 1)
+//	-seed SEED        corpus seed (default 1); same seed, same corpus
+//	-kernel FAMILY    restrict to one family (stencil1d, stencil2d,
+//	                  relax, lu, fft, nbody); default round-robins all
+//	-out DIR          write each program to DIR/<name>.hpf
+//	-predict          print the prediction profile after each program
+//	-validate         run the differential validation harness
+//	-json             emit the validation report as JSON (with -validate)
+//	-report FILE      also write the JSON report to FILE
+//	-checkpoint FILE  durable progress for -validate: a killed run
+//	                  resumes from FILE with byte-identical results
+//
+// Without -out or -validate the generated source is printed to stdout.
+//
+// Exit status: 0 success (all programs valid), 1 validation failures,
+// 2 usage or I/O errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hpfperf"
+	"hpfperf/internal/corpus"
+	"hpfperf/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("hpfgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 1, "number of programs to generate")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	kernel := fs.String("kernel", "", "restrict to one kernel family")
+	outDir := fs.String("out", "", "write programs to this directory")
+	predict := fs.Bool("predict", false, "print the prediction profile after each program")
+	validate := fs.Bool("validate", false, "run the differential validation harness")
+	jsonOut := fs.Bool("json", false, "emit the validation report as JSON")
+	reportPath := fs.String("report", "", "also write the JSON report to this file")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file for resumable validation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n <= 0 {
+		fmt.Fprintln(stderr, "hpfgen: -n must be positive")
+		return 2
+	}
+
+	var progs []corpus.Program
+	if *kernel != "" {
+		fam, err := corpus.FamilyByName(*kernel)
+		if err != nil {
+			fmt.Fprintln(stderr, "hpfgen:", err)
+			return 2
+		}
+		progs = corpus.GenerateFamily(*seed, fam, *n)
+	} else {
+		progs = corpus.Generate(*seed, *n)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "hpfgen:", err)
+			return 2
+		}
+		for _, p := range progs {
+			path := filepath.Join(*outDir, p.Name+".hpf")
+			if err := os.WriteFile(path, []byte(p.Source), 0o644); err != nil {
+				fmt.Fprintln(stderr, "hpfgen:", err)
+				return 2
+			}
+		}
+		fmt.Fprintf(stdout, "wrote %d programs to %s\n", len(progs), *outDir)
+	}
+
+	if *validate {
+		opts := corpus.Options{}
+		if *ckptPath != "" {
+			opts.Checkpoint = &sweep.Checkpoint{
+				Path: *ckptPath,
+				Key:  fmt.Sprintf("hpfgen-seed%d-n%d-kernel%s", *seed, *n, *kernel),
+			}
+		}
+		rep, err := corpus.Validate(context.Background(), progs, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "hpfgen:", err)
+			return 2
+		}
+		if *reportPath != "" {
+			if err := os.WriteFile(*reportPath, rep.JSON(), 0o644); err != nil {
+				fmt.Fprintln(stderr, "hpfgen:", err)
+				return 2
+			}
+		}
+		if *jsonOut {
+			stdout.Write(rep.JSON())
+		} else {
+			fmt.Fprint(stdout, rep.Text())
+		}
+		if !rep.Pass() {
+			return 1
+		}
+		return 0
+	}
+
+	if *outDir == "" {
+		for i, p := range progs {
+			if len(progs) > 1 {
+				if i > 0 {
+					fmt.Fprintln(stdout)
+				}
+				fmt.Fprintf(stdout, "! === %s (seed %d) ===\n", p.Name, *seed)
+			}
+			fmt.Fprint(stdout, p.Source)
+			if *predict {
+				if rc := printProfile(stdout, stderr, p); rc != 0 {
+					return rc
+				}
+			}
+		}
+	} else if *predict {
+		for _, p := range progs {
+			if rc := printProfile(stdout, stderr, p); rc != 0 {
+				return rc
+			}
+		}
+	}
+	return 0
+}
+
+// printProfile predicts one generated program (with its template's mask
+// density) and prints the generic performance profile.
+func printProfile(stdout, stderr *os.File, p corpus.Program) int {
+	prog, err := hpfperf.Compile(p.Source)
+	if err != nil {
+		fmt.Fprintf(stderr, "hpfgen: %s: %v\n", p.Name, err)
+		return 2
+	}
+	pred, err := hpfperf.Predict(prog, &hpfperf.PredictOptions{MaskDensity: p.MaskDensity()})
+	if err != nil {
+		fmt.Fprintf(stderr, "hpfgen: %s: %v\n", p.Name, err)
+		return 2
+	}
+	fmt.Fprint(stdout, pred.Profile())
+	return 0
+}

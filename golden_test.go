@@ -22,6 +22,7 @@ import (
 
 	"hpfperf"
 
+	"hpfperf/internal/corpus"
 	"hpfperf/internal/experiments"
 	"hpfperf/internal/sweep"
 	"hpfperf/internal/trace"
@@ -140,6 +141,25 @@ func TestGoldenLaplaceTrace(t *testing.T) {
 			p, st.BusyUS[p], busyPct, st.CommUS[p], commPct)
 	}
 	checkGolden(t, "laplace_summary.txt", sum.Bytes())
+}
+
+// TestGoldenHpfgenLU reproduces `hpfgen -seed 1 -kernel lu -predict`:
+// the generated LU program (a CYCLIC(2) block-cyclic mapping) and its
+// prediction profile. Pins both the generator's byte-level output and
+// the predictor's numbers for a corpus-generated program.
+func TestGoldenHpfgenLU(t *testing.T) {
+	p := corpus.GenerateFamily(1, corpus.LU, 1)[0]
+	checkGolden(t, "hpfgen_lu.hpf", []byte(p.Source))
+
+	prog, err := hpfperf.Compile(p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := hpfperf.Predict(prog, &hpfperf.PredictOptions{MaskDensity: p.MaskDensity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "hpfgen_lu_profile.txt", []byte(pred.Profile()))
 }
 
 // TestGoldenAutotuneLaplace reproduces `hpfpc -auto 4 testdata/laplace.hpf`.

@@ -28,6 +28,7 @@ import (
 	"hpfperf/internal/autotune"
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/core"
+	"hpfperf/internal/corpus"
 	"hpfperf/internal/exec"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
@@ -632,6 +633,67 @@ func Suite() []SuiteProgram {
 
 // Machines lists the available target system abstractions.
 func Machines() []string { return sysmodel.MachineNames() }
+
+// ---------------------------------------------------------------------------
+// Kernel corpus generation and differential validation
+
+// CorpusProgram is one generated benchmark-kernel program.
+type CorpusProgram = corpus.Program
+
+// CorpusReport is the validation report of a corpus run: per-program
+// rows in the HPL metrics shape (N/NB/P/Q/time/Gflops + validity) plus
+// per-family aggregates.
+type CorpusReport = corpus.Report
+
+// CorpusOptions configure GenerateCorpus / ValidateCorpus.
+type CorpusOptions struct {
+	// Kernel restricts generation to one family ("stencil1d",
+	// "stencil2d", "relax", "lu", "fft", "nbody"); "" round-robins all.
+	Kernel string
+	// CheckpointPath enables durable progress: a killed validation run
+	// resumes from this file with byte-identical results.
+	CheckpointPath string
+}
+
+// GenerateCorpus deterministically generates n benchmark-kernel
+// programs from seed: stencils, relaxation sweeps, blocked LU on
+// block-cyclic columns, FFT butterflies and systolic N-body, composed
+// from parameterized templates over the accepted HPF subset. The same
+// (seed, options) always yields the same programs.
+func GenerateCorpus(seed int64, n int, opts *CorpusOptions) ([]CorpusProgram, error) {
+	if opts != nil && opts.Kernel != "" {
+		fam, err := corpus.FamilyByName(opts.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		return corpus.GenerateFamily(seed, fam, n), nil
+	}
+	return corpus.Generate(seed, n), nil
+}
+
+// ValidateCorpus generates a corpus and drives every program through
+// the differential validation harness: compile + lint clean at error
+// severity, bit-identical tree-walking vs closure-compiled prediction
+// reports, and prediction within the per-kernel relative-error bound of
+// the deterministic simulated execution.
+func ValidateCorpus(ctx context.Context, seed int64, n int, opts *CorpusOptions) (*CorpusReport, error) {
+	progs, err := GenerateCorpus(seed, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	vopts := corpus.Options{}
+	if opts != nil && opts.CheckpointPath != "" {
+		kernel := ""
+		if opts != nil {
+			kernel = opts.Kernel
+		}
+		vopts.Checkpoint = &sweep.Checkpoint{
+			Path: opts.CheckpointPath,
+			Key:  fmt.Sprintf("hpfgen-seed%d-n%d-kernel%s", seed, n, kernel),
+		}
+	}
+	return corpus.Validate(ctx, progs, vopts)
+}
 
 // SuiteProgramByName returns the named suite program.
 func SuiteProgramByName(name string) (SuiteProgram, error) {

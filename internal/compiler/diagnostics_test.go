@@ -161,8 +161,8 @@ func TestDiagnostics(t *testing.T) {
 		},
 		{
 			"cyclic block size",
-			"PROGRAM p\nREAL A(32)\n!HPF$ PROCESSORS P(4)\n!HPF$ DISTRIBUTE A(CYCLIC(2)) ONTO P\nA(1) = 0.0\nEND",
-			"CYCLIC(n)",
+			"PROGRAM p\nREAL A(32)\n!HPF$ PROCESSORS P(4)\n!HPF$ DISTRIBUTE A(CYCLIC(0)) ONTO P\nA(1) = 0.0\nEND",
+			"CYCLIC block size",
 		},
 		{
 			"forall index conflict",

@@ -452,8 +452,15 @@ func (c *nestCtx) commForRead(sym *sem.Symbol, descs []accessDesc, pos token.Pos
 				}
 				nAffine++
 			case dist.Cyclic:
+				if ld.BlockSize() != dd.BlockSize() {
+					nBad++
+					continue
+				}
 				delta := (desc.off - dd.Lo) - (c.offOf[desc.idx] - ld.Lo)
-				if mod(delta, dd.NProc) != 0 {
+				// A CYCLIC(k) offset is alignment-preserving only when it
+				// spans whole rounds of k*NProc elements (k=1 reduces to
+				// the element-cyclic mod-NProc test).
+				if mod(delta, dd.NProc*dd.BlockSize()) != 0 {
 					shifts = append(shifts, shiftKey{array: sym.Name, dim: d, delta: delta})
 				}
 				nAffine++

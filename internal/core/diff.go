@@ -1,0 +1,80 @@
+package core
+
+import "fmt"
+
+// DiffReports compares two interpretation reports for exact — bit for
+// bit — equality and returns a description of the first divergence, or
+// "" when the reports are identical. The compiled prediction core
+// replays the tree-walker's accumulation sequence exactly, so float
+// comparisons here are strict equality with no tolerance; this is the
+// contract the differential equivalence suite and the corpus validation
+// harness both enforce.
+func DiffReports(tree, comp *Report) string {
+	if tree.Program != comp.Program {
+		return fmt.Sprintf("Program %q != %q", tree.Program, comp.Program)
+	}
+	if tree.Procs != comp.Procs {
+		return fmt.Sprintf("Procs %d != %d", tree.Procs, comp.Procs)
+	}
+	if tree.Total != comp.Total {
+		return fmt.Sprintf("Total %+v != %+v", tree.Total, comp.Total)
+	}
+	if len(tree.ByLine) != len(comp.ByLine) {
+		return fmt.Sprintf("ByLine sizes %d != %d", len(tree.ByLine), len(comp.ByLine))
+	}
+	for l, tm := range tree.ByLine {
+		cm, ok := comp.ByLine[l]
+		if !ok {
+			return fmt.Sprintf("ByLine[%d] missing from compiled", l)
+		}
+		if *tm != *cm {
+			return fmt.Sprintf("ByLine[%d] %+v != %+v", l, *tm, *cm)
+		}
+	}
+	if len(tree.Warnings) != len(comp.Warnings) {
+		return fmt.Sprintf("Warnings %q != %q", tree.Warnings, comp.Warnings)
+	}
+	for i := range tree.Warnings {
+		if tree.Warnings[i] != comp.Warnings[i] {
+			return fmt.Sprintf("Warnings[%d] %q != %q", i, tree.Warnings[i], comp.Warnings[i])
+		}
+	}
+	return diffSAAG(tree.SAAG, comp.SAAG)
+}
+
+// diffSAAG compares two interpreted abstraction graphs node by node and
+// communication record by communication record.
+func diffSAAG(tree, comp *SAAG) string {
+	var treeNodes, compNodes []*AAU
+	tree.Walk(func(a *AAU) { treeNodes = append(treeNodes, a) })
+	comp.Walk(func(a *AAU) { compNodes = append(compNodes, a) })
+	if len(treeNodes) != len(compNodes) {
+		return fmt.Sprintf("AAU count %d != %d", len(treeNodes), len(compNodes))
+	}
+	for i := range treeNodes {
+		tn, cn := treeNodes[i], compNodes[i]
+		if tn.ID != cn.ID || tn.Kind != cn.Kind || tn.Label != cn.Label ||
+			tn.Line != cn.Line || tn.ElseStart != cn.ElseStart || len(tn.Children) != len(cn.Children) {
+			return fmt.Sprintf("AAU %d structure: tree {id %d %s %q line %d} != compiled {id %d %s %q line %d}",
+				i, tn.ID, tn.Kind, tn.Label, tn.Line, cn.ID, cn.Kind, cn.Label, cn.Line)
+		}
+		if tn.Metrics != cn.Metrics {
+			return fmt.Sprintf("AAU %d (%s line %d) metrics %+v != %+v", tn.ID, tn.Kind, tn.Line, tn.Metrics, cn.Metrics)
+		}
+		if tn.ClockUS != cn.ClockUS {
+			return fmt.Sprintf("AAU %d (%s line %d) clock %v != %v", tn.ID, tn.Kind, tn.Line, tn.ClockUS, cn.ClockUS)
+		}
+	}
+	if len(tree.Table) != len(comp.Table) {
+		return fmt.Sprintf("comm table length %d != %d", len(tree.Table), len(comp.Table))
+	}
+	for i := range tree.Table {
+		tr, cr := tree.Table[i], comp.Table[i]
+		if tr.ID != cr.ID || tr.Kind != cr.Kind || tr.Array != cr.Array || tr.Dim != cr.Dim ||
+			tr.Line != cr.Line || tr.Consumer != cr.Consumer ||
+			tr.Bytes != cr.Bytes || tr.CostUS != cr.CostUS || tr.Count != cr.Count {
+			return fmt.Sprintf("comm rec %d: tree %+v != compiled %+v", i, *tr, *cr)
+		}
+	}
+	return ""
+}

@@ -841,7 +841,7 @@ func stripBytesMax(m *dist.ArrayMap, elemBytes, dim, delta int) int {
 			rows = dd.BlockSize()
 		}
 	case dist.Cyclic:
-		rows = dd.MaxLocalSize()
+		rows = dist.CyclicShiftRows(dd.MaxLocalSize(), dd.BlockSize(), delta)
 	}
 	vol := rows
 	for d, o := range m.Dims {

@@ -1,0 +1,541 @@
+// Package corpus generates seeded, deterministic HPF/Fortran 90D
+// benchmark-kernel programs and differentially validates them: every
+// generated program must compile, lint clean at error severity, produce
+// bit-identical reports from the tree-walking and closure-compiled
+// prediction engines, and predict within a per-kernel relative-error
+// bound of its simulated execution. The families are the classic
+// distributed-memory kernels the HPF literature is built on — 1-D and
+// 2-D stencils, relaxation sweeps, blocked LU, FFT butterflies, and
+// systolic N-body — composed from parameterized templates over the
+// accepted HPF subset (including CYCLIC(k) block-cyclic mappings).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Family names one kernel template family.
+type Family string
+
+// The six kernel families.
+const (
+	Stencil1D Family = "stencil1d" // 3/5-point 1-D stencil sweeps
+	Stencil2D Family = "stencil2d" // 5/9-point Laplace-style 2-D stencils
+	Relax     Family = "relax"     // Jacobi / red-black relaxation with residual
+	LU        Family = "lu"        // right-looking LU on (*,CYCLIC(k)) columns
+	FFT       Family = "fft"       // butterfly stages with literal CSHIFT strides
+	NBody     Family = "nbody"     // systolic force accumulation via CSHIFT
+)
+
+// Families returns the kernel families in generation (round-robin) order.
+func Families() []Family {
+	return []Family{Stencil1D, Stencil2D, Relax, LU, FFT, NBody}
+}
+
+// FamilyByName resolves a family name (case-insensitive), or "" == all.
+func FamilyByName(name string) (Family, error) {
+	for _, f := range Families() {
+		if strings.EqualFold(string(f), name) {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("corpus: unknown kernel family %q (have %v)", name, Families())
+}
+
+// ErrorBound is the per-family relative-error bound |pred-meas|/meas the
+// validation harness enforces, calibrated at roughly twice the worst
+// error observed over 1000-program sweeps against the deterministic
+// simulator. Uniform sweeps (N-body's fixed-shape systolic loop, FFT's
+// unrolled stages) interpret tightest; LU's triangular elimination and
+// red-black's masked sweeps carry the interpretation engine's midpoint
+// and mask-density approximations and need more headroom; 2-D stencils
+// add block-boundary communication the abstract model rounds hardest.
+func (f Family) ErrorBound() float64 {
+	switch f {
+	case Stencil1D:
+		return 0.10
+	case Stencil2D:
+		return 0.20
+	case Relax:
+		return 0.15
+	case LU:
+		return 0.15
+	case FFT:
+		return 0.08
+	case NBody:
+		return 0.05
+	}
+	return 0.25
+}
+
+// Params pins every degree of freedom of one generated program; the
+// rendered source is a pure function of Params, which is what makes a
+// corpus reproducible from (seed, index) alone.
+type Params struct {
+	Family  Family `json:"family"`
+	Seed    int64  `json:"seed"`
+	Index   int    `json:"index"`   // ordinal within the family
+	Variant int    `json:"variant"` // template variant (stencil order, mask flavor, shift stride)
+	N       int    `json:"N"`       // problem size (per dimension)
+	NB      int    `json:"NB"`      // CYCLIC(k)/BLOCK(n) chunk; 0 = format default
+	Steps   int    `json:"steps"`   // outer iteration count
+	Procs   int    `json:"procs"`   // total processors
+	GridP   int    `json:"grid_p"`  // processor grid extents (GridQ 0 for 1-D)
+	GridQ   int    `json:"grid_q"`
+	Dist    string `json:"dist"` // DISTRIBUTE format spec, e.g. "(*,CYCLIC(2))"
+	Name    string `json:"name"`
+}
+
+// MaskDensity is the FORALL mask truth density the prediction engine
+// should assume for this program: red-black relaxation updates half the
+// interior per sweep, everything else is unmasked.
+func (p Params) MaskDensity() float64 {
+	if p.Family == Relax && p.Variant == 1 {
+		return 0.5
+	}
+	return 1.0
+}
+
+// Flops returns the nominal floating-point operation count of the
+// kernel (HPL-style conventions: 2/3·N³+2·N² for LU, 5·N·log2 N for
+// FFT), used for the Gflops column of the metrics report.
+func (p Params) Flops() float64 {
+	n, s := float64(p.N), float64(p.Steps)
+	switch p.Family {
+	case Stencil1D:
+		pts := 3.0
+		if p.Variant == 1 {
+			pts = 5
+		}
+		return 2 * pts * (n - 2) * s
+	case Stencil2D:
+		pts := 5.0
+		if p.Variant == 1 {
+			pts = 9
+		}
+		return 2 * pts * (n - 2) * (n - 2) * s
+	case Relax:
+		return 6 * (n - 2) * s
+	case LU:
+		return 2.0/3.0*n*n*n + 2*n*n
+	case FFT:
+		stages := 0.0
+		for m := 1; m < p.N; m *= 2 {
+			stages++
+		}
+		return 5 * n * stages
+	case NBody:
+		return 9 * n * s
+	}
+	return 0
+}
+
+// Program is one generated kernel with its rendered source.
+type Program struct {
+	Params
+	Source string `json:"source"`
+}
+
+// splitmix64 is the per-program seed mixer: one 64-bit avalanche step,
+// so program (seed, family, index) is independent of how many programs
+// are generated around it.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func familyTag(f Family) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(f); i++ {
+		h = (h ^ uint64(f[i])) * 1099511628211
+	}
+	return h
+}
+
+// programRNG derives the deterministic RNG of program (seed, family, index).
+func programRNG(seed int64, f Family, index int) *rand.Rand {
+	mix := splitmix64(uint64(seed) ^ familyTag(f) ^ splitmix64(uint64(index)))
+	return rand.New(rand.NewSource(int64(mix & 0x7fffffffffffffff)))
+}
+
+// Generate produces n distinct programs, round-robin across the six
+// families, deterministically from seed: program i is always identical
+// for a given seed regardless of n.
+func Generate(seed int64, n int) []Program {
+	fams := Families()
+	out := make([]Program, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, GenerateOne(seed, fams[i%len(fams)], i/len(fams)))
+	}
+	return out
+}
+
+// GenerateFamily produces the first n programs of one family.
+func GenerateFamily(seed int64, f Family, n int) []Program {
+	out := make([]Program, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, GenerateOne(seed, f, i))
+	}
+	return out
+}
+
+// GenerateOne renders program (seed, family, index).
+func GenerateOne(seed int64, f Family, index int) Program {
+	rng := programRNG(seed, f, index)
+	p := Params{Family: f, Seed: seed, Index: index}
+	p.Name = fmt.Sprintf("%s-%04d", f, index)
+	switch f {
+	case Stencil1D:
+		drawStencil1D(&p, rng)
+	case Stencil2D:
+		drawStencil2D(&p, rng)
+	case Relax:
+		drawRelax(&p, rng)
+	case LU:
+		drawLU(&p, rng)
+	case FFT:
+		drawFFT(&p, rng)
+	case NBody:
+		drawNBody(&p, rng)
+	default:
+		panic(fmt.Sprintf("corpus: unknown family %q", f))
+	}
+	return Program{Params: p, Source: Render(p)}
+}
+
+// pick returns a random element of xs.
+func pick[T any](rng *rand.Rand, xs ...T) T { return xs[rng.Intn(len(xs))] }
+
+// coef derives a small positive coefficient from the variant stream;
+// rendered with %g these stay short and byte-stable.
+func coef(rng *rand.Rand) float64 { return float64(1+rng.Intn(9)) / 16 }
+
+// oneDimDist draws a 1-D distribution format over procs processors of a
+// dimension with extent elements, setting NB for chunked formats.
+func oneDimDist(p *Params, rng *rand.Rand, extent int) string {
+	switch rng.Intn(4) {
+	case 0, 1:
+		return "(BLOCK)"
+	case 2:
+		return "(CYCLIC)"
+	default:
+		p.NB = pick(rng, 2, 3, 4, 8)
+		return fmt.Sprintf("(CYCLIC(%d))", p.NB)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Family parameter draws
+
+func drawStencil1D(p *Params, rng *rand.Rand) {
+	p.Variant = rng.Intn(2) // 0: 3-point, 1: 5-point
+	p.N = pick(rng, 64, 128, 256, 512)
+	p.Steps = pick(rng, 2, 4, 6, 8)
+	p.Procs = pick(rng, 2, 4, 8)
+	p.GridP = p.Procs
+	p.Dist = oneDimDist(p, rng, p.N)
+}
+
+func drawStencil2D(p *Params, rng *rand.Rand) {
+	p.Variant = rng.Intn(2) // 0: 5-point, 1: 9-point
+	p.N = pick(rng, 12, 16, 24, 32)
+	p.Steps = pick(rng, 2, 3, 4)
+	p.Procs = pick(rng, 2, 4, 8)
+	switch rng.Intn(4) {
+	case 0:
+		p.GridP, p.GridQ = grid2D(p.Procs)
+		p.Dist = "(BLOCK,BLOCK)"
+	case 1:
+		p.GridP = p.Procs
+		p.Dist = "(BLOCK,*)"
+	case 2:
+		p.GridP = p.Procs
+		p.Dist = "(*,BLOCK)"
+	default:
+		p.GridP = p.Procs
+		p.NB = pick(rng, 2, 3, 4)
+		p.Dist = fmt.Sprintf("(CYCLIC(%d),*)", p.NB)
+	}
+}
+
+func drawRelax(p *Params, rng *rand.Rand) {
+	p.Variant = rng.Intn(2) // 0: weighted Jacobi, 1: red-black (masked)
+	p.N = pick(rng, 64, 128, 256)
+	p.Steps = pick(rng, 4, 8, 12)
+	p.Procs = pick(rng, 2, 4, 8)
+	p.GridP = p.Procs
+	p.Dist = oneDimDist(p, rng, p.N)
+}
+
+func drawLU(p *Params, rng *rand.Rand) {
+	p.N = pick(rng, 8, 12, 16, 20)
+	p.Steps = p.N - 1 // elimination steps; fixed by N
+	p.Procs = pick(rng, 2, 4)
+	p.GridP = p.Procs
+	if k := pick(rng, 1, 1, 2, 3, 4); k > 1 {
+		p.NB = k
+		p.Dist = fmt.Sprintf("(*,CYCLIC(%d))", k)
+	} else {
+		p.Dist = "(*,CYCLIC)"
+	}
+}
+
+func drawFFT(p *Params, rng *rand.Rand) {
+	p.N = pick(rng, 32, 64, 128, 256)
+	for m := 1; m < p.N; m *= 2 {
+		p.Steps++ // log2 N butterfly stages
+	}
+	p.Procs = pick(rng, 2, 4, 8)
+	p.GridP = p.Procs
+	p.Dist = oneDimDist(p, rng, p.N)
+}
+
+func drawNBody(p *Params, rng *rand.Rand) {
+	p.Variant = pick(rng, 1, 1, 2, 3) // systolic CSHIFT stride
+	p.N = pick(rng, 16, 32, 64)
+	p.Steps = pick(rng, 4, 6, 8, 10)
+	if p.Steps > p.N-1 {
+		p.Steps = p.N - 1
+	}
+	p.Procs = pick(rng, 2, 4, 8)
+	p.GridP = p.Procs
+	p.Dist = "(BLOCK)"
+}
+
+// ---------------------------------------------------------------------------
+// Template rendering
+
+// Render produces the HPF/Fortran 90D source of a parameter set. It is
+// a pure function: same Params, same bytes.
+func Render(p Params) string {
+	rng := programRNG(p.Seed, p.Family, p.Index)
+	// Re-draw the structural parameters to advance the stream to the same
+	// point drawXxx left it, then burn coefficients off the same stream so
+	// Render(p) matches the source GenerateOne built.
+	var scratch Params
+	scratch.Family = p.Family
+	switch p.Family {
+	case Stencil1D:
+		drawStencil1D(&scratch, rng)
+		return renderStencil1D(p, rng)
+	case Stencil2D:
+		drawStencil2D(&scratch, rng)
+		return renderStencil2D(p, rng)
+	case Relax:
+		drawRelax(&scratch, rng)
+		return renderRelax(p, rng)
+	case LU:
+		drawLU(&scratch, rng)
+		return renderLU(p, rng)
+	case FFT:
+		drawFFT(&scratch, rng)
+		return renderFFT(p, rng)
+	case NBody:
+		drawNBody(&scratch, rng)
+		return renderNBody(p, rng)
+	}
+	panic(fmt.Sprintf("corpus: unknown family %q", p.Family))
+}
+
+func grid2D(procs int) (int, int) {
+	a := 1
+	for f := 2; f*f <= procs; f++ {
+		if procs%f == 0 {
+			a = f
+		}
+	}
+	return a, procs / a
+}
+
+func (p Params) gridSpec() string {
+	if p.GridQ > 0 {
+		return fmt.Sprintf("(%d,%d)", p.GridP, p.GridQ)
+	}
+	return fmt.Sprintf("(%d)", p.GridP)
+}
+
+func (p Params) unitName() string {
+	return strings.ReplaceAll(p.Name, "-", "_")
+}
+
+func renderStencil1D(p Params, rng *rand.Rand) string {
+	c1, c2, c3 := coef(rng), coef(rng), coef(rng)
+	amp := coef(rng)
+	var body string
+	if p.Variant == 1 {
+		c4, c5 := coef(rng), coef(rng)
+		body = fmt.Sprintf("  FORALL (I=3:N-2) B(I) = %g*A(I-2) + %g*A(I-1) + %g*A(I) + %g*A(I+1) + %g*A(I+2)\n"+
+			"  FORALL (I=3:N-2) A(I) = B(I)", c1, c2, c3, c4, c5)
+	} else {
+		body = fmt.Sprintf("  FORALL (I=2:N-1) B(I) = %g*A(I-1) + %g*A(I) + %g*A(I+1)\n"+
+			"  FORALL (I=2:N-1) A(I) = B(I)", c1, c2, c3)
+	}
+	return fmt.Sprintf(`PROGRAM %s
+PARAMETER (N = %d, STEPS = %d)
+REAL A(N), B(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN A(I) WITH TPL(I)
+!HPF$ ALIGN B(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL%s ONTO P
+FORALL (I=1:N) A(I) = 1.0 + %g*SIN(0.1*REAL(I))
+FORALL (I=1:N) B(I) = 0.0
+DO IT = 1, STEPS
+%s
+END DO
+CHK = SUM(A)
+PRINT *, CHK
+END
+`, p.unitName(), p.N, p.Steps, p.gridSpec(), p.Dist, amp, body)
+}
+
+func renderStencil2D(p Params, rng *rand.Rand) string {
+	w := coef(rng)
+	hot, cold := 50+float64(rng.Intn(100)), float64(rng.Intn(30))
+	var update string
+	if p.Variant == 1 {
+		wd := coef(rng) / 4
+		update = fmt.Sprintf("  FORALL (I=2:N-1, J=2:N-1) V(I,J) = %g*(U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1)) + %g*(U(I-1,J-1) + U(I-1,J+1) + U(I+1,J-1) + U(I+1,J+1))", w/4, wd)
+	} else {
+		update = fmt.Sprintf("  FORALL (I=2:N-1, J=2:N-1) V(I,J) = %g*(U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))", w/4)
+	}
+	return fmt.Sprintf(`PROGRAM %s
+PARAMETER (N = %d, STEPS = %d)
+REAL U(N,N), V(N,N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N,N)
+!HPF$ ALIGN U(I,J) WITH TPL(I,J)
+!HPF$ ALIGN V(I,J) WITH TPL(I,J)
+!HPF$ DISTRIBUTE TPL%s ONTO P
+FORALL (I=1:N, J=1:N) U(I,J) = 0.01*REAL(I+J)
+FORALL (J=1:N) U(1,J) = %0.1f
+FORALL (J=1:N) U(N,J) = %0.1f
+DO IT = 1, STEPS
+%s
+  FORALL (I=2:N-1, J=2:N-1) U(I,J) = V(I,J)
+END DO
+CHK = SUM(U)
+PRINT *, CHK
+END
+`, p.unitName(), p.N, p.Steps, p.gridSpec(), p.Dist, hot, cold, update)
+}
+
+func renderRelax(p Params, rng *rand.Rand) string {
+	w := 0.5 + coef(rng)
+	amp := coef(rng)
+	var sweep string
+	if p.Variant == 1 {
+		// Red-black: two half-density masked sweeps per step.
+		sweep = "  FORALL (I=2:N-1, MOD(I,2) .EQ. 0) U(I) = U(I) + W*(0.5*(U(I-1) + U(I+1)) - U(I))\n" +
+			"  FORALL (I=2:N-1, MOD(I,2) .EQ. 1) U(I) = U(I) + W*(0.5*(U(I-1) + U(I+1)) - U(I))"
+	} else {
+		sweep = "  FORALL (I=2:N-1) R(I) = 0.5*(U(I-1) + U(I+1)) - U(I)\n" +
+			"  FORALL (I=2:N-1) U(I) = U(I) + W*R(I)"
+	}
+	return fmt.Sprintf(`PROGRAM %s
+PARAMETER (N = %d, STEPS = %d, W = %g)
+REAL U(N), R(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN U(I) WITH TPL(I)
+!HPF$ ALIGN R(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL%s ONTO P
+FORALL (I=1:N) U(I) = %g*REAL(I)
+FORALL (I=1:N) R(I) = 0.0
+DO IT = 1, STEPS
+%s
+END DO
+RES = SUM(R)
+UM = MAXVAL(U)
+CHK = RES + UM
+PRINT *, CHK
+END
+`, p.unitName(), p.N, p.Steps, w, p.gridSpec(), p.Dist, amp, sweep)
+}
+
+func renderLU(p Params, rng *rand.Rand) string {
+	shift := coef(rng)
+	return fmt.Sprintf(`PROGRAM %s
+PARAMETER (N = %d)
+REAL A(N,N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N,N)
+!HPF$ ALIGN A(I,J) WITH TPL(I,J)
+!HPF$ DISTRIBUTE TPL%s ONTO P
+FORALL (I=1:N, J=1:N) A(I,J) = 1.0/(REAL(I+J) + %g)
+FORALL (I=1:N, J=1:N, I .EQ. J) A(I,J) = A(I,J) + REAL(N)
+DO K = 1, N-1
+  FORALL (I=K+1:N) A(I,K) = A(I,K)/A(K,K)
+  FORALL (I=K+1:N, J=K+1:N) A(I,J) = A(I,J) - A(I,K)*A(K,J)
+END DO
+CHK = SUM(A)
+PRINT *, CHK
+END
+`, p.unitName(), p.N, p.gridSpec(), p.Dist, shift)
+}
+
+func renderFFT(p Params, rng *rand.Rand) string {
+	wr, wi := coef(rng), coef(rng)
+	var stages strings.Builder
+	for sh := 1; sh < p.N; sh *= 2 {
+		// One butterfly stage per power-of-two stride, textually unrolled
+		// so every CSHIFT amount is a resolvable literal.
+		fmt.Fprintf(&stages, "TR = CSHIFT(XR, %d)\n", sh)
+		fmt.Fprintf(&stages, "TI = CSHIFT(XI, %d)\n", sh)
+		fmt.Fprintf(&stages, "FORALL (I=1:N) XR(I) = %g*XR(I) + %g*TR(I) - %g*TI(I)\n", wr, wi, wi/2)
+		fmt.Fprintf(&stages, "FORALL (I=1:N) XI(I) = %g*XI(I) + %g*TI(I) + %g*TR(I)\n", wr, wi, wi/2)
+	}
+	return fmt.Sprintf(`PROGRAM %s
+PARAMETER (N = %d)
+REAL XR(N), XI(N), TR(N), TI(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN XR(I) WITH TPL(I)
+!HPF$ ALIGN XI(I) WITH TPL(I)
+!HPF$ ALIGN TR(I) WITH TPL(I)
+!HPF$ ALIGN TI(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL%s ONTO P
+FORALL (I=1:N) XR(I) = COS(0.05*REAL(I))
+FORALL (I=1:N) XI(I) = SIN(0.05*REAL(I))
+%sC1 = SUM(XR)
+C2 = SUM(XI)
+CHK = C1 + C2
+PRINT *, CHK
+END
+`, p.unitName(), p.N, p.gridSpec(), p.Dist, stages.String())
+}
+
+func renderNBody(p Params, rng *rand.Rand) string {
+	g := 0.5 + coef(rng)
+	eps := 0.01
+	amp := coef(rng)
+	return fmt.Sprintf(`PROGRAM %s
+PARAMETER (N = %d, STEPS = %d, G = %g, EPS = %g)
+REAL X(N), FM(N), F(N), XT(N), MT(N)
+!HPF$ PROCESSORS P%s
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN X(I) WITH TPL(I)
+!HPF$ ALIGN FM(I) WITH TPL(I)
+!HPF$ ALIGN F(I) WITH TPL(I)
+!HPF$ ALIGN XT(I) WITH TPL(I)
+!HPF$ ALIGN MT(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL%s ONTO P
+FORALL (I=1:N) X(I) = REAL(I) + %g*SIN(REAL(I))
+FORALL (I=1:N) FM(I) = 1.0 + %g*COS(REAL(I))
+FORALL (I=1:N) F(I) = 0.0
+XT = X
+MT = FM
+DO K = 1, STEPS
+  XT = CSHIFT(XT, %d)
+  MT = CSHIFT(MT, %d)
+  FORALL (I=1:N) F(I) = F(I) + G*FM(I)*MT(I)/((X(I) - XT(I))**2 + EPS)
+END DO
+CHK = SUM(F)
+PRINT *, CHK
+END
+`, p.unitName(), p.N, p.Steps, g, eps, p.gridSpec(), p.Dist, amp, amp/2, p.Variant, p.Variant)
+}

@@ -1,0 +1,253 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"hpfperf/internal/sweep"
+)
+
+// TestGenerateDeterministic pins the generator's reproducibility
+// contract: the same seed yields byte-identical programs, and program i
+// does not depend on how many programs are generated around it.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 120)
+	b := Generate(42, 120)
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Params != b[i].Params {
+			t.Fatalf("program %d differs between identical Generate calls", i)
+		}
+	}
+	prefix := Generate(42, 30)
+	for i := range prefix {
+		if prefix[i].Source != a[i].Source {
+			t.Fatalf("program %d depends on the generation count", i)
+		}
+	}
+	other := Generate(43, 30)
+	same := 0
+	for i := range other {
+		if other[i].Source == prefix[i].Source {
+			same++
+		}
+	}
+	if same == len(other) {
+		t.Fatal("seed 42 and 43 generated identical corpora — seed is ignored")
+	}
+}
+
+// TestGenerateDistinctAcrossFamilies asserts a 200-program corpus is
+// 200 distinct programs spanning all six families.
+func TestGenerateDistinctAcrossFamilies(t *testing.T) {
+	progs := Generate(42, 200)
+	seen := make(map[string]string, len(progs))
+	fams := make(map[Family]int)
+	for _, p := range progs {
+		if prev, dup := seen[p.Source]; dup {
+			t.Fatalf("%s duplicates %s", p.Name, prev)
+		}
+		seen[p.Source] = p.Name
+		fams[p.Family]++
+	}
+	if len(fams) < 5 {
+		t.Fatalf("only %d kernel families represented: %v", len(fams), fams)
+	}
+}
+
+// TestRenderIsPure asserts the rendered source is a pure function of
+// Params: re-rendering a generated program reproduces its bytes.
+func TestRenderIsPure(t *testing.T) {
+	for _, p := range Generate(9, 36) {
+		if got := Render(p.Params); got != p.Source {
+			t.Fatalf("%s: Render(Params) differs from generated source", p.Name)
+		}
+	}
+}
+
+// TestValidateCorpus200 is the acceptance sweep: 200 programs from seed
+// 42 across all families must pass every differential gate — compile +
+// lint, tree-vs-compiled byte equality, and the per-family
+// prediction-vs-execution error bounds.
+func TestValidateCorpus200(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 36
+	}
+	progs := Generate(42, n)
+	rep, err := Validate(context.Background(), progs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count != n {
+		t.Fatalf("report covers %d of %d programs", rep.Count, n)
+	}
+	for _, row := range rep.Rows {
+		if !row.Valid {
+			t.Errorf("%s (%s N=%d NB=%d): relerr %.2f%% bound %.0f%%: %s",
+				row.Name, row.Kernel, row.N, row.NB, row.RelErr*100, row.Bound*100, row.Err)
+		}
+	}
+	if !rep.Pass() {
+		t.Fatalf("%d of %d programs failed validation", rep.Failed, rep.Count)
+	}
+}
+
+// TestCyclicKEndToEnd asserts the corpus exercises CYCLIC(k) block-
+// cyclic mappings end to end: at least one generated program carries a
+// CYCLIC(k>1) distribution and both predicts and executes within bounds.
+func TestCyclicKEndToEnd(t *testing.T) {
+	found := false
+	for _, p := range Generate(42, 36) {
+		if p.NB <= 1 {
+			continue
+		}
+		found = true
+		v := ValidateOne(context.Background(), sweep.Default(), p)
+		if !v.Pass() {
+			t.Fatalf("%s (dist %s): %s (relerr %.2f%% bound %.0f%%)",
+				p.Name, p.Dist, v.Err, v.RelErr*100, v.Bound*100)
+		}
+		if v.PredUS <= 0 || v.MeasUS <= 0 {
+			t.Fatalf("%s: degenerate times pred=%v meas=%v", p.Name, v.PredUS, v.MeasUS)
+		}
+	}
+	if !found {
+		t.Fatal("no CYCLIC(k>1) program in the first 36 of seed 42")
+	}
+}
+
+// TestValidateReportsBrokenProgram asserts the harness reports (rather
+// than drops) a program that fails a gate.
+func TestValidateReportsBrokenProgram(t *testing.T) {
+	bad := Program{
+		Params: Params{Family: Stencil1D, Name: "broken-0000", N: 8, Procs: 2, GridP: 2},
+		Source: "PROGRAM broken\nX = )\nEND\n",
+	}
+	rep, err := Validate(context.Background(), []Program{bad}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() || rep.Failed != 1 {
+		t.Fatalf("broken program not reported: %+v", rep.Rows)
+	}
+	if rep.Rows[0].Err == "" {
+		t.Fatal("failure row carries no error text")
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the durability contract: a
+// corpus run resumed from a checkpoint holding the first k verdicts
+// must emit a byte-identical validation report to an uninterrupted run,
+// and a completed run must remove its checkpoint file.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	progs := Generate(11, 18)
+	full, err := Validate(context.Background(), progs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSON := full.JSON()
+
+	// Seed a checkpoint file with the first 7 verdicts, exactly as an
+	// interrupted run would have left it (sweep's on-disk format).
+	verdicts := make([]Verdict, 0, 7)
+	eng := sweep.Default()
+	for i := 0; i < 7; i++ {
+		verdicts = append(verdicts, ValidateOne(context.Background(), eng, progs[i]))
+	}
+	done := make(map[string]json.RawMessage, len(verdicts))
+	for i, v := range verdicts {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done[strconv.Itoa(i)] = raw
+	}
+	ckPath := filepath.Join(t.TempDir(), "corpus.ckpt")
+	ck := &sweep.Checkpoint{Path: ckPath, Key: "corpus-resume-test"}
+	onDisk, err := json.Marshal(map[string]any{"key": ck.Key, "n": len(progs), "done": done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckPath, onDisk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Validate(context.Background(), progs, Options{Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed.JSON(), fullJSON) {
+		t.Fatal("resumed report differs from uninterrupted report")
+	}
+	if _, err := os.Stat(ckPath); !os.IsNotExist(err) {
+		t.Fatalf("completed run left checkpoint file behind (stat err %v)", err)
+	}
+
+	// A cold run with a checkpoint path but no file must also agree.
+	cold, err := Validate(context.Background(), progs, Options{
+		Checkpoint: &sweep.Checkpoint{Path: filepath.Join(t.TempDir(), "cold.ckpt"), Key: "corpus-resume-test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.JSON(), fullJSON) {
+		t.Fatal("checkpointed cold run differs from plain run")
+	}
+}
+
+// TestFamilyByName covers the CLI's family resolution.
+func TestFamilyByName(t *testing.T) {
+	for _, f := range Families() {
+		got, err := FamilyByName(string(f))
+		if err != nil || got != f {
+			t.Fatalf("FamilyByName(%q) = %v, %v", f, got, err)
+		}
+	}
+	if got, err := FamilyByName("LU"); err != nil || got != LU {
+		t.Fatalf("case-insensitive lookup failed: %v, %v", got, err)
+	}
+	if _, err := FamilyByName("nope"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestReportShape pins the HPL metrics shape of the JSON report: every
+// row carries N/NB/P/Q/time/Gflops and a validity verdict.
+func TestReportShape(t *testing.T) {
+	progs := Generate(42, 6)
+	rep, err := Validate(context.Background(), progs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(rep.JSON(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Rows) != 6 {
+		t.Fatalf("decoded %d rows, want 6", len(decoded.Rows))
+	}
+	for _, row := range decoded.Rows {
+		for _, key := range []string{"name", "kernel", "N", "NB", "P", "Q", "time", "Gflops", "pred_time", "rel_err", "valid"} {
+			if _, ok := row[key]; !ok {
+				t.Fatalf("report row missing %q: %v", key, row)
+			}
+		}
+		if row["time"].(float64) <= 0 || row["Gflops"].(float64) <= 0 {
+			t.Fatalf("degenerate metrics row: %v", row)
+		}
+		if p, q := row["P"].(float64), row["Q"].(float64); p < 1 || q < 1 {
+			t.Fatalf("degenerate grid in row: %v", row)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Println(rep.Text())
+	}
+}

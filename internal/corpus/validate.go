@@ -1,0 +1,138 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+
+	"hpfperf/internal/analysis"
+	"hpfperf/internal/compiler"
+	"hpfperf/internal/core"
+	"hpfperf/internal/sweep"
+)
+
+// Verdict is the differential-validation outcome of one generated
+// program. It round-trips through encoding/json unchanged (all fields
+// are integers, shortest-form floats, strings and bools), which is what
+// lets checkpointed corpus runs resume byte-identically.
+type Verdict struct {
+	Params
+	PredUS float64 `json:"pred_us"` // interpreted prediction
+	MeasUS float64 `json:"meas_us"` // deterministic simulated execution
+	RelErr float64 `json:"rel_err"` // |pred-meas|/meas
+	Bound  float64 `json:"bound"`   // family error bound
+	Err    string  `json:"err,omitempty"`
+}
+
+// Pass reports whether the program cleared every validation gate.
+func (v Verdict) Pass() bool { return v.Err == "" && v.RelErr <= v.Bound }
+
+// Options configure a validation run.
+type Options struct {
+	// Engine is the sweep engine to run on (nil = the shared default:
+	// compile results and deterministic measurements are cached).
+	Engine *sweep.Engine
+	// Checkpoint enables durable progress: a killed run resumes from the
+	// completed programs and still produces a byte-identical report.
+	Checkpoint *sweep.Checkpoint
+}
+
+// measureSpec pins the deterministic simulated execution every corpus
+// program is validated against: one run, no load perturbation, no timer
+// quantization — (program, spec) fully determines the measured time.
+func measureSpec() sweep.MeasureSpec {
+	spec := sweep.DefaultMeasureSpec(1, 0)
+	spec.TimerResUS = 0
+	return spec
+}
+
+// interpOptions are the prediction options for one program: engine
+// defaults plus the template's declared mask density.
+func interpOptions(p Params) core.Options {
+	opts := core.DefaultOptions()
+	opts.MaskDensity = p.MaskDensity()
+	return opts
+}
+
+// ValidateOne drives one generated program through the differential
+// gates: (1) compile and lint clean at error severity, (2) bit-identical
+// reports from the tree-walking and closure-compiled prediction engines,
+// (3) prediction within the family's relative-error bound of the
+// simulated execution. The returned Verdict carries the numbers either
+// way; gate failures land in Err.
+func ValidateOne(ctx context.Context, eng *sweep.Engine, pr Program) Verdict {
+	v := Verdict{Params: pr.Params, Bound: pr.Family.ErrorBound()}
+
+	prog, err := eng.CompileContext(ctx, pr.Source, compiler.Options{})
+	if err != nil {
+		v.Err = fmt.Sprintf("compile: %v", err)
+		return v
+	}
+	for _, d := range analysis.Analyze(prog) {
+		if d.Severity >= analysis.SevError {
+			v.Err = fmt.Sprintf("lint: %s", d.String())
+			return v
+		}
+	}
+
+	opts := interpOptions(pr.Params)
+	itTree, err := core.NewContext(ctx, prog, nil, opts)
+	if err != nil {
+		v.Err = fmt.Sprintf("interp: %v", err)
+		return v
+	}
+	treeRep, err := itTree.InterpretTree()
+	if err != nil {
+		v.Err = fmt.Sprintf("interp(tree): %v", err)
+		return v
+	}
+	itComp, err := core.NewContext(ctx, prog, nil, opts)
+	if err != nil {
+		v.Err = fmt.Sprintf("interp: %v", err)
+		return v
+	}
+	compRep, err := itComp.Interpret()
+	if err != nil {
+		v.Err = fmt.Sprintf("interp(compiled): %v", err)
+		return v
+	}
+	if d := core.DiffReports(treeRep, compRep); d != "" {
+		v.Err = fmt.Sprintf("tree/compiled divergence: %s", d)
+		return v
+	}
+	v.PredUS = compRep.TotalUS()
+
+	res, err := eng.MeasureContext(ctx, pr.Source, compiler.Options{}, measureSpec())
+	if err != nil {
+		v.Err = fmt.Sprintf("execute: %v", err)
+		return v
+	}
+	v.MeasUS = res.MeasuredUS
+	if v.MeasUS > 0 {
+		v.RelErr = (v.PredUS - v.MeasUS) / v.MeasUS
+		if v.RelErr < 0 {
+			v.RelErr = -v.RelErr
+		}
+	} else {
+		v.Err = "execute: zero measured time"
+	}
+	return v
+}
+
+// Validate runs the differential harness over a generated corpus and
+// aggregates the verdicts into a metrics report. Programs are validated
+// concurrently on the sweep engine; with a Checkpoint, completed
+// programs survive a kill and a resumed run reproduces the exact bytes
+// of an uninterrupted one (every gate is deterministic).
+func Validate(ctx context.Context, progs []Program, opts Options) (*Report, error) {
+	eng := opts.Engine
+	if eng == nil {
+		eng = sweep.Default()
+	}
+	verdicts, err := sweep.MapCheckpointCtx(ctx, eng, len(progs), opts.Checkpoint, func(i int) (Verdict, error) {
+		return ValidateOne(ctx, eng, progs[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return BuildReport(verdicts), nil
+}

@@ -80,7 +80,7 @@ type Kind int
 const (
 	Collapsed Kind = iota // '*': whole dimension on every owning processor
 	Block                 // BLOCK: contiguous chunks of size ceil(N/P)
-	Cyclic                // CYCLIC: round-robin single elements
+	Cyclic                // CYCLIC / CYCLIC(k): round-robin chunks of k elements (k=1 default)
 )
 
 func (k Kind) String() string {
@@ -105,8 +105,10 @@ type DimDist struct {
 	Lo, Hi  int // global index bounds (inclusive)
 	ProcDim int // grid dimension this maps to; -1 for Collapsed
 	NProc   int // extent of that grid dimension;  1 for Collapsed
-	// Blk is an explicit BLOCK(n) chunk size; 0 selects the default
-	// ceil(extent/nproc). Must satisfy Blk*NProc >= extent.
+	// Blk is an explicit chunk size. For Block it is the BLOCK(n) size
+	// (0 selects the default ceil(extent/nproc); otherwise Blk*NProc >=
+	// extent must hold). For Cyclic it is the CYCLIC(k) block-cyclic
+	// chunk (0 or 1 is the default element-cyclic round-robin).
 	Blk int
 }
 
@@ -114,8 +116,8 @@ type DimDist struct {
 func (d DimDist) Extent() int { return d.Hi - d.Lo + 1 }
 
 // BlockSize returns the per-processor chunk size for Block distributions
-// (ceil(extent/nproc)); it is the full extent for Collapsed and 1-ish for
-// Cyclic (where it is not meaningful and returns 1).
+// (ceil(extent/nproc)); it is the full extent for Collapsed and the
+// CYCLIC(k) round-robin chunk for Cyclic (1 for plain element-cyclic).
 func (d DimDist) BlockSize() int {
 	switch d.Kind {
 	case Collapsed:
@@ -126,6 +128,9 @@ func (d DimDist) BlockSize() int {
 		}
 		return ceilDiv(d.Extent(), d.NProc)
 	default:
+		if d.Blk > 1 {
+			return d.Blk
+		}
 		return 1
 	}
 }
@@ -140,7 +145,7 @@ func (d DimDist) Owner(g int) int {
 	case Block:
 		return (g - d.Lo) / d.BlockSize()
 	case Cyclic:
-		return (g - d.Lo) % d.NProc
+		return ((g - d.Lo) / d.BlockSize()) % d.NProc
 	}
 	panic("dist: bad kind")
 }
@@ -154,7 +159,9 @@ func (d DimDist) ToLocal(g int) int {
 	case Block:
 		return (g - d.Lo) % d.BlockSize()
 	case Cyclic:
-		return (g - d.Lo) / d.NProc
+		b := d.BlockSize()
+		x := g - d.Lo
+		return (x/(b*d.NProc))*b + x%b
 	}
 	panic("dist: bad kind")
 }
@@ -168,7 +175,8 @@ func (d DimDist) ToGlobal(p, l int) int {
 	case Block:
 		return d.Lo + p*d.BlockSize() + l
 	case Cyclic:
-		return d.Lo + l*d.NProc + p
+		b := d.BlockSize()
+		return d.Lo + (l/b)*(b*d.NProc) + p*b + l%b
 	}
 	panic("dist: bad kind")
 }
@@ -191,14 +199,28 @@ func (d DimDist) LocalSize(p int) int {
 		}
 		return hi - lo + 1
 	case Cyclic:
-		n := d.Extent()
-		size := n / d.NProc
-		if p < n%d.NProc {
-			size++
-		}
-		return size
+		return cyclicCount(d.Extent(), d.BlockSize(), d.NProc, p)
 	}
 	panic("dist: bad kind")
+}
+
+// cyclicCount returns how many of the first n elements of a CYCLIC(b)
+// dimension over nproc processors land on processor coordinate p: b per
+// full round plus p's clipped share of the trailing partial round.
+func cyclicCount(n, b, nproc, p int) int {
+	if n <= 0 {
+		return 0
+	}
+	period := b * nproc
+	size := (n / period) * b
+	rem := n%period - p*b
+	if rem > b {
+		rem = b
+	}
+	if rem > 0 {
+		size += rem
+	}
+	return size
 }
 
 // MaxLocalSize returns the largest per-processor share (the share of the
@@ -211,7 +233,9 @@ func (d DimDist) MaxLocalSize() int {
 	case Block:
 		return min(d.BlockSize(), d.Extent())
 	case Cyclic:
-		return ceilDiv(d.Extent(), d.NProc)
+		// Processor 0 always receives the first chunk of each round, so
+		// it attains the maximum share.
+		return cyclicCount(d.Extent(), d.BlockSize(), d.NProc, 0)
 	}
 	panic("dist: bad kind")
 }
@@ -280,18 +304,11 @@ func (d DimDist) LoopCount(p, lo, hi, step int) int {
 			}
 			return oHi - oLo + 1
 		case Cyclic:
-			// Count g in [lo,hi] with (g-d.Lo) mod NProc == p.
+			// Count g in [lo,hi] with ((g-d.Lo)/blk) mod NProc == p.
+			b := d.BlockSize()
 			count := func(upTo int) int {
 				// Number of g in [d.Lo, upTo] owned by p.
-				n := upTo - d.Lo + 1
-				if n <= 0 {
-					return 0
-				}
-				full := n / d.NProc
-				if n%d.NProc > p {
-					full++
-				}
-				return full
+				return cyclicCount(upTo-d.Lo+1, b, d.NProc, p)
 			}
 			return count(hi) - count(lo-1)
 		}
@@ -344,7 +361,28 @@ func (d DimDist) String() string {
 	if d.Kind == Collapsed {
 		return "*"
 	}
+	if d.Kind == Cyclic && d.Blk > 1 {
+		return fmt.Sprintf("CYCLIC(%d)/p%d", d.Blk, d.ProcDim)
+	}
 	return fmt.Sprintf("%s/p%d", d.Kind, d.ProcDim)
+}
+
+// CyclicShiftRows returns how many of a processor's local elements along
+// a CYCLIC(blk) dimension change hands under a shift by delta: min(delta,
+// blk) boundary rows of each of its local chunks. Element-cyclic (blk 1)
+// moves every local element, matching the historical model.
+func CyclicShiftRows(local, blk, delta int) int {
+	if blk <= 1 {
+		return local
+	}
+	if delta > blk {
+		delta = blk
+	}
+	rows := delta * ceilDiv(local, blk)
+	if rows > local {
+		rows = local
+	}
+	return rows
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -7,7 +7,8 @@ import (
 
 // randDist draws a random valid DimDist over each Kind, small enough to
 // brute-force but varied enough to hit block remainders, single-element
-// dims, more processors than elements, and explicit BLOCK(n) sizes.
+// dims, more processors than elements, explicit BLOCK(n) sizes, and
+// block-cyclic CYCLIC(k) chunks.
 func randDist(rng *rand.Rand) DimDist {
 	kind := Kind(rng.Intn(3))
 	lo := rng.Intn(5) - 2 // bounds need not start at 1
@@ -20,6 +21,11 @@ func randDist(rng *rand.Rand) DimDist {
 			// Explicit BLOCK(n): any n with n*NProc >= extent is legal.
 			minBlk := ceilDiv(extent, d.NProc)
 			d.Blk = minBlk + rng.Intn(3)
+		}
+		if kind == Cyclic && rng.Intn(2) == 0 {
+			// CYCLIC(k): any positive chunk is legal (rounds wrap), and k
+			// beyond the extent degenerates to everything on processor 0.
+			d.Blk = 1 + rng.Intn(extent+2)
 		}
 	}
 	return d

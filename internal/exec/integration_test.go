@@ -303,15 +303,47 @@ END`
 	}
 }
 
-func TestBlockCyclicRejected(t *testing.T) {
-	src := `PROGRAM bc
+// TestBlockCyclicExecutes replaces the historical rejection test:
+// CYCLIC(k) entered the accepted subset with the corpus generator, so a
+// block-cyclic program must compile and execute end-to-end, and its
+// reduction must see exactly the same global values as a BLOCK run.
+func TestBlockCyclicExecutes(t *testing.T) {
+	render := func(distSpec string) string {
+		return `PROGRAM bc
 PARAMETER (N = 32)
 REAL A(N)
 !HPF$ PROCESSORS P(4)
-!HPF$ DISTRIBUTE A(CYCLIC(2)) ONTO P
-A(1) = 0.0
+!HPF$ DISTRIBUTE A(` + distSpec + `) ONTO P
+FORALL (K=1:N) A(K) = REAL(K)
+S = SUM(A)
+PRINT *, S
 END`
-	if _, err := compiler.Compile(src); err == nil {
-		t.Error("CYCLIC(n) is outside the subset; want error")
+	}
+	printed := func(distSpec string) string {
+		prog, err := compiler.Compile(render(distSpec))
+		if err != nil {
+			t.Fatalf("%s: compile: %v", distSpec, err)
+		}
+		cfg := ipsc.DefaultConfig(4)
+		cfg.PerturbAmp = 0
+		cfg.TimerResUS = 0
+		m, err := ipsc.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(prog, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: run: %v", distSpec, err)
+		}
+		if len(res.Printed) != 1 {
+			t.Fatalf("%s: printed %v", distSpec, res.Printed)
+		}
+		return res.Printed[0]
+	}
+	want := printed("BLOCK")
+	for _, spec := range []string{"CYCLIC", "CYCLIC(2)", "CYCLIC(5)"} {
+		if got := printed(spec); got != want {
+			t.Errorf("%s printed %q, BLOCK printed %q", spec, got, want)
+		}
 	}
 }

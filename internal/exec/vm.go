@@ -423,7 +423,7 @@ func (vm *VM) stripBytes(m *dist.ArrayMap, elemBytes, dim, delta, rank int) int 
 			rows = dd.BlockSize()
 		}
 	case dist.Cyclic:
-		rows = shape[dim] // every local element moves
+		rows = dist.CyclicShiftRows(shape[dim], dd.BlockSize(), delta)
 	}
 	vol := rows
 	for d, e := range shape {

@@ -303,8 +303,12 @@ func (a *analyzer) applyDistribute(x *ast.DistributeDir, aligns map[string]align
 			dims[i].NProc = grid.Shape[gdim]
 			gdim++
 			if f.Arg != nil {
-				a.errorf(x.Pos(), "DISTRIBUTE %s: CYCLIC(n) block-cyclic distributions are outside the supported subset", x.Target)
-				return
+				blk, err := EvalConstInt(f.Arg, a.info.Consts)
+				if err != nil || blk <= 0 {
+					a.errorf(x.Pos(), "DISTRIBUTE %s: CYCLIC block size must be a positive constant", x.Target)
+					return
+				}
+				dims[i].Blk = blk
 			}
 		}
 	}

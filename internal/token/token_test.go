@@ -1,0 +1,169 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKindStrings asserts every declared kind has a printable name and
+// that names are unique; an unnamed kind would surface as "Kind(n)" in
+// diagnostics.
+func TestKindStrings(t *testing.T) {
+	seen := make(map[string]Kind, int(kindCount))
+	for k := ILLEGAL; k < kindCount; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no printable name", int(k))
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	if got := kindCount.String(); !strings.HasPrefix(got, "Kind(") {
+		t.Errorf("out-of-range kind stringified as %q", got)
+	}
+	if got := Kind(-1).String(); got != "Kind(-1)" {
+		t.Errorf("Kind(-1).String() = %q", got)
+	}
+}
+
+// TestKeywordsRoundTrip asserts keyword names, the keywords map, and
+// Lookup agree: every keyword kind's String() is its lookup key, and
+// every map entry resolves back through Lookup.
+func TestKeywordsRoundTrip(t *testing.T) {
+	for text, k := range keywords {
+		if k.String() != text {
+			t.Errorf("keywords[%q] = %v whose name is %q", text, k, k.String())
+		}
+		if got := Lookup(text, true); got != k {
+			t.Errorf("Lookup(%q, true) = %v, want %v", text, got, k)
+		}
+	}
+	// Every keyword kind except the !HPF$ sentinel (scanner-internal,
+	// never produced by identifier lookup) must be reachable via Lookup.
+	for k := KwPROGRAM; k < kindCount; k++ {
+		if k == KwHPF {
+			continue
+		}
+		if keywords[k.String()] != k {
+			t.Errorf("keyword kind %v (%q) missing from keywords map", int(k), k)
+		}
+	}
+}
+
+// TestLookupDirectiveGating asserts directive-only keywords stay plain
+// identifiers outside !HPF$ lines, so programs may use them as names.
+func TestLookupDirectiveGating(t *testing.T) {
+	directiveOnly := []string{"PROCESSORS", "TEMPLATE", "ALIGN", "DISTRIBUTE",
+		"REDISTRIBUTE", "WITH", "ONTO", "BLOCK", "CYCLIC"}
+	for _, text := range directiveOnly {
+		if got := Lookup(text, false); got != IDENT {
+			t.Errorf("Lookup(%q, false) = %v, want IDENT", text, got)
+		}
+		if got := Lookup(text, true); got == IDENT {
+			t.Errorf("Lookup(%q, true) = IDENT, want a directive keyword", text)
+		}
+	}
+	// Statement keywords are keywords in both contexts.
+	for _, text := range []string{"PROGRAM", "DO", "FORALL", "END"} {
+		if got := Lookup(text, false); got == IDENT {
+			t.Errorf("Lookup(%q, false) = IDENT, want a keyword", text)
+		}
+		if got, want := Lookup(text, true), Lookup(text, false); got != want {
+			t.Errorf("Lookup(%q) differs by context: %v vs %v", text, got, want)
+		}
+	}
+	if got := Lookup("NOTAKEYWORD", true); got != IDENT {
+		t.Errorf("Lookup of non-keyword = %v, want IDENT", got)
+	}
+}
+
+// TestKindPredicates asserts the classification helpers partition the
+// kind space as documented.
+func TestKindPredicates(t *testing.T) {
+	for k := ILLEGAL; k < kindCount; k++ {
+		if got, want := k.IsKeyword(), k >= KwPROGRAM; got != want {
+			t.Errorf("%v.IsKeyword() = %v, want %v", k, got, want)
+		}
+		if got, want := k.IsLiteral(), k >= IDENT && k <= LOGICALLIT; got != want {
+			t.Errorf("%v.IsLiteral() = %v, want %v", k, got, want)
+		}
+		if got, want := k.IsRelational(), k >= EQ && k <= GE; got != want {
+			t.Errorf("%v.IsRelational() = %v, want %v", k, got, want)
+		}
+	}
+	if kindCount.IsKeyword() {
+		t.Error("kindCount must not classify as a keyword")
+	}
+}
+
+// TestPrecedence pins the operator binding order the parser relies on:
+// ** > * / > + - > // > relational > .AND. > .OR. > .EQV./.NEQV.,
+// and 0 for everything that is not a binary operator.
+func TestPrecedence(t *testing.T) {
+	order := [][]Kind{
+		{EQV, NEQV},
+		{OR},
+		{AND},
+		{EQ, NE, LT, LE, GT, GE},
+		{CONCAT},
+		{PLUS, MINUS},
+		{STAR, SLASH},
+		{POW},
+	}
+	prev := 0
+	binary := make(map[Kind]bool)
+	for _, level := range order {
+		p := Precedence(level[0])
+		if p <= prev {
+			t.Errorf("precedence level %v (%d) does not bind tighter than previous (%d)", level, p, prev)
+		}
+		for _, k := range level {
+			binary[k] = true
+			if Precedence(k) != p {
+				t.Errorf("Precedence(%v) = %d, want %d (same level as %v)", k, Precedence(k), p, level[0])
+			}
+		}
+		prev = p
+	}
+	for k := ILLEGAL; k < kindCount; k++ {
+		if !binary[k] && Precedence(k) != 0 {
+			t.Errorf("Precedence(%v) = %d, want 0 for non-binary operator", k, Precedence(k))
+		}
+	}
+}
+
+// TestPosString covers position formatting, including the unset case.
+func TestPosString(t *testing.T) {
+	if got := (Pos{}).String(); got != "-" {
+		t.Errorf("zero Pos.String() = %q, want \"-\"", got)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos reports valid")
+	}
+	p := Pos{Line: 3, Col: 14}
+	if !p.IsValid() || p.String() != "3:14" {
+		t.Errorf("Pos{3,14}.String() = %q, want \"3:14\"", p.String())
+	}
+}
+
+// TestTokenString asserts literals and ILLEGAL tokens print their text
+// while operators and keywords print only the kind name.
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Text: "NPROC"}, `IDENT("NPROC")`},
+		{Token{Kind: INTLIT, Text: "42"}, `INTLIT("42")`},
+		{Token{Kind: ILLEGAL, Text: "$"}, `ILLEGAL("$")`},
+		{Token{Kind: PLUS, Text: "+"}, "+"},
+		{Token{Kind: KwFORALL, Text: "FORALL"}, "FORALL"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("Token{%v}.String() = %q, want %q", c.tok.Kind, got, c.want)
+		}
+	}
+}
