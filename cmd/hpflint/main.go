@@ -9,6 +9,7 @@
 //	hpflint [flags] file.hpf [file2.hpf ...]
 //
 //	-json             emit one JSON report per file instead of text
+//	-price            print the static cost pre-estimate after each report
 //	-severity LEVEL   exit non-zero when a diagnostic at or above LEVEL
 //	                  (info, warning, error) is found; default warning
 //
@@ -40,6 +41,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("hpflint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit JSON reports instead of text")
+	priceOut := fs.Bool("price", false, "print the static cost pre-estimate after each report")
 	sevFlag := fs.String("severity", "warning", "exit threshold: info, warning or error")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +74,9 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stdout, string(b))
 		} else {
 			fmt.Fprint(stdout, rep.Text())
+			if *priceOut && rep.Price != nil {
+				fmt.Fprint(stdout, rep.Price.String())
+			}
 		}
 		if max, ok := rep.Max(); ok && max >= threshold && exit == 0 {
 			exit = 1

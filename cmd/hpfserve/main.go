@@ -47,6 +47,8 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		queueWait  = flag.Duration("queue-wait", 0, "how long a request may wait for a worker slot before being shed (0 = 10s)")
 		queueDepth = flag.Int("queue-depth", 0, "waiting requests admitted before immediate shedding (0 = 4x max-concurrent)")
+		maxCost    = flag.Float64("max-cost-units", 0, "per-request static cost ceiling; over-budget predict/measure requests get 429 with the estimate (0 = unlimited)")
+		maxInCost  = flag.Float64("max-inflight-cost-units", 0, "aggregate static cost budget for admitted in-flight requests (0 = unlimited)")
 		brThresh   = flag.Int("breaker-threshold", 0, "consecutive internal failures that open a route's circuit breaker (0 = 8, negative disables)")
 		brCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds a route before probing (0 = 5s)")
 		traceAll   = flag.Bool("trace-all", false, "trace every request into the /v1/traces ring (clients still opt into inline trees with X-HPF-Trace: 1)")
@@ -83,19 +85,21 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:          *workers,
-		CacheEntries:     *cacheSize,
-		MaxBodyBytes:     *maxBody,
-		MaxConcurrent:    *maxConc,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		QueueWait:        *queueWait,
-		MaxQueueDepth:    *queueDepth,
-		BreakerThreshold: *brThresh,
-		BreakerCooldown:  *brCooldown,
-		Log:              reqLog,
-		TraceAll:         *traceAll,
-		TraceRing:        *traceRing,
+		Workers:              *workers,
+		CacheEntries:         *cacheSize,
+		MaxBodyBytes:         *maxBody,
+		MaxConcurrent:        *maxConc,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		QueueWait:            *queueWait,
+		MaxQueueDepth:        *queueDepth,
+		MaxCostUnits:         *maxCost,
+		MaxInflightCostUnits: *maxInCost,
+		BreakerThreshold:     *brThresh,
+		BreakerCooldown:      *brCooldown,
+		Log:                  reqLog,
+		TraceAll:             *traceAll,
+		TraceRing:            *traceRing,
 	})
 
 	httpSrv := &http.Server{

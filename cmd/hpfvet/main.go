@@ -1,0 +1,48 @@
+// Command hpfvet runs this repository's project-specific Go vet checks
+// (internal/lintgo): obs spans must be ended on every path, and
+// exported ...Context functions must take context.Context first. CI
+// runs it next to go vet and staticcheck.
+//
+// Usage:
+//
+//	hpfvet [dir ...]
+//
+// With no arguments it vets the current directory tree. Exit status is
+// 1 when any finding is reported, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpfperf/internal/lintgo"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hpfvet [dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		findings, err := lintgo.Dir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpfvet:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			bad = true
+			fmt.Println(f)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

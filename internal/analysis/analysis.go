@@ -78,7 +78,7 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 // machine-readable identifier (HPFnnnn); the block a code belongs to
 // names its pass family (00xx critical variables, 01xx communication,
 // 02xx forall dependence, 03xx directive hygiene, 04xx degenerate
-// control flow, HPF0000 compile failure).
+// control flow, 05xx INDEPENDENT verification, HPF0000 compile failure).
 type Diagnostic struct {
 	Code     string   `json:"code"`
 	Severity Severity `json:"severity"`
@@ -123,6 +123,7 @@ func Passes() []Pass {
 		critVarPass{},
 		commPass{},
 		forallPass{},
+		independentPass{},
 		directivePass{},
 		degeneratePass{},
 	}

@@ -1,0 +1,23 @@
+package dep
+
+import "hpfperf/internal/ast"
+
+// IndexFromRange builds the Index descriptor for one loop or forall
+// dimension. Bounds are recorded only when the range provably iterates
+// every integer in [lo, hi]: constant bounds with a unit stride (stride
+// nil means 1). Anything else stays unbounded, which keeps the exactness
+// proofs (and therefore Refuted verdicts) sound.
+func IndexFromRange(name string, lo, hi, stride ast.Expr, consts map[string]int64) Index {
+	ix := Index{Name: name}
+	unit := stride == nil
+	if !unit {
+		s := Normalize(stride, consts, nil)
+		unit = s.OK && len(s.Coeffs) == 0 && s.Const == 1
+	}
+	l := Normalize(lo, consts, nil)
+	h := Normalize(hi, consts, nil)
+	if unit && l.OK && len(l.Coeffs) == 0 && h.OK && len(h.Coeffs) == 0 {
+		ix.Lo, ix.Hi, ix.Bounded = l.Const, h.Const, true
+	}
+	return ix
+}

@@ -1,0 +1,299 @@
+package dep
+
+import (
+	"fmt"
+
+	"hpfperf/internal/ast"
+)
+
+// Verdict is the three-valued outcome of verifying an INDEPENDENT
+// annotation (or any claim that a loop's iterations are order-free).
+type Verdict int
+
+const (
+	Unproven Verdict = iota // could not prove or refute
+	Proven                  // no loop-carried dependence can exist
+	Refuted                 // a loop-carried dependence was exhibited
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Proven:
+		return "proven"
+	case Refuted:
+		return "refuted"
+	}
+	return "unproven"
+}
+
+// Evidence pins the reference pair behind a Refuted or Unproven verdict.
+type Evidence struct {
+	Array     string // "" for scalar or structural hazards
+	Scalar    string // offending scalar for scalar hazards
+	Line      int
+	Dir       string // blocking direction vector, e.g. "(<)"
+	Dist      int64
+	DistKnown bool
+	Reason    string
+}
+
+func (e Evidence) String() string {
+	switch {
+	case e.Scalar != "":
+		return fmt.Sprintf("scalar %s: %s", e.Scalar, e.Reason)
+	case e.Array != "" && e.DistKnown:
+		return fmt.Sprintf("array %s: %s at direction %s, distance %d", e.Array, e.Reason, e.Dir, e.Dist)
+	case e.Array != "" && e.Dir != "":
+		return fmt.Sprintf("array %s: %s at direction %s", e.Array, e.Reason, e.Dir)
+	case e.Array != "":
+		return fmt.Sprintf("array %s: %s", e.Array, e.Reason)
+	}
+	return e.Reason
+}
+
+// ref is one array reference collected from a loop body.
+type ref struct {
+	name string
+	subs []Sub
+	line int
+}
+
+// VerifyLoop decides whether the iterations of the index space idxs can
+// execute in any order for the given body. It refutes on an exhibited
+// loop-carried flow/anti/output dependence (array or scalar), proves
+// independence when every same-array reference pair is disproven for
+// every carried direction vector, and returns Unproven otherwise.
+//
+// arrays names the declared arrays (so a bare-identifier assignment can
+// be told apart from a scalar one); consts supplies integer named
+// constants for subscript normalization. Index bounds must only be
+// marked Bounded for unit-stride index ranges with constant bounds —
+// the exactness proofs rely on every integer in [Lo,Hi] being iterated.
+//
+// Scalar assignments in the body refute (given at least two iterations):
+// without NEW-clause privatization every iteration writes the same
+// replicated scalar, an output dependence carried by the loop.
+func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays map[string]bool) (Verdict, []Evidence) {
+	idxSet := make(map[string]bool, len(idxs))
+	for _, ix := range idxs {
+		idxSet[ix.Name] = true
+	}
+
+	var writes, reads []ref
+	var evidence []Evidence
+	verdict := Proven
+
+	downgrade := func(v Verdict, e Evidence) {
+		if v == Refuted {
+			if verdict != Refuted {
+				evidence = nil
+			}
+			verdict = Refuted
+			evidence = append(evidence, e)
+			return
+		}
+		if verdict == Refuted {
+			return
+		}
+		verdict = Unproven
+		evidence = append(evidence, e)
+	}
+
+	normalize := func(x *ast.CallOrIndex, line int) (ref, bool) {
+		subs := make([]Sub, 0, len(x.Args))
+		for _, a := range x.Args {
+			if _, isSec := a.(*ast.Section); isSec {
+				return ref{}, false
+			}
+			subs = append(subs, Normalize(a, consts, idxSet))
+		}
+		return ref{name: x.Name, subs: subs, line: line}, true
+	}
+
+	var collectReads func(e ast.Expr, line int)
+	collectReads = func(e ast.Expr, line int) {
+		switch t := e.(type) {
+		case *ast.CallOrIndex:
+			if t.Resolved == ast.RefArray {
+				if r, ok := normalize(t, line); ok {
+					reads = append(reads, r)
+				} else {
+					downgrade(Unproven, Evidence{Array: t.Name, Line: line,
+						Reason: "section reference cannot be dependence-tested per iteration"})
+				}
+			}
+			for _, a := range t.Args {
+				collectReads(a, line)
+			}
+		case *ast.Ident:
+			if arrays[t.Name] {
+				// Whole-array read: touches every element each iteration.
+				downgrade(Unproven, Evidence{Array: t.Name, Line: line,
+					Reason: "whole-array reference cannot be dependence-tested per iteration"})
+			}
+		case *ast.BinaryExpr:
+			collectReads(t.X, line)
+			collectReads(t.Y, line)
+		case *ast.UnaryExpr:
+			collectReads(t.X, line)
+		case *ast.Section:
+			for _, p := range []ast.Expr{t.Lo, t.Hi, t.Stride} {
+				if p != nil {
+					collectReads(p, line)
+				}
+			}
+		}
+	}
+
+	multi := multiIter(idxs)
+	var walk func(ss []ast.Stmt)
+	walk = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			line := s.Pos().Line
+			switch x := s.(type) {
+			case *ast.AssignStmt:
+				switch lhs := x.Lhs.(type) {
+				case *ast.CallOrIndex:
+					if lhs.Resolved == ast.RefArray {
+						if r, ok := normalize(lhs, line); ok {
+							writes = append(writes, r)
+						} else {
+							downgrade(Unproven, Evidence{Array: lhs.Name, Line: line,
+								Reason: "section assignment cannot be dependence-tested per iteration"})
+						}
+						for _, a := range lhs.Args {
+							collectReads(a, line)
+						}
+					} else {
+						downgrade(Unproven, Evidence{Line: line,
+							Reason: fmt.Sprintf("call to %s in the loop body cannot be analyzed", lhs.Name)})
+					}
+				case *ast.Ident:
+					if arrays[lhs.Name] {
+						hazard := Evidence{Array: lhs.Name, Line: line, Dir: "(<)",
+							Reason: "whole array assigned every iteration: a loop-carried output dependence"}
+						if multi {
+							downgrade(Refuted, hazard)
+						} else {
+							hazard.Dir = ""
+							hazard.Reason = "whole-array assignment cannot be proven iteration-local"
+							downgrade(Unproven, hazard)
+						}
+					} else {
+						hazard := Evidence{Scalar: lhs.Name, Line: line, Dir: "(<)",
+							Reason: "assigned every iteration: a loop-carried output dependence (scalar privatization is not modeled)"}
+						if multi {
+							downgrade(Refuted, hazard)
+						} else {
+							hazard.Dir = ""
+							hazard.Reason = "scalar assignment cannot be proven iteration-local"
+							downgrade(Unproven, hazard)
+						}
+					}
+				default:
+					downgrade(Unproven, Evidence{Line: line, Reason: "unsupported assignment target"})
+				}
+				collectReads(x.Rhs, line)
+			case *ast.IfStmt:
+				collectReads(x.Cond, line)
+				walk(x.Then)
+				walk(x.Else)
+			case *ast.WhereStmt:
+				collectReads(x.Mask, line)
+				walk(x.Body)
+				walk(x.ElseBody)
+			case *ast.ForallStmt:
+				for _, ix := range x.Indices {
+					for _, b := range []ast.Expr{ix.Lo, ix.Hi, ix.Stride} {
+						if b != nil {
+							collectReads(b, line)
+						}
+					}
+				}
+				if x.Mask != nil {
+					collectReads(x.Mask, line)
+				}
+				walk(x.Body)
+			case *ast.DoStmt:
+				// The nested loop's index is treated as iteration-private
+				// (its reuse across outer iterations is benign).
+				for _, b := range []ast.Expr{x.From, x.To, x.Step} {
+					if b != nil {
+						collectReads(b, line)
+					}
+				}
+				walk(x.Body)
+			case *ast.DoWhileStmt:
+				collectReads(x.Cond, line)
+				walk(x.Body)
+			case *ast.PrintStmt:
+				downgrade(Unproven, Evidence{Line: line,
+					Reason: "I/O in the loop body is ordered by iteration"})
+				for _, a := range x.Args {
+					collectReads(a, line)
+				}
+			case *ast.ContinueStmt:
+				// no-op
+			default:
+				downgrade(Unproven, Evidence{Line: line, Reason: "statement kind cannot be dependence-tested"})
+			}
+		}
+	}
+	walk(body)
+
+	// Test every write against every same-array reference: reads for
+	// flow/anti dependences, itself and later writes for output ones.
+	testPair := func(w, p *ref, kind string) {
+		if len(w.subs) != len(p.subs) {
+			downgrade(Unproven, Evidence{Array: w.name, Line: w.line,
+				Reason: "references with mismatched ranks cannot be dependence-tested"})
+			return
+		}
+		res := TestPair(w.subs, p.subs, idxs)
+		carried := res.CarriedDirs()
+		if len(carried) == 0 {
+			return
+		}
+		ev := Evidence{Array: w.name, Line: p.line, Dir: DirVector(carried[0]),
+			Dist: res.Dist, DistKnown: res.DistKnown, Reason: kind}
+		if res.CarriedProven {
+			downgrade(Refuted, ev)
+		} else {
+			ev.Reason = "cannot disprove that " + kind
+			ev.DistKnown = false
+			downgrade(Unproven, ev)
+		}
+	}
+	for wi := range writes {
+		w := &writes[wi]
+		for ri := range reads {
+			if reads[ri].name == w.name {
+				testPair(w, &reads[ri], "an element written on one iteration is read on another")
+			}
+		}
+		for wj := wi; wj < len(writes); wj++ {
+			if writes[wj].name == w.name {
+				testPair(w, &writes[wj], "the same element is written on two iterations")
+			}
+		}
+	}
+	if verdict == Proven {
+		return Proven, nil
+	}
+	return verdict, evidence
+}
+
+// multiIter reports that the index space provably executes at least two
+// iterations (so an every-iteration hazard is a real carried dependence).
+func multiIter(idxs []Index) bool {
+	some := false
+	for _, ix := range idxs {
+		if !ix.Bounded || ix.Hi < ix.Lo {
+			return false
+		}
+		if ix.Hi > ix.Lo {
+			some = true
+		}
+	}
+	return some
+}

@@ -53,7 +53,10 @@ func (degeneratePass) Run(u *Unit) []Diagnostic {
 				Message:  "IF condition is always false: the THEN branch is unreachable",
 			})
 		}
-		if ct.Value && ct.HasElse {
+		if ct.Value && ct.HasElse && !ct.Pinned {
+			// A resolution that rests on a user-pinned value is a
+			// hypothesis about one run, not a property of the program:
+			// under a different pinning the ELSE branch may well execute.
 			out = append(out, Diagnostic{
 				Code:     "HPF0404",
 				Severity: SevWarning,

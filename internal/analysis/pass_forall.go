@@ -3,21 +3,25 @@ package analysis
 import (
 	"fmt"
 
+	"hpfperf/internal/analysis/dep"
 	"hpfperf/internal/ast"
 	"hpfperf/internal/sem"
-	"hpfperf/internal/token"
 )
 
-// forallPass applies classic ZIV/SIV subscript dependence tests to every
-// FORALL: when a statement assigns A(f(i)) while reading A(g(i)), a
-// nonzero dependence distance means the FORALL's evaluate-all-then-assign
-// semantics differ from a plain loop — the compiler must double-buffer,
-// and every such statement carries a hidden full-array copy (and often a
-// shift) in the predicted profile. Subscripts the tests cannot classify
-// are flagged as unprovable rather than silently assumed independent.
+// forallPass applies the dependence-test engine (package dep: ZIV, GCD,
+// strong/weak-zero/weak-crossing SIV, separable MIV with per-direction
+// Banerjee bounds) to every FORALL: when a statement assigns A(f(i))
+// while reading A(g(i)), a feasible loop-carried direction vector means
+// the FORALL's evaluate-all-then-assign semantics differ from a plain
+// loop — the compiler must double-buffer, and every such statement
+// carries a hidden full-array copy (and often a shift) in the predicted
+// profile. The diagnostics name the subscript pair and direction vector
+// that block parallel-loop equivalence.
 //
-// Codes: HPF0201 loop-carried dependence (forces double-buffering),
-// HPF0202 independence not provable by ZIV/SIV tests.
+// Codes: HPF0201 proven loop-carried dependence (forces
+// double-buffering), HPF0202 subscripts not affine so the tests do not
+// apply, HPF0203 affine subscripts whose dependence the tests cannot
+// disprove (the blocking direction vectors are reported).
 type forallPass struct{}
 
 func (forallPass) Name() string { return "forall-deps" }
@@ -49,147 +53,27 @@ func (forallPass) Run(u *Unit) []Diagnostic {
 	return out
 }
 
-// lin is an affine form c + Σ coeffs[v]*v over FORALL index variables.
-type lin struct {
-	coeffs map[string]int64
-	c      int64
-	ok     bool
-}
-
-// linearize classifies a subscript expression as affine in the FORALL
-// indices, with all other terms folded through named constants.
-func linearize(e ast.Expr, consts map[string]int64, idx map[string]bool) lin {
-	switch x := e.(type) {
-	case *ast.IntLit:
-		return lin{c: x.Value, ok: true}
-	case *ast.Ident:
-		if idx[x.Name] {
-			return lin{coeffs: map[string]int64{x.Name: 1}, ok: true}
-		}
-		if v, ok := consts[x.Name]; ok {
-			return lin{c: v, ok: true}
-		}
-		return lin{}
-	case *ast.UnaryExpr:
-		l := linearize(x.X, consts, idx)
-		if !l.ok {
-			return lin{}
-		}
-		switch x.Op {
-		case token.PLUS:
-			return l
-		case token.MINUS:
-			return l.scale(-1)
-		}
-		return lin{}
-	case *ast.BinaryExpr:
-		a := linearize(x.X, consts, idx)
-		b := linearize(x.Y, consts, idx)
-		if !a.ok || !b.ok {
-			return lin{}
-		}
-		switch x.Op {
-		case token.PLUS:
-			return a.add(b, 1)
-		case token.MINUS:
-			return a.add(b, -1)
-		case token.STAR:
-			if len(a.coeffs) == 0 {
-				return b.scale(a.c)
-			}
-			if len(b.coeffs) == 0 {
-				return a.scale(b.c)
-			}
-		}
-		return lin{}
-	}
-	return lin{}
-}
-
-func (l lin) scale(k int64) lin {
-	out := lin{c: l.c * k, ok: true}
-	if len(l.coeffs) > 0 {
-		out.coeffs = make(map[string]int64, len(l.coeffs))
-		for v, a := range l.coeffs {
-			if a*k != 0 {
-				out.coeffs[v] = a * k
-			}
-		}
-	}
-	return out
-}
-
-func (l lin) add(o lin, sign int64) lin {
-	out := lin{c: l.c + sign*o.c, ok: true, coeffs: make(map[string]int64)}
-	for v, a := range l.coeffs {
-		out.coeffs[v] = a
-	}
-	for v, a := range o.coeffs {
-		out.coeffs[v] += sign * a
-	}
-	for v, a := range out.coeffs {
-		if a == 0 {
-			delete(out.coeffs, v)
-		}
-	}
-	return out
-}
-
-const (
-	depNone    = iota // proven independent in this dimension
-	depZero           // distance 0 (same iteration)
-	depCarried        // nonzero constant distance
-	depUnknown        // tests cannot classify
-)
-
-// dimTest runs the ZIV / strong-SIV test on one (write, read) subscript
-// pair, returning the classification and the distance for depCarried.
-func dimTest(w, r lin) (int, int64) {
-	if !w.ok || !r.ok {
-		return depUnknown, 0
-	}
-	if len(w.coeffs) == 0 && len(r.coeffs) == 0 {
-		// ZIV: constant subscripts.
-		if w.c != r.c {
-			return depNone, 0
-		}
-		return depZero, 0
-	}
-	if len(w.coeffs) == 1 && len(r.coeffs) == 1 {
-		var wi, ri string
-		var wa, ra int64
-		for v, a := range w.coeffs {
-			wi, wa = v, a
-		}
-		for v, a := range r.coeffs {
-			ri, ra = v, a
-		}
-		if wi == ri && wa == ra {
-			// Strong SIV: a*i + c1 vs a*i + c2; distance (c1-c2)/a.
-			d := w.c - r.c
-			if d%wa != 0 {
-				return depNone, 0
-			}
-			if d == 0 {
-				return depZero, 0
-			}
-			return depCarried, d / wa
-		}
-	}
-	return depUnknown, 0
+// pairFinding is the classified outcome of one (write, read) pair.
+type pairFinding struct {
+	read      *ast.CallOrIndex
+	res       dep.Result
+	nonAffine bool
 }
 
 func checkForall(info *sem.Info, x *ast.ForallStmt) []Diagnostic {
-	idx := make(map[string]bool, len(x.Indices))
-	for _, ix := range x.Indices {
-		idx[ix.Name] = true
-	}
 	consts := make(map[string]int64)
 	for n, v := range info.Consts {
 		if v.Type == ast.TInteger {
 			consts[n] = v.I
 		}
 	}
+	idxs := make([]dep.Index, len(x.Indices))
+	idxSet := make(map[string]bool, len(x.Indices))
+	for i, ix := range x.Indices {
+		idxs[i] = dep.IndexFromRange(ix.Name, ix.Lo, ix.Hi, ix.Stride, consts)
+		idxSet[ix.Name] = true
+	}
+
 	var out []Diagnostic
 	for _, s := range x.Body {
 		as, ok := s.(*ast.AssignStmt)
@@ -204,9 +88,13 @@ func checkForall(info *sem.Info, x *ast.ForallStmt) []Diagnostic {
 		if line == 0 {
 			line = x.ForPos.Line
 		}
-		wsubs := make([]lin, len(w.Args))
+		wsubs := make([]dep.Sub, len(w.Args))
+		wAffine := true
 		for i, a := range w.Args {
-			wsubs[i] = linearize(a, consts, idx)
+			wsubs[i] = dep.Normalize(a, consts, idxSet)
+			if !wsubs[i].OK {
+				wAffine = false
+			}
 		}
 		var reads []*ast.CallOrIndex
 		var collect func(e ast.Expr)
@@ -236,32 +124,57 @@ func checkForall(info *sem.Info, x *ast.ForallStmt) []Diagnostic {
 		if x.Mask != nil {
 			collect(x.Mask)
 		}
-		unknown := false
-		var maxDist int64
+
+		var proven, unknown *pairFinding
+		nonAffine := !wAffine
 		for _, r := range reads {
-			kind, d := refTest(wsubs, r, consts, idx)
-			switch kind {
-			case depUnknown:
-				unknown = true
-			case depCarried:
-				if d < 0 {
-					d = -d
+			rsubs := make([]dep.Sub, len(r.Args))
+			rAffine := true
+			for i, a := range r.Args {
+				rsubs[i] = dep.Normalize(a, consts, idxSet)
+				if !rsubs[i].OK {
+					rAffine = false
 				}
-				if d > maxDist {
-					maxDist = d
+			}
+			res := dep.TestPair(wsubs, rsubs, idxs)
+			carried := res.CarriedDirs()
+			if len(carried) == 0 {
+				continue
+			}
+			f := &pairFinding{read: r, res: res, nonAffine: !wAffine || !rAffine}
+			switch {
+			case res.CarriedProven:
+				if proven == nil || absDist(res) > absDist(proven.res) {
+					proven = f
+				}
+			case f.nonAffine:
+				nonAffine = true
+			default:
+				if unknown == nil {
+					unknown = f
 				}
 			}
 		}
 		switch {
-		case maxDist > 0:
+		case proven != nil:
+			res := proven.res
+			carried := res.CarriedDirs()
+			msg := fmt.Sprintf("FORALL assignment %s(%s) reads %s at a proven loop-carried dependence (subscript pair %s vs %s, direction %s",
+				w.Name, subList(w.Args), w.Name,
+				ast.ExprString(w.Args[res.Dim]), ast.ExprString(proven.read.Args[res.Dim]),
+				dep.DirVector(carried[0]))
+			if res.DistKnown {
+				msg += fmt.Sprintf(", distance %d", absDist(res))
+			}
+			msg += "): evaluate-then-assign semantics force a double-buffer copy of the array"
 			out = append(out, Diagnostic{
 				Code:     "HPF0201",
 				Severity: SevWarning,
 				Line:     line,
-				Message:  fmt.Sprintf("FORALL assignment to %s reads %s at a loop-carried dependence distance of %d: evaluate-then-assign semantics force a double-buffer copy of the array", w.Name, w.Name, maxDist),
+				Message:  msg,
 				Hint:     "assign into a separate destination array to make the copy explicit (or use a DO loop if loop-carried semantics are intended)",
 			})
-		case unknown:
+		case nonAffine:
 			out = append(out, Diagnostic{
 				Code:     "HPF0202",
 				Severity: SevWarning,
@@ -269,36 +182,53 @@ func checkForall(info *sem.Info, x *ast.ForallStmt) []Diagnostic {
 				Message:  fmt.Sprintf("cannot prove FORALL independence for %s: subscripts are not affine in the FORALL indices", w.Name),
 				Hint:     "keep subscripts of the assigned array affine (a*index + c) so dependence tests apply",
 			})
+		case unknown != nil:
+			dirs := unknown.res.CarriedDirs()
+			out = append(out, Diagnostic{
+				Code:     "HPF0203",
+				Severity: SevWarning,
+				Line:     line,
+				Message: fmt.Sprintf("cannot disprove a loop-carried dependence for %s: subscript pair %s vs %s leaves direction %s feasible",
+					w.Name, ast.ExprString(w.Args[unknown.res.Dim]), ast.ExprString(unknown.read.Args[unknown.res.Dim]),
+					dirList(dirs)),
+				Hint: "give the FORALL constant bounds (or simplify the subscript pair) so the GCD/Banerjee tests can decide",
+			})
 		}
 	}
 	return out
 }
 
-// refTest aggregates the per-dimension tests for one (write, read) pair
-// of references to the same array: independence in any dimension proves
-// the whole pair independent; otherwise an unknown dimension makes the
-// pair unprovable, and the distance is the strongest carried dimension.
-func refTest(wsubs []lin, r *ast.CallOrIndex, consts map[string]int64, idx map[string]bool) (int, int64) {
-	agg, dist := depZero, int64(0)
-	for i, a := range r.Args {
-		rl := linearize(a, consts, idx)
-		kind, d := dimTest(wsubs[i], rl)
-		switch kind {
-		case depNone:
-			return depNone, 0
-		case depUnknown:
-			agg = depUnknown
-		case depCarried:
-			if agg != depUnknown {
-				agg = depCarried
-			}
-			if d < 0 {
-				d = -d
-			}
-			if d > dist {
-				dist = d
-			}
-		}
+func absDist(r dep.Result) int64 {
+	if r.Dist < 0 {
+		return -r.Dist
 	}
-	return agg, dist
+	return r.Dist
+}
+
+// subList renders a subscript list "I,J".
+func subList(args []ast.Expr) string {
+	s := ""
+	for i, a := range args {
+		if i > 0 {
+			s += ","
+		}
+		s += ast.ExprString(a)
+	}
+	return s
+}
+
+// dirList renders up to three direction vectors.
+func dirList(dirs [][]dep.Dir) string {
+	s := ""
+	for i, d := range dirs {
+		if i == 3 {
+			s += fmt.Sprintf(" (+%d more)", len(dirs)-3)
+			break
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += dep.DirVector(d)
+	}
+	return s
 }

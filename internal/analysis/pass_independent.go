@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+
+	"hpfperf/internal/analysis/dep"
+	"hpfperf/internal/ast"
+	"hpfperf/internal/sem"
+)
+
+// independentPass verifies every INDEPENDENT directive with the
+// dependence engine: the directive is a *claim* that a loop's iterations
+// are order-free, and the paper's premise — answering performance
+// questions statically — extends naturally to proving or refuting such
+// claims rather than trusting them. A proven annotation is honored by
+// the compiler (the loop is partitioned and the serialization penalty
+// disappears from predictions); a refuted one is a correctness error.
+//
+// Codes: HPF0501 annotation refuted (error), HPF0502 annotation
+// unprovable and therefore not honored (warning), HPF0503 annotation
+// proven and honored (info).
+type independentPass struct{}
+
+func (independentPass) Name() string { return "independent" }
+
+func (independentPass) Run(u *Unit) []Diagnostic {
+	info := u.Prog.Info
+	consts := make(map[string]int64)
+	for n, v := range info.Consts {
+		if v.Type == ast.TInteger {
+			consts[n] = v.I
+		}
+	}
+	arrays := make(map[string]bool)
+	for n, s := range info.Symbols {
+		if s.Kind == sem.SymArray {
+			arrays[n] = true
+		}
+	}
+
+	var out []Diagnostic
+	check := func(line int, label string, idxs []dep.Index, body []ast.Stmt) {
+		verdict, evidence := dep.VerifyLoop(idxs, body, consts, arrays)
+		switch verdict {
+		case dep.Refuted:
+			out = append(out, Diagnostic{
+				Code:     "HPF0501",
+				Severity: SevError,
+				Line:     line,
+				Message:  fmt.Sprintf("INDEPENDENT annotation on this %s is refuted: %s", label, evidenceString(evidence)),
+				Hint:     "remove the directive (the loop carries a real dependence) or restructure the loop so iterations are disjoint",
+			})
+		case dep.Unproven:
+			out = append(out, Diagnostic{
+				Code:     "HPF0502",
+				Severity: SevWarning,
+				Line:     line,
+				Message:  fmt.Sprintf("INDEPENDENT annotation on this %s cannot be proven and is not honored: %s", label, evidenceString(evidence)),
+				Hint:     "keep subscripts affine in the loop indices with constant bounds so the dependence tests apply",
+			})
+		case dep.Proven:
+			out = append(out, Diagnostic{
+				Code:     "HPF0503",
+				Severity: SevInfo,
+				Line:     line,
+				Message:  fmt.Sprintf("INDEPENDENT annotation on this %s is proven: the loop is partitioned without the serialization penalty", label),
+			})
+		}
+	}
+
+	var walk func(ss []ast.Stmt)
+	walk = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *ast.DoStmt:
+				if x.Independent {
+					idxs := []dep.Index{dep.IndexFromRange(x.Var, x.From, x.To, x.Step, consts)}
+					check(x.DoPos.Line, "DO loop", idxs, x.Body)
+				}
+				walk(x.Body)
+			case *ast.ForallStmt:
+				if x.Independent {
+					idxs := make([]dep.Index, len(x.Indices))
+					for i, ix := range x.Indices {
+						idxs[i] = dep.IndexFromRange(ix.Name, ix.Lo, ix.Hi, ix.Stride, consts)
+					}
+					check(x.ForPos.Line, "FORALL", idxs, x.Body)
+				}
+				walk(x.Body)
+			case *ast.DoWhileStmt:
+				walk(x.Body)
+			case *ast.IfStmt:
+				walk(x.Then)
+				walk(x.Else)
+			case *ast.WhereStmt:
+				walk(x.Body)
+				walk(x.ElseBody)
+			}
+		}
+	}
+	walk(info.Prog.Body)
+	return out
+}
+
+// evidenceString renders the first (strongest) evidence item, noting how
+// many more there are.
+func evidenceString(evidence []dep.Evidence) string {
+	if len(evidence) == 0 {
+		return "no analyzable references"
+	}
+	s := evidence[0].String()
+	if len(evidence) > 1 {
+		s += fmt.Sprintf(" (+%d more)", len(evidence)-1)
+	}
+	return s
+}

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"testing"
+
+	"hpfperf/internal/sem"
 )
 
 // hasCode reports whether any diagnostic carries the code.
@@ -319,5 +321,43 @@ func TestSeverityRoundTrip(t *testing.T) {
 	var s Severity
 	if err := s.UnmarshalJSON([]byte(`"fatal"`)); err == nil {
 		t.Error("UnmarshalJSON(fatal) should fail")
+	}
+}
+
+// TestDegeneratePinnedCondition: a conditional that resolves only
+// because the user pinned a value is a hypothesis about one run, not a
+// program property, so HPF0404 must stay silent — including when the
+// pin reaches the condition through an intermediate assignment. A
+// condition over genuine program constants still fires alongside
+// unrelated pins.
+func TestDegeneratePinnedCondition(t *testing.T) {
+	pinnedSrc := preamble + `INTEGER M, L
+M = INT(A(1))
+L = M + 1
+IF (L .GT. 0) THEN
+  X = 1.0
+ELSE
+  X = 2.0
+END IF
+END`
+	prog := mustCompile(t, pinnedSrc)
+	if ds := Analyze(prog); hasCode(ds, "HPF0403") || hasCode(ds, "HPF0404") {
+		t.Errorf("untraced condition must not be degenerate; got %v", ds)
+	}
+	u := &Unit{Prog: prog, Trace: TraceProgram(prog, map[string]sem.Value{"M": sem.IntVal(5)})}
+	if ds := AnalyzeUnit(u); hasCode(ds, "HPF0404") {
+		t.Errorf("HPF0404 fired on a pinned-value resolution; got %v", ds)
+	}
+
+	constSrc := preamble + `IF (N .GT. 0) THEN
+  X = 1.0
+ELSE
+  X = 2.0
+END IF
+END`
+	prog2 := mustCompile(t, constSrc)
+	u2 := &Unit{Prog: prog2, Trace: TraceProgram(prog2, map[string]sem.Value{"M": sem.IntVal(5)})}
+	if ds := AnalyzeUnit(u2); !hasCode(ds, "HPF0404") {
+		t.Errorf("HPF0404 must still fire on a constant condition; got %v", ds)
 	}
 }

@@ -1,0 +1,259 @@
+package analysis
+
+// Static cost pre-pricing: bound the work a prediction request implies
+// before any interpretation sweep runs. Price walks the compiled node
+// program with the constants-lattice tracer's trip counts and charges
+// abstract cost units per statement execution — flop-weighted operation
+// tallies for computation, element-count-scaled charges for
+// communication events. The result is not a time estimate (that is the
+// interpretation engine's job); it is a machine-independent admission
+// metric: monotone in sweep points × statement cost, cheap to compute,
+// and safe to expose to untrusted callers. hpfserve uses it to reject
+// over-budget requests with the estimate in the body, hpflint -price
+// prints it, and /v1/analyze returns it as the "price" block.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hpfperf/internal/hir"
+)
+
+// assumedTrips is the fallback trip count charged for loops whose bounds
+// the tracer cannot resolve; every such loop is recorded in Unresolved so
+// callers can see where the estimate is soft.
+const assumedTrips = 64
+
+// Operation weights, in units of one floating add.
+const (
+	wFDiv      = 4
+	wPow       = 8
+	wIntrinsic = 8
+	wIntOp     = 0.25
+	wShadow    = 4
+)
+
+// Communication weights: a fixed per-event startup charge plus a
+// per-element transfer charge (mirroring the latency+bandwidth shape of
+// the interpretation engine's comm model without its machine constants).
+const (
+	wCommStartup = 32
+	wCommElem    = 0.5
+)
+
+// UnresolvedLoop records one loop priced with the fallback trip count.
+type UnresolvedLoop struct {
+	Line         int    `json:"line"`
+	Var          string `json:"var,omitempty"`
+	AssumedTrips int    `json:"assumed_trips"`
+}
+
+// PriceReport is the static cost estimate of one compiled program. All
+// fields are part of the JSON schema contract consumed by hpflint -json
+// and /v1/analyze.
+type PriceReport struct {
+	// CostUnits is the total admission metric: FlopUnits + MemUnits +
+	// CommUnits.
+	CostUnits float64 `json:"cost_units"`
+	// FlopUnits charges arithmetic per dynamic statement execution.
+	FlopUnits float64 `json:"flop_units"`
+	// MemUnits charges element loads/stores and index translations.
+	MemUnits float64 `json:"mem_units"`
+	// CommUnits charges communication events (shift, gather, reduce,
+	// fetch, I/O) with startup plus per-element transfer weights.
+	CommUnits float64 `json:"comm_units"`
+	// CommEvents counts dynamic communication statement executions.
+	CommEvents int64 `json:"comm_events"`
+	// Statements counts static statements priced.
+	Statements int `json:"statements"`
+	// Processors is the grid size the program compiles onto.
+	Processors int `json:"processors"`
+	// Unresolved lists loops charged the fallback trip count; a non-empty
+	// list means CostUnits is a soft bound.
+	Unresolved []UnresolvedLoop `json:"unresolved,omitempty"`
+}
+
+// String renders the report for hpflint -price.
+func (p *PriceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "static price: %.0f cost units on %d processors\n", p.CostUnits, p.Processors)
+	fmt.Fprintf(&b, "  flop %.0f + mem %.0f + comm %.0f (%d comm events, %d statements)\n",
+		p.FlopUnits, p.MemUnits, p.CommUnits, p.CommEvents, p.Statements)
+	for _, ul := range p.Unresolved {
+		name := ul.Var
+		if name == "" {
+			name = "DO WHILE"
+		}
+		fmt.Fprintf(&b, "  unresolved loop %s at line %d: assumed %d trips\n", name, ul.Line, ul.AssumedTrips)
+	}
+	return b.String()
+}
+
+// Price computes the static cost estimate for an analyzed unit, reusing
+// its definition trace.
+func Price(u *Unit) *PriceReport {
+	pr := &pricer{unit: u, rep: &PriceReport{Processors: u.Prog.Info.Grid.Size()}}
+	pr.stmts(u.Prog.Body, 1)
+	r := pr.rep
+	r.CostUnits = round2(r.FlopUnits + r.MemUnits + r.CommUnits)
+	r.FlopUnits = round2(r.FlopUnits)
+	r.MemUnits = round2(r.MemUnits)
+	r.CommUnits = round2(r.CommUnits)
+	return r
+}
+
+// PriceProgram prices a compiled program, running the tracer with no
+// pinned values.
+func PriceProgram(prog *hir.Program) *PriceReport {
+	return Price(NewUnit(prog))
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+type pricer struct {
+	unit *Unit
+	rep  *PriceReport
+}
+
+// opUnits converts an operation tally into (flop, mem) units.
+func opUnits(c hir.OpCount) (flop, mem float64) {
+	flop = float64(c.FAdd+c.FMul) + wFDiv*float64(c.FDiv) + wPow*float64(c.Pow) +
+		wIntOp*float64(c.IntOp+c.Cmp+c.Logical)
+	for _, n := range c.Intrinsics {
+		flop += wIntrinsic * float64(n)
+	}
+	mem = float64(c.Load+c.Store) + wShadow*float64(c.ShadowLoad) + wIntOp*float64(c.Elems)
+	return flop, mem
+}
+
+func (p *pricer) charge(c hir.OpCount, times float64) {
+	flop, mem := opUnits(c)
+	p.rep.FlopUnits += flop * times
+	p.rep.MemUnits += mem * times
+}
+
+// comm charges one communication event kind executed `times` times
+// moving `elems` elements per event.
+func (p *pricer) comm(times float64, elems int) {
+	p.rep.CommUnits += times * (wCommStartup + wCommElem*float64(elems))
+	p.rep.CommEvents += int64(math.Ceil(times))
+}
+
+// arrayElems looks up the element count of a (possibly compiler-temp)
+// array; unknown names price as a single element.
+func (p *pricer) arrayElems(name string) int {
+	if s, ok := p.unit.Prog.Info.Symbols[name]; ok && s.Rank() > 0 {
+		return s.Elems()
+	}
+	for _, t := range p.unit.Prog.Temps {
+		if t.Name == name {
+			return p.arrayElems(t.Origin)
+		}
+	}
+	return 1
+}
+
+// stmts prices a statement list executed `times` times.
+func (p *pricer) stmts(ss []hir.Stmt, times float64) {
+	for _, s := range ss {
+		p.rep.Statements++
+		switch x := s.(type) {
+		case *hir.Assign:
+			p.charge(x.Cost, times)
+		case *hir.Loop:
+			p.loop(x, times)
+		case *hir.While:
+			p.while(x, times)
+		case *hir.If:
+			p.charge(x.Cost, times)
+			ct := p.unit.Trace.Conds[x]
+			switch {
+			case ct != nil && ct.Resolved && ct.Value:
+				p.stmts(x.Then, times)
+			case ct != nil && ct.Resolved && !ct.Value:
+				p.stmts(x.Else, times)
+			default:
+				// Unresolved branch: price the costlier side (the report is
+				// an admission bound, not an expectation).
+				sub := &pricer{unit: p.unit, rep: &PriceReport{}}
+				sub.stmts(x.Then, times)
+				thenRep := *sub.rep
+				sub.rep = &PriceReport{}
+				sub.stmts(x.Else, times)
+				elseRep := *sub.rep
+				hi, lo := thenRep, elseRep
+				if elseRep.FlopUnits+elseRep.MemUnits+elseRep.CommUnits >
+					thenRep.FlopUnits+thenRep.MemUnits+thenRep.CommUnits {
+					hi, lo = elseRep, thenRep
+				}
+				p.rep.FlopUnits += hi.FlopUnits
+				p.rep.MemUnits += hi.MemUnits
+				p.rep.CommUnits += hi.CommUnits
+				p.rep.CommEvents += hi.CommEvents
+				p.rep.Statements += hi.Statements + lo.Statements
+				p.rep.Unresolved = append(p.rep.Unresolved, hi.Unresolved...)
+			}
+		case *hir.Reduce:
+			// log-tree combine across the grid.
+			p.comm(times, p.rep.Processors)
+		case *hir.Shift:
+			// Halo exchange: the surface is the array over the shifted
+			// dimension's extent — approximate with elems / processors.
+			p.comm(times, p.arrayElems(x.Array)/maxInt(1, p.rep.Processors))
+		case *hir.AllGather:
+			p.comm(times, p.arrayElems(x.Array))
+		case *hir.CShift:
+			p.comm(times, p.arrayElems(x.Src))
+		case *hir.EOShift:
+			p.comm(times, p.arrayElems(x.Src))
+		case *hir.FetchElem:
+			p.charge(x.Cost, times)
+			p.comm(times, 1)
+		case *hir.Print:
+			p.charge(x.Cost, times)
+			p.comm(times, len(x.Args))
+		}
+	}
+}
+
+func (p *pricer) loop(x *hir.Loop, times float64) {
+	p.charge(x.BoundCost, times)
+	trips := float64(assumedTrips)
+	lt := p.unit.Trace.Loops[x]
+	if lt != nil && lt.Resolved {
+		trips = float64(lt.Trips)
+	} else {
+		line := x.SrcLine
+		p.rep.Unresolved = append(p.rep.Unresolved, UnresolvedLoop{
+			Line: line, Var: x.Var, AssumedTrips: assumedTrips,
+		})
+	}
+	if x.Par != nil && p.rep.Processors > 1 {
+		// Owner-computes partitioned loop: each processor runs its share.
+		trips = math.Ceil(trips / float64(p.rep.Processors))
+	}
+	p.stmts(x.Body, times*trips)
+}
+
+func (p *pricer) while(x *hir.While, times float64) {
+	wt := p.unit.Trace.Whiles[x]
+	if wt != nil && wt.CondResolved && !wt.CondValue {
+		p.charge(x.Cost, times)
+		return
+	}
+	// Entry unknown (or true with an untraced exit): charge the fallback
+	// trip count and record the soft spot.
+	p.rep.Unresolved = append(p.rep.Unresolved, UnresolvedLoop{
+		Line: x.SrcLine, AssumedTrips: assumedTrips,
+	})
+	p.charge(x.Cost, times*(assumedTrips+1))
+	p.stmts(x.Body, times*assumedTrips)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -16,13 +16,19 @@ type Report struct {
 	Program     string       `json:"program"`
 	Procs       int          `json:"procs"`
 	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Price is the static cost pre-estimate (see Price); present on every
+	// report produced by NewReport.
+	Price *PriceReport `json:"price,omitempty"`
 }
 
-// NewReport analyzes a compiled program and labels the result with an
-// optional file name. Diagnostics is always non-nil so the JSON schema
-// stays `[]` rather than `null` for clean programs.
+// NewReport analyzes and prices a compiled program and labels the result
+// with an optional file name. Diagnostics is always non-nil so the JSON
+// schema stays `[]` rather than `null` for clean programs. The unit
+// (and its definition trace) is built once and shared by the passes and
+// the pricer.
 func NewReport(file string, prog *hir.Program) *Report {
-	ds := Analyze(prog)
+	u := NewUnit(prog)
+	ds := AnalyzeUnit(u)
 	if ds == nil {
 		ds = []Diagnostic{}
 	}
@@ -30,7 +36,7 @@ func NewReport(file string, prog *hir.Program) *Report {
 	if prog.Info != nil && prog.Info.Grid != nil {
 		procs = prog.Info.Grid.Size()
 	}
-	return &Report{File: file, Program: prog.Name, Procs: procs, Diagnostics: ds}
+	return &Report{File: file, Program: prog.Name, Procs: procs, Diagnostics: ds, Price: Price(u)}
 }
 
 // Counts tallies the diagnostics by severity.

@@ -64,6 +64,11 @@ type CondTrace struct {
 	Value    bool // meaningful when Resolved
 	HasElse  bool
 	HasThen  bool
+	// Pinned reports that the resolution rests (transitively) on a
+	// user-pinned value. Pinned values are hypotheses supplied via
+	// Options.Values, not program facts, so degenerate-control-flow
+	// lints must not treat such a resolution as a proof.
+	Pinned bool
 }
 
 // Trace is the result of definition tracing: per-construct resolutions
@@ -91,10 +96,11 @@ func (t *Trace) LoopBlockers(x *hir.Loop) []Blocker {
 
 // cell is one abstract scalar: a known constant or an explained unknown.
 type cell struct {
-	known bool
-	val   sem.Value
-	line  int     // defining source line (0 for initial/pinned values)
-	blk   Blocker // why the value is unknown (meaningful when !known)
+	known  bool
+	val    sem.Value
+	pinned bool    // value derives (transitively) from a pinned hypothesis
+	line   int     // defining source line (0 for initial/pinned values)
+	blk    Blocker // why the value is unknown (meaningful when !known)
 }
 
 // state maps scalar names to abstract cells. A missing key means the
@@ -165,7 +171,7 @@ func TraceProgram(p *hir.Program, pinned map[string]sem.Value) *Trace {
 	s := make(state)
 	for k, v := range pinned {
 		t.pinned[k] = true
-		s[k] = cell{known: true, val: v}
+		s[k] = cell{known: true, val: v, pinned: true}
 	}
 	t.stmts(p.Body, s)
 	return t.tr
@@ -206,6 +212,7 @@ func (t *tracer) meet(a, b state) state {
 				out[k] = ca
 			}
 		case ca.known && cb.known && valueEq(ca.val, cb.val):
+			ca.pinned = ca.pinned || cb.pinned
 			out[k] = ca
 		case !ca.known:
 			out[k] = ca
@@ -368,7 +375,7 @@ func (t *tracer) stmt(st hir.Stmt, s state) state {
 			return s
 		}
 		if v, ok := t.eval(x.Rhs, s); ok {
-			s[lv.Name] = cell{known: true, val: v, line: x.SrcLine}
+			s[lv.Name] = cell{known: true, val: v, pinned: t.pinnedDerived(x.Rhs, s), line: x.SrcLine}
 		} else {
 			s[lv.Name] = cell{line: x.SrcLine, blk: t.assignBlocker(lv.Name, x, s)}
 		}
@@ -499,6 +506,7 @@ func (t *tracer) cond(x *hir.If, s state) state {
 		ct := &CondTrace{Line: x.SrcLine, HasThen: len(x.Then) > 0, HasElse: len(x.Else) > 0}
 		if v, ok := t.eval(x.Cond, s); ok {
 			ct.Resolved, ct.Value = true, v.B
+			ct.Pinned = t.pinnedDerived(x.Cond, s)
 		}
 		if _, ok := t.tr.Conds[x]; !ok {
 			t.tr.CondOrder = append(t.tr.CondOrder, x)
@@ -516,6 +524,17 @@ func (t *tracer) cond(x *hir.If, s state) state {
 	outThen := t.stmts(x.Then, s.clone())
 	outElse := t.stmts(x.Else, s)
 	return t.meet(outThen, outElse)
+}
+
+// pinnedDerived reports whether any scalar the expression references
+// carries a value derived (transitively) from a pinned hypothesis.
+func (t *tracer) pinnedDerived(e hir.Expr, s state) bool {
+	for _, name := range hir.ScalarRefs(e) {
+		if c, ok := s[name]; ok && c.known && c.pinned {
+			return true
+		}
+	}
+	return false
 }
 
 // exprIsElemental mirrors the SAAG builder's notion of a data-dependent

@@ -143,14 +143,16 @@ type IfStmt struct {
 	IfPos token.Pos
 }
 
-// DoStmt is a counted DO loop.
+// DoStmt is a counted DO loop. Independent records a preceding
+// !HPF$ INDEPENDENT directive asserting the iterations are order-free.
 type DoStmt struct {
-	Var   string
-	From  Expr
-	To    Expr
-	Step  Expr // nil means 1
-	Body  []Stmt
-	DoPos token.Pos
+	Var         string
+	From        Expr
+	To          Expr
+	Step        Expr // nil means 1
+	Body        []Stmt
+	Independent bool
+	DoPos       token.Pos
 }
 
 // DoWhileStmt is DO WHILE (cond).
@@ -168,12 +170,16 @@ type ForallIndex struct {
 
 // ForallStmt is a FORALL statement or construct. Body assignments execute
 // with full right-hand-side evaluation before assignment semantics.
+// Independent records a preceding !HPF$ INDEPENDENT directive (for FORALL
+// it additionally asserts no same-array overlap, letting the compiler
+// skip the double-buffer copy when the claim is proven).
 type ForallStmt struct {
-	Indices   []ForallIndex
-	Mask      Expr // may be nil
-	Body      []Stmt
-	Construct bool // true for FORALL ... END FORALL
-	ForPos    token.Pos
+	Indices     []ForallIndex
+	Mask        Expr // may be nil
+	Body        []Stmt
+	Construct   bool // true for FORALL ... END FORALL
+	Independent bool
+	ForPos      token.Pos
 }
 
 // WhereStmt is a WHERE statement or construct with optional ELSEWHERE.

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 
+	"hpfperf/internal/analysis/dep"
 	"hpfperf/internal/ast"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/obs"
@@ -189,8 +190,18 @@ func (lw *lowerer) lowerStmt(s ast.Stmt, env *idxEnv) ([]hir.Stmt, error) {
 }
 
 // lowerDo lowers a sequential DO loop: replicated control flow; the body
-// may contain parallel constructs and guarded element assignments.
+// may contain parallel constructs and guarded element assignments. A DO
+// carrying a *proven* INDEPENDENT annotation is re-lowered as a forall
+// nest instead, giving it an owner-computes partition.
 func (lw *lowerer) lowerDo(x *ast.DoStmt, env *idxEnv) ([]hir.Stmt, error) {
+	if x.Independent && forallConvertible(x.Body) && lw.verifyIndependentDo(x) == dep.Proven {
+		if stmts, err := lw.lowerForall(forallFromDo(x), env); err == nil {
+			return stmts, nil
+		}
+		// The nest builder rejected a shape the verifier accepted (e.g. a
+		// non-unit subscript scale on a distributed dimension): fall back
+		// to the exact sequential lowering.
+	}
 	var pre []hir.Stmt
 	lo, p1, err := lw.lowerScalarExpr(x.From, env)
 	if err != nil {

@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 
+	"hpfperf/internal/analysis/dep"
 	"hpfperf/internal/ast"
 	"hpfperf/internal/dist"
 	"hpfperf/internal/hir"
@@ -41,6 +42,10 @@ func (lw *lowerer) lowerForall(x *ast.ForallStmt, env *idxEnv) ([]hir.Stmt, erro
 		trips[i] = trip{lo, hi, step}
 	}
 
+	// A proven INDEPENDENT annotation lets every body nest skip the
+	// double-buffer copy (no iteration reads another iteration's write).
+	noBuffer := x.Independent && lw.verifyIndependentForall(x) == dep.Proven
+
 	// Each body assignment is an independent forall (construct semantics:
 	// statements complete in sequence).
 	for _, body := range x.Body {
@@ -49,6 +54,7 @@ func (lw *lowerer) lowerForall(x *ast.ForallStmt, env *idxEnv) ([]hir.Stmt, erro
 			return nil, lw.errf(body.Pos(), "FORALL body must contain only assignments")
 		}
 		ctx := newNestCtx(lw, env, as.Pos().Line)
+		ctx.noBuffer = noBuffer
 		for _, ix := range x.Indices {
 			ctx.addIndex(ix.Name)
 		}
@@ -301,7 +307,7 @@ func (lw *lowerer) finishNestAssign(ctx *nestCtx, lhsName string, lhsDescs []acc
 		return nil, err
 	}
 
-	needBuffer := overlaps(ctx.reads, lhsName, lhsDescs)
+	needBuffer := !ctx.noBuffer && overlaps(ctx.reads, lhsName, lhsDescs)
 	target := lhsName
 	if needBuffer {
 		target = lw.newTempArray(lhsName)

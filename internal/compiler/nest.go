@@ -64,6 +64,11 @@ type nestCtx struct {
 	comms   []hir.Stmt // ordered Shift/AllGather statements
 	pre     []hir.Stmt // hoisted scalar statements (fetches, reductions)
 	reads   []readRec
+
+	// noBuffer suppresses the evaluate-then-assign double buffer: set when
+	// a proven INDEPENDENT annotation guarantees no iteration reads an
+	// element another iteration writes.
+	noBuffer bool
 }
 
 func newNestCtx(lw *lowerer, env *idxEnv, line int) *nestCtx {

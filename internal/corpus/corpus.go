@@ -86,7 +86,17 @@ type Params struct {
 	GridQ   int    `json:"grid_q"`
 	Dist    string `json:"dist"` // DISTRIBUTE format spec, e.g. "(*,CYCLIC(2))"
 	Name    string `json:"name"`
+	// Indep selects the INDEPENDENT-directive exercise of the template:
+	// 0 none, 1 a provable annotation on the main update loop (the
+	// harness checks the directive lowers the prediction), 2 an
+	// intentionally refutable annotation (the harness checks the
+	// verifier rejects it with HPF0501 at error severity).
+	Indep int `json:"indep,omitempty"`
 }
+
+// ExpectRefuted reports that the program carries an INDEPENDENT
+// annotation the dependence verifier must refute.
+func (p Params) ExpectRefuted() bool { return p.Indep == 2 }
 
 // MaskDensity is the FORALL mask truth density the prediction engine
 // should assume for this program: red-black relaxation updates half the
@@ -238,6 +248,16 @@ func drawStencil1D(p *Params, rng *rand.Rand) {
 	p.Procs = pick(rng, 2, 4, 8)
 	p.GridP = p.Procs
 	p.Dist = oneDimDist(p, rng, p.N)
+	// Annotate the update DO on half the large BLOCK-distributed
+	// programs: there the parallel lowering strictly wins. Under CYCLIC
+	// mappings the stencil's neighbor communication costs more than the
+	// serialization the directive removes, and at small N the shadow-
+	// exchange startup does; both would fail the strictly-lower gate.
+	// The draw is unconditional to keep the rng stream aligned with
+	// Render.
+	if indep := rng.Intn(2); indep == 1 && p.Dist == "(BLOCK)" && p.N >= 128 {
+		p.Indep = 1
+	}
 }
 
 func drawStencil2D(p *Params, rng *rand.Rand) {
@@ -304,6 +324,9 @@ func drawNBody(p *Params, rng *rand.Rand) {
 	p.Procs = pick(rng, 2, 4, 8)
 	p.GridP = p.Procs
 	p.Dist = "(BLOCK)"
+	if rng.Intn(4) == 0 {
+		p.Indep = 2 // refutable: annotate the prefix-sum force pass
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -366,11 +389,25 @@ func renderStencil1D(p Params, rng *rand.Rand) string {
 	c1, c2, c3 := coef(rng), coef(rng), coef(rng)
 	amp := coef(rng)
 	var body string
-	if p.Variant == 1 {
+	switch {
+	case p.Variant == 1 && p.Indep == 1:
+		c4, c5 := coef(rng), coef(rng)
+		body = fmt.Sprintf("!HPF$ INDEPENDENT\n"+
+			"  DO I = 3, N-2\n"+
+			"    B(I) = %g*A(I-2) + %g*A(I-1) + %g*A(I) + %g*A(I+1) + %g*A(I+2)\n"+
+			"  END DO\n"+
+			"  FORALL (I=3:N-2) A(I) = B(I)", c1, c2, c3, c4, c5)
+	case p.Variant == 1:
 		c4, c5 := coef(rng), coef(rng)
 		body = fmt.Sprintf("  FORALL (I=3:N-2) B(I) = %g*A(I-2) + %g*A(I-1) + %g*A(I) + %g*A(I+1) + %g*A(I+2)\n"+
 			"  FORALL (I=3:N-2) A(I) = B(I)", c1, c2, c3, c4, c5)
-	} else {
+	case p.Indep == 1:
+		body = fmt.Sprintf("!HPF$ INDEPENDENT\n"+
+			"  DO I = 2, N-1\n"+
+			"    B(I) = %g*A(I-1) + %g*A(I) + %g*A(I+1)\n"+
+			"  END DO\n"+
+			"  FORALL (I=2:N-1) A(I) = B(I)", c1, c2, c3)
+	default:
 		body = fmt.Sprintf("  FORALL (I=2:N-1) B(I) = %g*A(I-1) + %g*A(I) + %g*A(I+1)\n"+
 			"  FORALL (I=2:N-1) A(I) = B(I)", c1, c2, c3)
 	}
@@ -513,6 +550,14 @@ func renderNBody(p Params, rng *rand.Rand) string {
 	g := 0.5 + coef(rng)
 	eps := 0.01
 	amp := coef(rng)
+	var smooth string
+	if p.Indep == 2 {
+		// A prefix-style smoothing pass over the accumulated forces:
+		// F(I) reads F(I-1), a genuine loop-carried flow dependence, so
+		// the INDEPENDENT annotation is a lie the verifier must refute
+		// (HPF0501) and the compiler must not honor.
+		smooth = "!HPF$ INDEPENDENT\nDO I = 2, N\n  F(I) = F(I) + G*F(I-1)\nEND DO\n"
+	}
 	return fmt.Sprintf(`PROGRAM %s
 PARAMETER (N = %d, STEPS = %d, G = %g, EPS = %g)
 REAL X(N), FM(N), F(N), XT(N), MT(N)
@@ -534,8 +579,8 @@ DO K = 1, STEPS
   MT = CSHIFT(MT, %d)
   FORALL (I=1:N) F(I) = F(I) + G*FM(I)*MT(I)/((X(I) - XT(I))**2 + EPS)
 END DO
-CHK = SUM(F)
+%sCHK = SUM(F)
 PRINT *, CHK
 END
-`, p.unitName(), p.N, p.Steps, g, eps, p.gridSpec(), p.Dist, amp, amp/2, p.Variant, p.Variant)
+`, p.unitName(), p.N, p.Steps, g, eps, p.gridSpec(), p.Dist, amp, amp/2, p.Variant, p.Variant, smooth)
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"hpfperf/internal/sweep"
@@ -249,5 +250,52 @@ func TestReportShape(t *testing.T) {
 	}
 	if testing.Verbose() {
 		fmt.Println(rep.Text())
+	}
+}
+
+// TestIndependentCorpusCoverage pins the INDEPENDENT-directive exercise
+// of the corpus: the default seed generates both provable annotations
+// (which must predict strictly below their directive-stripped twins)
+// and intentionally refutable ones (which must draw HPF0501 from the
+// verifier), and the gates actually discriminate.
+func TestIndependentCorpusCoverage(t *testing.T) {
+	progs := Generate(42, 200)
+	var proven, refutable *Program
+	for i := range progs {
+		switch progs[i].Indep {
+		case 1:
+			if proven == nil {
+				proven = &progs[i]
+			}
+		case 2:
+			if refutable == nil {
+				refutable = &progs[i]
+			}
+		}
+	}
+	if proven == nil || refutable == nil {
+		t.Fatalf("seed 42 corpus must contain both INDEPENDENT variants (proven=%v refutable=%v)", proven != nil, refutable != nil)
+	}
+
+	eng := sweep.Default()
+	v := ValidateOne(context.Background(), eng, *proven)
+	if !v.Pass() {
+		t.Fatalf("%s: %s", proven.Name, v.Err)
+	}
+	if v.PlainUS <= v.PredUS {
+		t.Fatalf("%s: annotated %.1fus not strictly below plain %.1fus", proven.Name, v.PredUS, v.PlainUS)
+	}
+
+	v = ValidateOne(context.Background(), eng, *refutable)
+	if !v.Pass() {
+		t.Fatalf("%s: %s", refutable.Name, v.Err)
+	}
+
+	// Gate direction: stripping the refutable annotation removes the
+	// expected HPF0501, so the same Params must now fail the harness.
+	stripped := *refutable
+	stripped.Source = strings.ReplaceAll(stripped.Source, "!HPF$ INDEPENDENT\n", "")
+	if v := ValidateOne(context.Background(), eng, stripped); v.Pass() {
+		t.Fatal("harness passed a refutable-variant program whose annotation was stripped")
 	}
 }

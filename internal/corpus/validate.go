@@ -3,6 +3,7 @@ package corpus
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"hpfperf/internal/analysis"
 	"hpfperf/internal/compiler"
@@ -20,7 +21,11 @@ type Verdict struct {
 	MeasUS float64 `json:"meas_us"` // deterministic simulated execution
 	RelErr float64 `json:"rel_err"` // |pred-meas|/meas
 	Bound  float64 `json:"bound"`   // family error bound
-	Err    string  `json:"err,omitempty"`
+	// PlainUS is the prediction of the directive-stripped twin, recorded
+	// for programs with a provable INDEPENDENT annotation (Indep == 1):
+	// the harness requires PredUS < PlainUS.
+	PlainUS float64 `json:"plain_us,omitempty"`
+	Err     string  `json:"err,omitempty"`
 }
 
 // Pass reports whether the program cleared every validation gate.
@@ -67,11 +72,24 @@ func ValidateOne(ctx context.Context, eng *sweep.Engine, pr Program) Verdict {
 		v.Err = fmt.Sprintf("compile: %v", err)
 		return v
 	}
+	refuted := false
 	for _, d := range analysis.Analyze(prog) {
+		if d.Code == "HPF0501" && d.Severity >= analysis.SevError {
+			refuted = true
+			if !pr.ExpectRefuted() {
+				v.Err = fmt.Sprintf("lint: %s", d.String())
+				return v
+			}
+			continue
+		}
 		if d.Severity >= analysis.SevError {
 			v.Err = fmt.Sprintf("lint: %s", d.String())
 			return v
 		}
+	}
+	if pr.ExpectRefuted() && !refuted {
+		v.Err = "verifier accepted an INDEPENDENT annotation built to be refutable (no HPF0501)"
+		return v
 	}
 
 	opts := interpOptions(pr.Params)
@@ -100,6 +118,23 @@ func ValidateOne(ctx context.Context, eng *sweep.Engine, pr Program) Verdict {
 		return v
 	}
 	v.PredUS = compRep.TotalUS()
+
+	if pr.Indep == 1 {
+		// Differential directive gate: the identical program with the
+		// INDEPENDENT lines stripped keeps the serialized DO loop, so
+		// the annotated prediction must come out strictly lower.
+		plain := strings.ReplaceAll(pr.Source, "!HPF$ INDEPENDENT\n", "")
+		plainRep, err := eng.InterpretContext(ctx, plain, compiler.Options{}, opts)
+		if err != nil {
+			v.Err = fmt.Sprintf("interp(plain twin): %v", err)
+			return v
+		}
+		v.PlainUS = plainRep.TotalUS()
+		if v.PredUS >= v.PlainUS {
+			v.Err = fmt.Sprintf("proven INDEPENDENT did not lower the prediction: %.1fus annotated vs %.1fus plain", v.PredUS, v.PlainUS)
+			return v
+		}
+	}
 
 	res, err := eng.MeasureContext(ctx, pr.Source, compiler.Options{}, measureSpec())
 	if err != nil {

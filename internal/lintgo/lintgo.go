@@ -1,0 +1,406 @@
+// Package lintgo implements project-specific vet checks over this
+// repository's own Go sources, built on the standard go/ast toolchain
+// only (no external analyzer frameworks). The checks encode invariants
+// the generic linters cannot know:
+//
+//   - span-end: every span opened with obs.Start (or a StartChild call
+//     on an obs span) must be closed on every path out of the opening
+//     function — in practice, with `defer span.End()`. A leaked span
+//     never reports its duration and silently corrupts trace trees.
+//   - ctx-first: every exported function or method whose name ends in
+//     "Context" must accept a context.Context as its first parameter,
+//     matching the stdlib convention the rest of the codebase relies
+//     on for cancellation plumbing.
+//
+// Package lintgo is consumed by cmd/hpfvet, which CI runs next to
+// go vet and staticcheck.
+package lintgo
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one vet violation.
+type Finding struct {
+	Pos     token.Position
+	Rule    string // "span-end" or "ctx-first"
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Rule)
+}
+
+// File runs every check over one parsed file.
+func File(fset *token.FileSet, f *ast.File) []Finding {
+	var out []Finding
+	out = append(out, checkCtxFirst(fset, f)...)
+	out = append(out, checkSpanEnd(fset, f)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Dir walks root for .go files (skipping testdata and hidden
+// directories), parses each, and returns the merged findings in
+// path order.
+func Dir(root string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var out []Finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			// The root itself may be named "." or "..": only prune
+			// directories below it.
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		out = append(out, File(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// ctx-first
+
+func checkCtxFirst(fset *token.FileSet, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || !fn.Name.IsExported() || !strings.HasSuffix(fn.Name.Name, "Context") {
+			continue
+		}
+		if isTestFunc(fn) {
+			continue
+		}
+		params := fn.Type.Params
+		if params != nil && len(params.List) > 0 && isContextType(params.List[0].Type) {
+			// The first field may declare several names; context must be
+			// alone in its group to truly be the first parameter.
+			if len(params.List[0].Names) <= 1 {
+				continue
+			}
+		}
+		out = append(out, Finding{
+			Pos:     fset.Position(fn.Name.Pos()),
+			Rule:    "ctx-first",
+			Message: fmt.Sprintf("exported %s must take context.Context as its first parameter", fn.Name.Name),
+		})
+	}
+	return out
+}
+
+// isTestFunc recognizes go-test entry points (TestXxxContext et al.):
+// their first parameter is *testing.T/B/F by contract, so the ctx-first
+// rule does not apply.
+func isTestFunc(fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if fn.Recv != nil || params == nil || len(params.List) == 0 {
+		return false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "testing"
+}
+
+func isContextType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// ---------------------------------------------------------------------------
+// span-end
+
+// checkSpanEnd flags spans opened inside a function that are not
+// provably ended on every path out of it. The analysis is syntactic and
+// deliberately conservative: a `defer v.End()` after the open covers
+// everything; otherwise every terminating statement reachable after the
+// open must be preceded by an unconditional v.End() call. Ends inside
+// loops or behind conditions do not count — if a span's lifetime really
+// is conditional, restructure to a defer.
+func checkSpanEnd(fset *token.FileSet, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		out = append(out, checkFuncSpans(fset, fn.Body)...)
+		// Function literals manage their own spans: a span opened inside
+		// a closure must end inside it.
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, checkFuncSpans(fset, lit.Body)...)
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// spanOpen is one `v := obs.Start(...)`-style opening found in a body.
+type spanOpen struct {
+	name string
+	pos  token.Pos
+}
+
+func checkFuncSpans(fset *token.FileSet, body *ast.BlockStmt) []Finding {
+	opens := collectOpens(body)
+	var out []Finding
+	for _, op := range opens {
+		if !endedOnAllPaths(body, op) {
+			out = append(out, Finding{
+				Pos:     fset.Position(op.pos),
+				Rule:    "span-end",
+				Message: fmt.Sprintf("span %s is not ended on every path: add `defer %s.End()` right after the Start", op.name, op.name),
+			})
+		}
+	}
+	return out
+}
+
+// collectOpens finds span-opening assignments in a body, excluding
+// nested function literals (they are checked separately).
+func collectOpens(body *ast.BlockStmt) []spanOpen {
+	var out []spanOpen
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isSpanStart(call.Fun) {
+			return true
+		}
+		// obs.Start returns (ctx, span); StartChild returns the span.
+		// The span is always the last LHS.
+		last := as.Lhs[len(as.Lhs)-1]
+		id, ok := last.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		out = append(out, spanOpen{name: id.Name, pos: id.Pos()})
+		return true
+	})
+	return out
+}
+
+// isSpanStart matches obs.Start / obs.StartSpan / <expr>.StartChild.
+func isSpanStart(fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "obs" && strings.HasPrefix(sel.Sel.Name, "Start") {
+		return true
+	}
+	return sel.Sel.Name == "StartChild"
+}
+
+// endedOnAllPaths reports whether the span named op.name is closed on
+// every path that leaves the body after the open. walk returns
+// (ended, terminated): ended — the span is closed when control falls
+// off the end of the statement list; terminated — no path falls off the
+// end (every path returns/panics), with every such exit already ended.
+// A false from walk means some exit path lacks an End.
+func endedOnAllPaths(body *ast.BlockStmt, op spanOpen) bool {
+	ok := true
+	var walk func(ss []ast.Stmt, started, ended bool) (bool, bool)
+	walk = func(ss []ast.Stmt, started, ended bool) (bool, bool) {
+		for _, s := range ss {
+			if !started {
+				if containsPos(s, op.pos) {
+					started = true
+					// An open inside a compound statement (if/for body)
+					// is out of scope for this straight-line pass; only
+					// require the End when the open is a direct child.
+					if _, plain := s.(*ast.AssignStmt); !plain {
+						return true, false
+					}
+				}
+				continue
+			}
+			switch x := s.(type) {
+			case *ast.DeferStmt:
+				if isEndCall(x.Call, op.name) {
+					ended = true
+				}
+			case *ast.ExprStmt:
+				if call, okc := x.X.(*ast.CallExpr); okc && isEndCall(call, op.name) {
+					ended = true
+				}
+			case *ast.ReturnStmt:
+				if !ended && !returnsSpan(x, op.name) {
+					ok = false
+				}
+				return ended, true
+			case *ast.BlockStmt:
+				var term bool
+				ended, term = walk(x.List, true, ended)
+				if term {
+					return ended, true
+				}
+			case *ast.IfStmt:
+				// `if span == nil { ... }` guards the untraced case: the
+				// nil span has nothing to end, so that branch is covered.
+				thenStart := ended
+				if isNilCheck(x.Cond, op.name) {
+					thenStart = true
+				}
+				thenEnded, thenTerm := walk(x.Body.List, true, thenStart)
+				elseEnded, elseTerm := ended, false
+				switch e := x.Else.(type) {
+				case *ast.BlockStmt:
+					elseEnded, elseTerm = walk(e.List, true, ended)
+				case *ast.IfStmt:
+					elseEnded, elseTerm = walk([]ast.Stmt{e}, true, ended)
+				}
+				if thenTerm && elseTerm {
+					return true, true
+				}
+				switch {
+				case thenTerm:
+					ended = elseEnded
+				case elseTerm:
+					ended = thenEnded
+				default:
+					ended = thenEnded && elseEnded
+				}
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+				// Conditional or repeated regions: an End inside does not
+				// prove coverage, but a return inside without one is a
+				// leak. Scan for uncovered returns conservatively.
+				if !ended && hasReturnWithoutEnd(s, op.name) {
+					ok = false
+				}
+			}
+		}
+		return ended, false
+	}
+	ended, terminated := walk(body.List, false, false)
+	if !ok {
+		return false
+	}
+	if terminated {
+		return true
+	}
+	return ended
+}
+
+// hasReturnWithoutEnd reports whether the subtree contains a return
+// statement and no defer of the End (loops/switches are opaque to the
+// straight-line pass).
+func hasReturnWithoutEnd(s ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.DeferStmt:
+			if isEndCall(x.Call, name) {
+				found = false
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnsSpan reports whether the return statement hands the span to
+// the caller (ownership transfer: the caller becomes responsible for
+// End, as obs.Start itself does with the child span it creates).
+func returnsSpan(r *ast.ReturnStmt, name string) bool {
+	for _, res := range r.Results {
+		found := false
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isNilCheck matches `name == nil`.
+func isNilCheck(cond ast.Expr, name string) bool {
+	b, ok := cond.(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return false
+	}
+	x, okx := b.X.(*ast.Ident)
+	y, oky := b.Y.(*ast.Ident)
+	if !okx || !oky {
+		return false
+	}
+	return (x.Name == name && y.Name == "nil") || (y.Name == name && x.Name == "nil")
+}
+
+func isEndCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// containsPos reports whether the node's source range covers pos.
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}

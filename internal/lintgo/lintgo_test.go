@@ -1,0 +1,266 @@
+package lintgo
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return File(fset, f)
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+const header = `package p
+
+import (
+	"context"
+
+	"hpfperf/internal/obs"
+)
+`
+
+func TestSpanEndDefer(t *testing.T) {
+	fs := lint(t, header+`
+func ok(ctx context.Context) {
+	ctx, span := obs.Start(ctx, "x")
+	defer span.End()
+	_ = ctx
+}
+`)
+	if len(fs) != 0 {
+		t.Errorf("defer End must be clean; got %v", fs)
+	}
+}
+
+func TestSpanEndMissing(t *testing.T) {
+	fs := lint(t, header+`
+func leak(ctx context.Context) {
+	_, span := obs.Start(ctx, "x")
+	_ = span
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "span-end" {
+		t.Fatalf("want one span-end finding; got %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "span") {
+		t.Errorf("message should name the span: %q", fs[0].Message)
+	}
+}
+
+func TestSpanEndEarlyReturnLeaks(t *testing.T) {
+	fs := lint(t, header+`
+func leak(ctx context.Context, b bool) error {
+	_, span := obs.Start(ctx, "x")
+	if b {
+		return nil
+	}
+	span.End()
+	return nil
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "span-end" {
+		t.Fatalf("early return without End must flag; got %v", fs)
+	}
+}
+
+func TestSpanEndAllBranches(t *testing.T) {
+	fs := lint(t, header+`
+func ok(ctx context.Context, b bool) error {
+	_, span := obs.Start(ctx, "x")
+	if b {
+		span.End()
+		return nil
+	}
+	span.End()
+	return nil
+}
+`)
+	if len(fs) != 0 {
+		t.Errorf("End on both branches must be clean; got %v", fs)
+	}
+}
+
+func TestSpanEndInsideLoopNotCredited(t *testing.T) {
+	fs := lint(t, header+`
+func leak(ctx context.Context, n int) {
+	_, span := obs.Start(ctx, "x")
+	for i := 0; i < n; i++ {
+		span.End()
+	}
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "span-end" {
+		t.Fatalf("End only inside a loop must flag; got %v", fs)
+	}
+}
+
+func TestSpanEndReturnInsideLoopLeaks(t *testing.T) {
+	fs := lint(t, header+`
+func leak(ctx context.Context, n int) error {
+	_, span := obs.Start(ctx, "x")
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			return nil
+		}
+	}
+	span.End()
+	return nil
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "span-end" {
+		t.Fatalf("return from inside a loop without End must flag; got %v", fs)
+	}
+}
+
+func TestSpanEndStartChild(t *testing.T) {
+	fs := lint(t, header+`
+func leak(parent *obs.Span) {
+	child := parent.StartChild("x")
+	_ = child
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "span-end" {
+		t.Fatalf("unended StartChild must flag; got %v", fs)
+	}
+}
+
+func TestSpanEndClosureIsolated(t *testing.T) {
+	// A span opened inside a closure must end inside the closure; the
+	// enclosing function's defer does not reach it.
+	fs := lint(t, header+`
+func leak(ctx context.Context) {
+	go func() {
+		_, span := obs.Start(ctx, "x")
+		_ = span
+	}()
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "span-end" {
+		t.Fatalf("closure-opened span without End must flag; got %v", fs)
+	}
+	fs = lint(t, header+`
+func ok(ctx context.Context) {
+	go func() {
+		_, span := obs.Start(ctx, "x")
+		defer span.End()
+	}()
+}
+`)
+	if len(fs) != 0 {
+		t.Errorf("closure with its own defer must be clean; got %v", fs)
+	}
+}
+
+func TestCtxFirst(t *testing.T) {
+	fs := lint(t, header+`
+func RunContext(ctx context.Context, n int) error { return nil }
+`)
+	if len(fs) != 0 {
+		t.Errorf("ctx-first compliant function flagged: %v", fs)
+	}
+
+	fs = lint(t, header+`
+func BadContext(n int, ctx context.Context) error { return nil }
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "ctx-first" {
+		t.Fatalf("ctx not first must flag; got %v", fs)
+	}
+
+	fs = lint(t, header+`
+func AlsoBadContext(n int) error { return nil }
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "ctx-first" {
+		t.Fatalf("missing ctx must flag; got %v", fs)
+	}
+
+	// Unexported and non-Context-suffixed functions are out of scope.
+	fs = lint(t, header+`
+func runContext(n int) error { return nil }
+func Runner(n int) error     { return nil }
+`)
+	if len(fs) != 0 {
+		t.Errorf("out-of-scope functions flagged: %v", fs)
+	}
+
+	// Methods are covered too.
+	fs = lint(t, header+`
+type T struct{}
+
+func (T) DoContext(n int) error { return nil }
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "ctx-first" {
+		t.Fatalf("method missing ctx must flag; got %v", fs)
+	}
+}
+
+// TestRepoClean runs the vet over this repository's own sources: the
+// invariants the checks encode must actually hold here.
+func TestRepoClean(t *testing.T) {
+	fs, err := Dir("../..")
+	if err != nil {
+		t.Fatalf("Dir: %v", err)
+	}
+	if len(fs) != 0 {
+		for _, f := range fs {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+func TestSpanEndOwnershipTransfer(t *testing.T) {
+	// Returning the span hands End responsibility to the caller, as
+	// obs.Start itself does with the child span it creates.
+	fs := lint(t, header+`
+func Open(ctx context.Context) (context.Context, *obs.Span) {
+	s := obs.SpanFromContext(ctx).StartChild("x")
+	return ctx, s
+}
+`)
+	if len(fs) != 0 {
+		t.Errorf("ownership-transferring return must be clean; got %v", fs)
+	}
+}
+
+func TestSpanEndNilGuard(t *testing.T) {
+	// `if s == nil { return }` exits the untraced case: a nil span has
+	// nothing to end.
+	fs := lint(t, header+`
+func ok(ctx context.Context) {
+	_, s := obs.Start(ctx, "x")
+	if s == nil {
+		return
+	}
+	s.SetAttr("k", "v")
+	s.End()
+}
+`)
+	if len(fs) != 0 {
+		t.Errorf("nil-guarded span must be clean; got %v", fs)
+	}
+}
+
+func TestCtxFirstSkipsTestFuncs(t *testing.T) {
+	fs := lint(t, header+`
+import "testing"
+
+func TestSomethingContext(t *testing.T) {}
+`)
+	if len(fs) != 0 {
+		t.Errorf("go-test entry points are out of scope; got %v", fs)
+	}
+}

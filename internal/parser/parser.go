@@ -164,6 +164,11 @@ func (p *parser) parseProgram() *ast.Program {
 				prog.Decls = append(prog.Decls, &ast.ImplicitNoneDecl{ImpPos: pos})
 			})
 		case token.KwHPF:
+			if p.peek().Kind == token.KwINDEPENDENT {
+				// INDEPENDENT opens the execution part: it attaches to the
+				// DO/FORALL statement that follows it.
+				goto body
+			}
 			p.withRecover(func() {
 				if d := p.parseDirective(); d != nil {
 					prog.Directives = append(prog.Directives, d)
@@ -188,6 +193,15 @@ body:
 			return prog
 		}
 		if p.at(token.KwHPF) {
+			if p.peek().Kind == token.KwINDEPENDENT {
+				// INDEPENDENT attaches to the following DO/FORALL statement.
+				p.withRecover(func() {
+					if s := p.parseStmt(); s != nil {
+						prog.Body = append(prog.Body, s)
+					}
+				})
+				continue
+			}
 			// Executable-part directives (e.g. REDISTRIBUTE) are parsed and
 			// recorded with the others.
 			p.withRecover(func() {
@@ -447,6 +461,8 @@ func (p *parser) parseDistFormat() ast.DistFormat {
 
 func (p *parser) parseStmt() ast.Stmt {
 	switch p.kind() {
+	case token.KwHPF:
+		return p.parseIndependent()
 	case token.KwDO:
 		return p.parseDo()
 	case token.KwIF:
@@ -482,6 +498,39 @@ func (p *parser) parseStmt() ast.Stmt {
 	}
 	p.errorf("unexpected %s at start of statement", p.cur())
 	panic(bailout{})
+}
+
+// parseIndependent parses an executable-position !HPF$ INDEPENDENT
+// directive and attaches it to the DO or FORALL statement that must
+// immediately follow it.
+func (p *parser) parseIndependent() ast.Stmt {
+	pos := p.expect(token.KwHPF).Pos
+	if !p.at(token.KwINDEPENDENT) {
+		p.errorf("unknown HPF directive %s in executable block", p.cur())
+		p.syncLine()
+		return nil
+	}
+	p.advance()
+	p.endOfStmt()
+	p.skipNewlines()
+	switch p.kind() {
+	case token.KwDO:
+		s := p.parseDo()
+		if d, ok := s.(*ast.DoStmt); ok {
+			d.Independent = true
+		} else {
+			p.errs = append(p.errs, &Error{Pos: pos, Msg: "INDEPENDENT directive cannot apply to DO WHILE"})
+		}
+		return s
+	case token.KwFORALL:
+		s := p.parseForall()
+		if f, ok := s.(*ast.ForallStmt); ok {
+			f.Independent = true
+		}
+		return s
+	}
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: "INDEPENDENT directive must immediately precede a DO or FORALL statement"})
+	return nil
 }
 
 func (p *parser) parseAssign() ast.Stmt {

@@ -1,0 +1,97 @@
+package server
+
+// Cost-based admission control: every predict/measure request is
+// pre-priced with the static analyzer (analysis.Price over the compiled
+// program and its definition trace) before any interpretation or
+// simulated execution runs. Two budgets apply: a per-request ceiling
+// (Config.MaxCostUnits) and an aggregate in-flight budget
+// (Config.MaxInflightCostUnits) — the priced variant of the bounded
+// queue, which distinguishes one 10^9-unit sweep from fifty 10^3-unit
+// line queries where the raw concurrency gate cannot. Rejections are
+// 429s carrying the estimate and the violated budget in the body.
+
+import (
+	"fmt"
+	"net/http"
+
+	"hpfperf/internal/analysis"
+	"hpfperf/internal/hir"
+)
+
+// costMilli converts cost units to the integer milli-units the atomic
+// in-flight accumulator tracks.
+func costMilli(units float64) int64 { return int64(units * 1000) }
+
+// maxPriceEntries bounds the price memo; the engine's compile LRU keeps
+// far fewer programs alive, so eviction here is a pathological-churn
+// backstop, not a working-set limit.
+const maxPriceEntries = 1024
+
+// priceOf memoizes analysis.PriceProgram per compiled program. Pricing
+// re-runs definition tracing, which would otherwise cost more than a
+// cache-hot predict request it gates; the engine's LRU returns
+// pointer-identical programs for cached sources, so program identity is
+// a sound memo key.
+func (s *Server) priceOf(prog *hir.Program) *analysis.PriceReport {
+	s.priceMu.Lock()
+	if p, ok := s.prices[prog]; ok {
+		s.priceMu.Unlock()
+		return p
+	}
+	s.priceMu.Unlock()
+	price := analysis.PriceProgram(prog)
+	s.priceMu.Lock()
+	if s.prices == nil || len(s.prices) >= maxPriceEntries {
+		s.prices = make(map[*hir.Program]*analysis.PriceReport, 64)
+	}
+	s.prices[prog] = price
+	s.priceMu.Unlock()
+	return price
+}
+
+// admitCost prices a compiled program and runs it through both cost
+// budgets. On admission it returns the price and a release func the
+// caller must defer; on rejection it returns a 429 apiError carrying
+// the estimate.
+func (s *Server) admitCost(prog *hir.Program) (*analysis.PriceReport, func(), *apiError) {
+	if s.cfg.MaxCostUnits <= 0 && s.cfg.MaxInflightCostUnits <= 0 {
+		return nil, func() {}, nil
+	}
+	price := s.priceOf(prog)
+	if s.cfg.MaxCostUnits > 0 && price.CostUnits > s.cfg.MaxCostUnits {
+		s.met.costRejected.Add(1)
+		return nil, nil, &apiError{
+			status:    http.StatusTooManyRequests,
+			stage:     "admission",
+			err:       fmt.Errorf("program prices at %.0f cost units, over the per-request budget of %.0f", price.CostUnits, s.cfg.MaxCostUnits),
+			estCost:   price.CostUnits,
+			costLimit: s.cfg.MaxCostUnits,
+		}
+	}
+	milli := costMilli(price.CostUnits)
+	if s.cfg.MaxInflightCostUnits <= 0 {
+		s.met.costAdmittedMilli.Add(milli)
+		return price, func() {}, nil
+	}
+	maxMilli := costMilli(s.cfg.MaxInflightCostUnits)
+	for {
+		cur := s.met.costInflightMilli.Load()
+		// Always admit against an idle budget so one request larger than
+		// the aggregate budget cannot starve forever.
+		if cur > 0 && cur+milli > maxMilli {
+			s.met.costRejected.Add(1)
+			return nil, nil, &apiError{
+				status:    http.StatusTooManyRequests,
+				stage:     "admission",
+				err:       fmt.Errorf("program prices at %.0f cost units but only %.0f of the %.0f in-flight budget is free", price.CostUnits, s.cfg.MaxInflightCostUnits-float64(cur)/1000, s.cfg.MaxInflightCostUnits),
+				estCost:   price.CostUnits,
+				costLimit: s.cfg.MaxInflightCostUnits,
+			}
+		}
+		if s.met.costInflightMilli.CompareAndSwap(cur, cur+milli) {
+			break
+		}
+	}
+	s.met.costAdmittedMilli.Add(milli)
+	return price, func() { s.met.costInflightMilli.Add(-milli) }, nil
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// smallSource is a program whose static price is far below bigSource's.
+const smallSource = `      PROGRAM TINY
+!HPF$ PROCESSORS P(4)
+      REAL A(64)
+!HPF$ TEMPLATE T(64)
+!HPF$ ALIGN A WITH T
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+      A = 2.0
+      PRINT *, A(1)
+      END PROGRAM TINY
+`
+
+// TestCostAdmissionGate is the acceptance pair: with a per-request cost
+// budget set between the two programs' static prices, the expensive
+// request is rejected with 429 carrying the estimate while the identical
+// small request succeeds.
+func TestCostAdmissionGate(t *testing.T) {
+	// Price the two programs through an ungated server first so the test
+	// derives the budget instead of hardcoding pricer weights.
+	_, open := newTestServer(t, Config{})
+	priceOf := func(src string) float64 {
+		resp, body := post(t, open.URL+"/v1/analyze", AnalyzeRequest{Source: src})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze: status %d: %s", resp.StatusCode, body)
+		}
+		var ar AnalyzeResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatalf("analyze body: %v", err)
+		}
+		if ar.Price == nil || ar.Price.CostUnits <= 0 {
+			t.Fatalf("analyze returned no usable price block: %s", body)
+		}
+		return ar.Price.CostUnits
+	}
+	small := priceOf(smallSource)
+	big := priceOf(bigSource(50))
+	if !(small < big) {
+		t.Fatalf("test premise broken: small prices %.0f, big %.0f", small, big)
+	}
+	budget := (small + big) / 2
+
+	_, gated := newTestServer(t, Config{MaxCostUnits: budget})
+
+	resp, body := post(t, gated.URL+"/v1/predict", PredictRequest{Source: bigSource(50)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget predict: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("429 body: %v", err)
+	}
+	if e.Stage != "admission" {
+		t.Errorf("stage = %q, want admission", e.Stage)
+	}
+	if e.EstimatedCostUnits != big {
+		t.Errorf("estimated_cost_units = %g, want the static price %g", e.EstimatedCostUnits, big)
+	}
+	if e.CostLimitUnits != budget {
+		t.Errorf("cost_limit_units = %g, want %g", e.CostLimitUnits, budget)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	resp, body = post(t, gated.URL+"/v1/predict", PredictRequest{Source: smallSource})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("under-budget predict: status %d, want 200: %s", resp.StatusCode, body)
+	}
+
+	// Measure is gated by the same budget.
+	resp, body = post(t, gated.URL+"/v1/measure", MeasureRequest{Source: bigSource(50), NoPerturb: true})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget measure: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	// Analyze is never cost-gated: pricing a program must stay possible
+	// exactly when its prediction would be refused.
+	resp, _ = post(t, gated.URL+"/v1/analyze", AnalyzeRequest{Source: bigSource(50)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze under gate: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestInflightCostBudget exercises the priced queue: the aggregate
+// budget admits a request on an idle gate regardless of size, and the
+// reservation is released after completion so the next request also
+// succeeds.
+func TestInflightCostBudget(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflightCostUnits: 1})
+	// Budget (1 unit) is far below the program's price, but the gate is
+	// idle, so the request must be admitted (no-starvation rule).
+	resp, body := post(t, ts.URL+"/v1/predict", PredictRequest{Source: smallSource})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle-gate predict: status %d: %s", resp.StatusCode, body)
+	}
+	if got := s.met.costInflightMilli.Load(); got != 0 {
+		t.Errorf("inflight cost not released: %d milli-units", got)
+	}
+	if s.met.costAdmittedMilli.Load() <= 0 {
+		t.Error("admitted cost counter did not grow")
+	}
+	resp, body = post(t, ts.URL+"/v1/predict", PredictRequest{Source: smallSource})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second predict after release: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestCostMetricsExposed pins the new /metrics series names.
+func TestCostMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxCostUnits: 1})
+	resp, body := post(t, ts.URL+"/v1/predict", PredictRequest{Source: smallSource})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("predict under 1-unit budget: status %d: %s", resp.StatusCode, body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"hpfserve_cost_rejected_total 1",
+		"hpfserve_cost_inflight_units 0",
+		"hpfserve_cost_admitted_units_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -212,7 +212,11 @@ type AnalyzeResponse struct {
 	Errors      int                   `json:"errors"`
 	Warnings    int                   `json:"warnings"`
 	Infos       int                   `json:"infos"`
-	ElapsedUS   float64               `json:"elapsed_us"`
+	// Price is the static cost pre-estimate the admission gate uses; a
+	// client can check it against the server's advertised budget before
+	// submitting an expensive predict request.
+	Price     *analysis.PriceReport `json:"price,omitempty"`
+	ElapsedUS float64               `json:"elapsed_us"`
 }
 
 // ErrorResponse is the body of every non-2xx API response. RequestID
@@ -230,6 +234,12 @@ type ErrorResponse struct {
 	RequestID string `json:"request_id,omitempty"`
 	// TraceID is the request's W3C trace ID.
 	TraceID string `json:"trace_id,omitempty"`
+	// EstimatedCostUnits carries the static cost estimate on 429
+	// responses from the cost-admission gate ("admission" stage), so a
+	// rejected client knows how far over budget the program priced.
+	EstimatedCostUnits float64 `json:"estimated_cost_units,omitempty"`
+	// CostLimitUnits is the budget the estimate was checked against.
+	CostLimitUnits float64 `json:"cost_limit_units,omitempty"`
 }
 
 // TracesResponse is the body of GET /v1/traces: the most recent traced
@@ -263,10 +273,14 @@ func writeError(w http.ResponseWriter, status int, stage string, err error, meta
 }
 
 // apiError carries an HTTP status and stage label through a handler.
+// estCost/costLimit are set by the cost-admission gate so its 429s can
+// carry the static estimate in the response body.
 type apiError struct {
-	status int
-	stage  string
-	err    error
+	status    int
+	stage     string
+	err       error
+	estCost   float64
+	costLimit float64
 }
 
 func (e *apiError) Error() string { return fmt.Sprintf("%s: %v", e.stage, e.err) }

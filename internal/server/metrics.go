@@ -65,6 +65,12 @@ type metrics struct {
 	shed            atomic.Int64 // requests shed by the gate with 429 + Retry-After
 	breakerRejected atomic.Int64 // requests refused by an open circuit breaker
 	panics          atomic.Int64 // handler panics recovered
+
+	// Cost-admission gate counters (see admission.go). The in-flight
+	// accumulator is in milli-units so reservation stays one CAS.
+	costRejected      atomic.Int64 // requests refused over a cost budget (429)
+	costInflightMilli atomic.Int64 // reserved static cost of admitted requests
+	costAdmittedMilli atomic.Int64 // cumulative admitted static cost
 }
 
 // writeExemplar appends an OpenMetrics exemplar (` # {trace_id=
@@ -174,6 +180,15 @@ func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.Cache
 	for _, br := range brs {
 		fmt.Fprintf(b, "hpfserve_breaker_opens_total{route=%q} %d\n", br.route, br.opens)
 	}
+	fmt.Fprintf(b, "# HELP hpfserve_cost_rejected_total Requests refused by the static cost-admission gate (429 with the estimate in the body).\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_cost_rejected_total counter\n")
+	fmt.Fprintf(b, "hpfserve_cost_rejected_total %d\n", m.costRejected.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_cost_inflight_units Reserved static cost of admitted in-flight requests.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_cost_inflight_units gauge\n")
+	fmt.Fprintf(b, "hpfserve_cost_inflight_units %g\n", float64(m.costInflightMilli.Load())/1000)
+	fmt.Fprintf(b, "# HELP hpfserve_cost_admitted_units_total Cumulative static cost admitted through the gate.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_cost_admitted_units_total counter\n")
+	fmt.Fprintf(b, "hpfserve_cost_admitted_units_total %g\n", float64(m.costAdmittedMilli.Load())/1000)
 	fmt.Fprintf(b, "# HELP hpfserve_panics_total Handler panics recovered into error responses.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_panics_total counter\n")
 	fmt.Fprintf(b, "hpfserve_panics_total %d\n", m.panics.Load())

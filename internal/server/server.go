@@ -18,6 +18,7 @@ import (
 	"hpfperf/internal/autotune"
 	"hpfperf/internal/compiler"
 	"hpfperf/internal/faults"
+	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
 	"hpfperf/internal/obs"
 	"hpfperf/internal/report"
@@ -48,6 +49,19 @@ type Config struct {
 	// once; beyond it requests are shed immediately with 429
 	// (<= 0 = 4×MaxConcurrent).
 	MaxQueueDepth int
+	// MaxCostUnits caps the static cost pre-estimate (analysis.Price) of
+	// a single predict/measure request; over-budget programs are rejected
+	// with 429 carrying the estimate before any interpretation sweep runs
+	// (0 = no per-request cost limit).
+	MaxCostUnits float64
+	// MaxInflightCostUnits bounds the summed static cost of admitted
+	// in-flight predict/measure requests — the priced variant of the
+	// bounded queue: cheap requests keep flowing while one expensive
+	// request is in flight, and expensive ones queue on cost rather than
+	// raw concurrency (0 = no aggregate cost budget). A request is always
+	// admitted when no priced work is in flight, so a single request
+	// larger than the budget cannot starve.
+	MaxInflightCostUnits float64
 	// BreakerThreshold is the consecutive internal-failure (HTTP 500)
 	// count that opens a route's circuit breaker (0 = 8, < 0 disables
 	// the breakers).
@@ -91,6 +105,13 @@ type Server struct {
 	reqMu    sync.Mutex // guards met.requests growth
 	inflight sync.WaitGroup
 	draining atomic.Bool
+
+	// priceMu/prices memoize the static cost estimate per compiled
+	// program: the engine's LRU hands back pointer-identical *hir.Program
+	// values for cached sources, and pricing (which re-runs definition
+	// tracing) would otherwise dominate a cache-hot predict request.
+	priceMu sync.Mutex
+	prices  map[*hir.Program]*analysis.PriceReport
 }
 
 const (
@@ -420,7 +441,11 @@ func (s *Server) api(route string, h func(ctx context.Context, body []byte) (any
 			s.log(slog.LevelWarn, "request failed",
 				"route", route, "code", code, "stage", aerr.stage, "err", aerr.err.Error(),
 				"request_id", meta.reqID, "trace_id", meta.traceID)
-			writeError(w, code, aerr.stage, aerr.err, meta)
+			writeJSON(w, code, ErrorResponse{
+				Error: aerr.err.Error(), Stage: aerr.stage,
+				RequestID: meta.reqID, TraceID: meta.traceID,
+				EstimatedCostUnits: aerr.estCost, CostLimitUnits: aerr.costLimit,
+			})
 			return
 		}
 		if m, isMeta := resp.(metaSetter); isMeta {
@@ -508,9 +533,18 @@ func (s *Server) handlePredict(ctx context.Context, body []byte) (any, *apiError
 	defer cancel()
 
 	copts := req.Options.compilerOptions()
-	if _, err := s.eng.CompileContext(ctx, req.Source, copts); err != nil {
+	prog, err := s.eng.CompileContext(ctx, req.Source, copts)
+	if err != nil {
 		return nil, ctxErr(err, http.StatusBadRequest, "compile")
 	}
+	// Cost-admission gate: price the compiled program statically and
+	// check it against the per-request and in-flight budgets before the
+	// interpretation sweep runs.
+	_, releaseCost, aerr := s.admitCost(prog)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer releaseCost()
 	rep, err := s.eng.InterpretMachine(ctx, req.Machine, req.Source, copts, req.Options.coreOptions())
 	if err != nil {
 		return nil, ctxErr(err, http.StatusUnprocessableEntity, "interpret")
@@ -551,6 +585,11 @@ func (s *Server) handleMeasure(ctx context.Context, body []byte) (any, *apiError
 	if err != nil {
 		return nil, ctxErr(err, http.StatusBadRequest, "compile")
 	}
+	_, releaseCost, aerr := s.admitCost(prog)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer releaseCost()
 	cfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
 	if req.Machine != "" {
 		base, err := sysmodel.MachineByName(req.Machine)
@@ -680,6 +719,7 @@ func (s *Server) handleAnalyze(ctx context.Context, body []byte) (any, *apiError
 		Errors:      e,
 		Warnings:    w,
 		Infos:       i,
+		Price:       rep.Price,
 		ElapsedUS:   float64(time.Since(start)) / float64(time.Microsecond),
 	}, nil
 }

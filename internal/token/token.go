@@ -109,6 +109,7 @@ const (
 	KwONTO
 	KwBLOCK
 	KwCYCLIC
+	KwINDEPENDENT
 
 	kindCount
 )
@@ -199,6 +200,7 @@ var kindNames = map[Kind]string{
 	KwONTO:         "ONTO",
 	KwBLOCK:        "BLOCK",
 	KwCYCLIC:       "CYCLIC",
+	KwINDEPENDENT:  "INDEPENDENT",
 }
 
 // String returns the printable name of the kind.
@@ -269,6 +271,7 @@ var keywords = map[string]Kind{
 	"ONTO":         KwONTO,
 	"BLOCK":        KwBLOCK,
 	"CYCLIC":       KwCYCLIC,
+	"INDEPENDENT":  KwINDEPENDENT,
 }
 
 // Lookup returns the keyword kind for upper-cased ident text, or IDENT.
