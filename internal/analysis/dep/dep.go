@@ -413,9 +413,9 @@ func termBounds(a, b int64, ix Index, dir Dir) (lo, hi ext) {
 		// i' = i + d, d ≥ 1: term = (a−b)·i − b·d.
 		return coupledBounds(a, b, ix)
 	case DirGT:
-		// i = i' + d, d ≥ 1: term = (a−b)·i' + a·d.
-		lo2, hi2 := coupledBounds(-b, -a, ix)
-		return hi2.mul(-1), lo2.mul(-1)
+		// i = i' + d, d ≥ 1: term = (a−b)·i' + a·d, which is exactly the
+		// shape coupledBounds(−b, −a) computes: (−b−(−a))·i' − (−a)·d.
+		return coupledBounds(-b, -a, ix)
 	}
 	lo1, hi1 := rangeOf(a, ix)
 	lo2, hi2 := rangeOf(b, ix)

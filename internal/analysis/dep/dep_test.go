@@ -408,3 +408,89 @@ func ExampleTestPair() {
 	fmt.Println(res.Kind, res.CarriedProven, res.Dist)
 	// Output: dependent true 1
 }
+
+// TestBanerjeeGTAsymmetric pins the direction-">" Banerjee bound for
+// asymmetric coefficients: coupledBounds(-b, -a) already bounds the GT
+// term (a−b)·i' + a·d directly, and a regression once negated that
+// interval a second time, testing −diff instead of diff — wrongly
+// disproving real backward-carried dependences.
+func TestBanerjeeGTAsymmetric(t *testing.T) {
+	i := []dep.Index{{Name: "I", Lo: 0, Hi: 10, Bounded: true}}
+
+	// Write A(I), read A(2*I+9) over I in [0,10]: A(9) is written at
+	// I=9 and read at I=0 — a backward (">") carried dependence. The box
+	// test cannot exhibit it exactly, but it must NOT disprove it.
+	r := dep.TestPair([]dep.Sub{sub("I", 1, 0)}, []dep.Sub{sub("I", 2, 9)}, i)
+	if r.Kind == dep.Independent {
+		t.Fatalf("A(I) vs A(2I+9) over [0,10]: disproven, but A(9) collides (w@9, r@0)")
+	}
+	var vecs []string
+	for _, d := range r.CarriedDirs() {
+		vecs = append(vecs, dep.DirVector(d))
+	}
+	if got := strings.Join(vecs, " "); got != "(>)" {
+		t.Errorf("A(I) vs A(2I+9): carried dirs %q, want exactly (>)", got)
+	}
+
+	// Negative control with the same asymmetric shape: shifting the read
+	// out of reach (A(2*I+100)) must still be disproven in every
+	// direction, including ">".
+	r = dep.TestPair([]dep.Sub{sub("I", 1, 0)}, []dep.Sub{sub("I", 2, 100)}, i)
+	if r.Kind != dep.Independent {
+		t.Errorf("A(I) vs A(2I+100) over [0,10]: got %v, want independent", r.Kind)
+	}
+}
+
+// TestVerifyLoopAsymmetricGT is the VerifyLoop-level regression for the
+// same bug: an INDEPENDENT claim over this loop must not verify.
+func TestVerifyLoopAsymmetricGT(t *testing.T) {
+	idxs, stmts, consts, arrays := loopOf(t, "REAL A(64)", "0", "10",
+		"A(I + 1) = A(2*I + 9)")
+	v, ev := dep.VerifyLoop(idxs, stmts, consts, arrays)
+	if v == dep.Proven {
+		t.Fatalf("A(I+1) = A(2I+9) over [0,10]: proven independent, but A(9) is written at I=8 and read at I=0 (evidence %v)", ev)
+	}
+}
+
+// TestVerifyLoopGuardedCapsAtUnproven pins that a carried dependence
+// exhibited only inside a conditionally-executed branch refutes nothing:
+// the branch may never be taken, so the verdict is capped at Unproven.
+func TestVerifyLoopGuardedCapsAtUnproven(t *testing.T) {
+	cases := []struct {
+		name string
+		body []string
+	}{
+		{"guarded array flow", []string{
+			"IF (B(I) > 0.0) THEN",
+			"A(I) = A(I - 1) + 1.0",
+			"END IF",
+		}},
+		{"guarded scalar write", []string{
+			"IF (B(I) > 0.0) THEN",
+			"S = S + A(I)",
+			"END IF",
+		}},
+	}
+	for _, c := range cases {
+		idxs, stmts, consts, arrays := loopOf(t, vDecls, "1", "N", c.body...)
+		v, ev := dep.VerifyLoop(idxs, stmts, consts, arrays)
+		if v != dep.Unproven {
+			t.Errorf("%s: verdict %v (evidence %v), want unproven", c.name, v, ev)
+		}
+		if v == dep.Refuted {
+			t.Errorf("%s: refuted a dependence that may never execute", c.name)
+		}
+	}
+
+	// The unguarded twins stay refuted — the cap must not leak outside
+	// conditional contexts.
+	for _, body := range [][]string{
+		{"A(I) = A(I - 1) + 1.0"},
+		{"S = S + A(I)"},
+	} {
+		idxs, stmts, consts, arrays := loopOf(t, vDecls, "1", "N", body...)
+		if v, _ := dep.VerifyLoop(idxs, stmts, consts, arrays); v != dep.Refuted {
+			t.Errorf("%v unguarded: verdict %v, want refuted", body, v)
+		}
+	}
+}

@@ -51,11 +51,16 @@ func (e Evidence) String() string {
 	return e.Reason
 }
 
-// ref is one array reference collected from a loop body.
+// ref is one array reference collected from a loop body. guarded marks
+// references inside conditionally-executed statements (IF/WHERE branches,
+// DO WHILE bodies): a dependence exhibited between guarded references is
+// only hypothetical — the branch may never execute — so it caps the
+// verdict at Unproven rather than Refuted.
 type ref struct {
-	name string
-	subs []Sub
-	line int
+	name    string
+	subs    []Sub
+	line    int
+	guarded bool
 }
 
 // VerifyLoop decides whether the iterations of the index space idxs can
@@ -99,7 +104,7 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 		evidence = append(evidence, e)
 	}
 
-	normalize := func(x *ast.CallOrIndex, line int) (ref, bool) {
+	normalize := func(x *ast.CallOrIndex, line int, guarded bool) (ref, bool) {
 		subs := make([]Sub, 0, len(x.Args))
 		for _, a := range x.Args {
 			if _, isSec := a.(*ast.Section); isSec {
@@ -107,15 +112,15 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 			}
 			subs = append(subs, Normalize(a, consts, idxSet))
 		}
-		return ref{name: x.Name, subs: subs, line: line}, true
+		return ref{name: x.Name, subs: subs, line: line, guarded: guarded}, true
 	}
 
-	var collectReads func(e ast.Expr, line int)
-	collectReads = func(e ast.Expr, line int) {
+	var collectReads func(e ast.Expr, line int, guarded bool)
+	collectReads = func(e ast.Expr, line int, guarded bool) {
 		switch t := e.(type) {
 		case *ast.CallOrIndex:
 			if t.Resolved == ast.RefArray {
-				if r, ok := normalize(t, line); ok {
+				if r, ok := normalize(t, line, guarded); ok {
 					reads = append(reads, r)
 				} else {
 					downgrade(Unproven, Evidence{Array: t.Name, Line: line,
@@ -123,7 +128,7 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 				}
 			}
 			for _, a := range t.Args {
-				collectReads(a, line)
+				collectReads(a, line, guarded)
 			}
 		case *ast.Ident:
 			if arrays[t.Name] {
@@ -132,22 +137,22 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 					Reason: "whole-array reference cannot be dependence-tested per iteration"})
 			}
 		case *ast.BinaryExpr:
-			collectReads(t.X, line)
-			collectReads(t.Y, line)
+			collectReads(t.X, line, guarded)
+			collectReads(t.Y, line, guarded)
 		case *ast.UnaryExpr:
-			collectReads(t.X, line)
+			collectReads(t.X, line, guarded)
 		case *ast.Section:
 			for _, p := range []ast.Expr{t.Lo, t.Hi, t.Stride} {
 				if p != nil {
-					collectReads(p, line)
+					collectReads(p, line, guarded)
 				}
 			}
 		}
 	}
 
 	multi := multiIter(idxs)
-	var walk func(ss []ast.Stmt)
-	walk = func(ss []ast.Stmt) {
+	var walk func(ss []ast.Stmt, guarded bool)
+	walk = func(ss []ast.Stmt, guarded bool) {
 		for _, s := range ss {
 			line := s.Pos().Line
 			switch x := s.(type) {
@@ -155,14 +160,14 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 				switch lhs := x.Lhs.(type) {
 				case *ast.CallOrIndex:
 					if lhs.Resolved == ast.RefArray {
-						if r, ok := normalize(lhs, line); ok {
+						if r, ok := normalize(lhs, line, guarded); ok {
 							writes = append(writes, r)
 						} else {
 							downgrade(Unproven, Evidence{Array: lhs.Name, Line: line,
 								Reason: "section assignment cannot be dependence-tested per iteration"})
 						}
 						for _, a := range lhs.Args {
-							collectReads(a, line)
+							collectReads(a, line, guarded)
 						}
 					} else {
 						downgrade(Unproven, Evidence{Line: line,
@@ -172,65 +177,74 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 					if arrays[lhs.Name] {
 						hazard := Evidence{Array: lhs.Name, Line: line, Dir: "(<)",
 							Reason: "whole array assigned every iteration: a loop-carried output dependence"}
-						if multi {
+						if multi && !guarded {
 							downgrade(Refuted, hazard)
 						} else {
 							hazard.Dir = ""
 							hazard.Reason = "whole-array assignment cannot be proven iteration-local"
+							if guarded {
+								hazard.Reason = "whole array assigned in a conditionally-executed branch: an output dependence when the guard holds twice"
+							}
 							downgrade(Unproven, hazard)
 						}
 					} else {
 						hazard := Evidence{Scalar: lhs.Name, Line: line, Dir: "(<)",
 							Reason: "assigned every iteration: a loop-carried output dependence (scalar privatization is not modeled)"}
-						if multi {
+						if multi && !guarded {
 							downgrade(Refuted, hazard)
 						} else {
 							hazard.Dir = ""
 							hazard.Reason = "scalar assignment cannot be proven iteration-local"
+							if guarded {
+								hazard.Reason = "assigned in a conditionally-executed branch: an output dependence when the guard holds twice (scalar privatization is not modeled)"
+							}
 							downgrade(Unproven, hazard)
 						}
 					}
 				default:
 					downgrade(Unproven, Evidence{Line: line, Reason: "unsupported assignment target"})
 				}
-				collectReads(x.Rhs, line)
+				collectReads(x.Rhs, line, guarded)
 			case *ast.IfStmt:
-				collectReads(x.Cond, line)
-				walk(x.Then)
-				walk(x.Else)
+				// The condition is evaluated every iteration; the branches
+				// only when it holds, so their references are guarded.
+				collectReads(x.Cond, line, guarded)
+				walk(x.Then, true)
+				walk(x.Else, true)
 			case *ast.WhereStmt:
-				collectReads(x.Mask, line)
-				walk(x.Body)
-				walk(x.ElseBody)
+				collectReads(x.Mask, line, guarded)
+				walk(x.Body, true)
+				walk(x.ElseBody, true)
 			case *ast.ForallStmt:
 				for _, ix := range x.Indices {
 					for _, b := range []ast.Expr{ix.Lo, ix.Hi, ix.Stride} {
 						if b != nil {
-							collectReads(b, line)
+							collectReads(b, line, guarded)
 						}
 					}
 				}
 				if x.Mask != nil {
-					collectReads(x.Mask, line)
+					collectReads(x.Mask, line, guarded)
 				}
-				walk(x.Body)
+				walk(x.Body, guarded || x.Mask != nil)
 			case *ast.DoStmt:
 				// The nested loop's index is treated as iteration-private
 				// (its reuse across outer iterations is benign).
 				for _, b := range []ast.Expr{x.From, x.To, x.Step} {
 					if b != nil {
-						collectReads(b, line)
+						collectReads(b, line, guarded)
 					}
 				}
-				walk(x.Body)
+				walk(x.Body, guarded)
 			case *ast.DoWhileStmt:
-				collectReads(x.Cond, line)
-				walk(x.Body)
+				// The body may execute zero times: guarded.
+				collectReads(x.Cond, line, guarded)
+				walk(x.Body, true)
 			case *ast.PrintStmt:
 				downgrade(Unproven, Evidence{Line: line,
 					Reason: "I/O in the loop body is ordered by iteration"})
 				for _, a := range x.Args {
-					collectReads(a, line)
+					collectReads(a, line, guarded)
 				}
 			case *ast.ContinueStmt:
 				// no-op
@@ -239,7 +253,7 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 			}
 		}
 	}
-	walk(body)
+	walk(body, false)
 
 	// Test every write against every same-array reference: reads for
 	// flow/anti dependences, itself and later writes for output ones.
@@ -256,9 +270,16 @@ func VerifyLoop(idxs []Index, body []ast.Stmt, consts map[string]int64, arrays m
 		}
 		ev := Evidence{Array: w.name, Line: p.line, Dir: DirVector(carried[0]),
 			Dist: res.Dist, DistKnown: res.DistKnown, Reason: kind}
-		if res.CarriedProven {
+		switch {
+		case res.CarriedProven && (w.guarded || p.guarded):
+			// The dependence is real only if the guarding condition is
+			// taken on the right iterations — exhibited conditionally,
+			// so the claim is unprovable, not refuted.
+			ev.Reason = kind + " when the guarding condition holds"
+			downgrade(Unproven, ev)
+		case res.CarriedProven:
 			downgrade(Refuted, ev)
-		} else {
+		default:
 			ev.Reason = "cannot disprove that " + kind
 			ev.DistKnown = false
 			downgrade(Unproven, ev)

@@ -12,6 +12,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 
 	"hpfperf/internal/analysis"
@@ -19,8 +20,24 @@ import (
 )
 
 // costMilli converts cost units to the integer milli-units the atomic
-// in-flight accumulator tracks.
-func costMilli(units float64) int64 { return int64(units * 1000) }
+// in-flight accumulator tracks, saturating instead of overflowing: a
+// pathological price (deeply nested unresolved loops at assumed trips
+// compound to ~1e15+ units) converted unguarded is implementation-
+// defined in Go and goes negative on amd64, which would corrupt the
+// in-flight accumulator and bypass the gate. Saturation is at half of
+// MaxInt64 so cur+milli in the admission CAS loop can never overflow
+// (cur itself is bounded by one saturated admission against an idle
+// budget plus a budget below the saturation point).
+func costMilli(units float64) int64 {
+	const satMilli = math.MaxInt64 / 2
+	if units >= float64(satMilli)/1000 {
+		return satMilli
+	}
+	if units < 0 {
+		return 0
+	}
+	return int64(units * 1000)
+}
 
 // maxPriceEntries bounds the price memo; the engine's compile LRU keeps
 // far fewer programs alive, so eviction here is a pathological-churn

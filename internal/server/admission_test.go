@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
@@ -139,5 +140,35 @@ func TestCostMetricsExposed(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestCostMilliSaturates pins the overflow guard: a price too large for
+// the milli-unit accumulator must saturate positive, never convert to an
+// implementation-defined (negative on amd64) value that would corrupt
+// the in-flight budget and bypass the gate.
+func TestCostMilliSaturates(t *testing.T) {
+	const sat = int64(math.MaxInt64 / 2)
+	cases := []struct {
+		units float64
+		want  int64
+	}{
+		{0, 0},
+		{1.5, 1500},
+		{-3, 0},
+		{9.3e15, sat},      // the review's nested-loop blowup shape
+		{1e300, sat},       // far past any representable milli count
+		{math.Inf(1), sat}, // defensive: Inf saturates too
+		{math.MaxFloat64, sat},
+	}
+	for _, c := range cases {
+		if got := costMilli(c.units); got != c.want {
+			t.Errorf("costMilli(%g) = %d, want %d", c.units, got, c.want)
+		}
+	}
+	// Two saturated values must still be summable without wrapping —
+	// the admission CAS loop computes cur+milli.
+	if sum := sat + sat; sum < 0 {
+		t.Fatalf("saturation point overflows when doubled: %d", sum)
 	}
 }
