@@ -1,6 +1,9 @@
 // Command hpfexp regenerates the paper's evaluation artifacts: Table 2
 // and Figures 3, 4, 5, 7 and 8 (§5). With -all it reproduces everything;
 // individual flags select single artifacts. -quick runs reduced sweeps.
+// With -server and -submit the selected artifact runs as a durable
+// async job on an hpfserve instance instead of in-process; -job ID
+// re-attaches to a submitted job, surviving client and server restarts.
 package main
 
 import (
@@ -33,8 +36,30 @@ func main() {
 		stats   = flag.Bool("stats", false, "print sweep engine statistics (compile/interpret/execute counters, cache hits/misses, points/sec) to stderr")
 		ckpt    = flag.String("checkpoint", "", "directory for sweep checkpoints; a killed run resumes from completed points")
 		spanOut = flag.String("trace-out", "", "write the run's observability span tree as JSON to this file (render with hpftrace -spans)")
+
+		serverURL = flag.String("server", "", "hpfserve base URL (e.g. http://localhost:8080); -submit and -job run against it instead of in-process")
+		submit    = flag.Bool("submit", false, "submit the selected artifact (one of -table2/-fig4/-fig5/-fig7/-fig8) as a durable async job on -server")
+		jobID     = flag.String("job", "", "re-attach to an existing job on -server by ID")
+		wait      = flag.Bool("wait", true, "with -submit/-job: block until the job is terminal and print its output (-wait=false prints the job ID or a status snapshot)")
 	)
 	flag.Parse()
+
+	if *submit || *jobID != "" {
+		if *serverURL == "" {
+			fmt.Fprintln(os.Stderr, "hpfexp: -submit/-job require -server")
+			os.Exit(2)
+		}
+		artifact := ""
+		if *jobID == "" {
+			var err error
+			artifact, err = selectArtifact(map[string]bool{
+				"table2": *table2, "fig4": *fig4, "fig5": *fig5, "fig7": *fig7, "fig8": *fig8,
+			})
+			check(err)
+		}
+		check(runRemote(*serverURL, artifact, *quick, *runs, *jobID, *wait))
+		return
+	}
 
 	if !(*all || *table2 || *fig3 || *fig4 || *fig5 || *fig7 || *fig8 || *abl) {
 		flag.Usage()

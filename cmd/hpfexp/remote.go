@@ -1,0 +1,98 @@
+// hpfexp's remote mode: run artifacts as durable async jobs on an
+// hpfserve instance (-server) instead of in-process. -submit journals
+// the job server-side before returning, so a crash between submission
+// and completion cannot lose it; -job re-attaches to a submitted job by
+// ID — after such a crash, from another terminal, or across a server
+// restart (the result is byte-identical either way).
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hpfperf/hpfclient"
+	"hpfperf/internal/jobs"
+	"hpfperf/internal/server"
+)
+
+// remoteArtifacts orders the artifact flags hpfserve can run as jobs.
+// -fig3 needs no sweep and -ablations has no job executor; both stay
+// local-only.
+var remoteArtifacts = []string{"table2", "fig4", "fig5", "fig7", "fig8"}
+
+// selectArtifact maps the artifact flags to the single wire name a job
+// submission needs.
+func selectArtifact(sel map[string]bool) (string, error) {
+	var picked []string
+	for _, name := range remoteArtifacts {
+		if sel[name] {
+			picked = append(picked, name)
+		}
+	}
+	if len(picked) != 1 {
+		return "", fmt.Errorf("-submit needs exactly one of -table2, -fig4, -fig5, -fig7, -fig8 (got %d)", len(picked))
+	}
+	return picked[0], nil
+}
+
+// runRemote submits and/or watches a job on the -server instance.
+// Status goes to stderr; the artifact output (or a JSON snapshot of a
+// non-terminal job) goes to stdout, mirroring local mode.
+func runRemote(baseURL, artifact string, quick bool, runs int, jobID string, wait bool) error {
+	c := hpfclient.New(hpfclient.Config{BaseURL: baseURL})
+	ctx := context.Background()
+
+	if jobID == "" {
+		sub, err := c.SubmitJob(ctx, &hpfclient.JobSubmitRequest{
+			Kind:       hpfclient.JobKindExperiment,
+			Experiment: &hpfclient.ExperimentJobRequest{Artifact: artifact, Quick: quick, Runs: runs},
+		})
+		if err != nil {
+			return fmt.Errorf("submitting %s: %w", artifact, err)
+		}
+		jobID = sub.Job.ID
+		fmt.Fprintf(os.Stderr, "hpfexp: job %s submitted (%s)\n", jobID, artifact)
+		if !wait {
+			// The ID is the durable handle: re-attach later with -job.
+			fmt.Println(jobID)
+			return nil
+		}
+	}
+
+	v, err := c.Job(ctx, jobID)
+	if err != nil {
+		return err
+	}
+	if wait && !v.State.Terminal() {
+		if v, err = c.WaitJob(ctx, jobID, hpfclient.PollPolicy{}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hpfexp: job %s %s (checkpoints %d, resumes %d)\n",
+		v.ID, v.State, v.Checkpoints, v.Resumes)
+
+	switch v.State {
+	case jobs.StateDone:
+		var res server.ExperimentJobResult
+		if v.Kind == hpfclient.JobKindExperiment &&
+			json.Unmarshal(v.Result, &res) == nil && res.Output != "" {
+			fmt.Println(res.Output)
+		} else if len(v.Result) > 0 {
+			os.Stdout.Write(append(v.Result, '\n'))
+		}
+		return nil
+	case jobs.StateFailed:
+		return fmt.Errorf("job %s failed: %s", v.ID, v.Error)
+	case jobs.StateCancelled:
+		return fmt.Errorf("job %s was cancelled", v.ID)
+	default:
+		// Not terminal (checked with -wait=false): print the snapshot so
+		// scripts can inspect progress.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+}

@@ -4,7 +4,11 @@
 // iPSC/860, /v1/autotune searches directive variants; GET /healthz and
 // /metrics expose liveness and counters. Recent request traces are
 // served at GET /v1/traces on the isolated -debug-addr listener, next
-// to pprof. Requests share one bounded worker pool and one bounded LRU
+// to pprof. With -jobs-dir, POST /v1/jobs accepts durable async jobs
+// recorded in a crash-safe write-ahead journal: a killed server resumes
+// unfinished jobs from their last checkpoint on restart, and a graceful
+// SIGTERM hands running jobs back to the queue for the next generation.
+// Requests share one bounded worker pool and one bounded LRU
 // compile/report cache, honor per-request deadlines, and drain
 // gracefully on SIGINT/SIGTERM.
 //
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	"hpfperf/internal/faults"
+	"hpfperf/internal/jobs"
 	"hpfperf/internal/obs"
 	"hpfperf/internal/server"
 )
@@ -56,6 +61,12 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof and GET /v1/traces (e.g. localhost:6060); never expose publicly")
 		chaos      = flag.String("chaos", "", "fault-injection spec site:rate[:kind[:delay]],... (default from HPFPERF_FAULTS; kinds: error, panic, delay)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection decisions")
+
+		jobsDir        = flag.String("jobs-dir", "", "enable durable async jobs (POST /v1/jobs): WAL journal and sweep checkpoints live here; a restarted server resumes unfinished jobs from this directory")
+		jobsWorkers    = flag.Int("jobs-workers", 0, "job executor pool size (0 = 2)")
+		jobsRetain     = flag.Int("jobs-retain", 0, "finished jobs kept for GET /v1/jobs before retention drops the oldest (0 = 256)")
+		jobsRetainAge  = flag.Duration("jobs-retain-age", 0, "finished jobs older than this are dropped at compaction (0 = 24h)")
+		jobsMaxJournal = flag.Int64("jobs-max-journal", 0, "journal segment bytes that trigger compaction (0 = 4MiB)")
 	)
 	flag.Parse()
 
@@ -101,6 +112,27 @@ func main() {
 		TraceAll:             *traceAll,
 		TraceRing:            *traceRing,
 	})
+
+	if *jobsDir != "" {
+		if err := srv.OpenJobs(jobs.Config{
+			Dir:             *jobsDir,
+			Workers:         *jobsWorkers,
+			RetainTerminal:  *jobsRetain,
+			RetainAge:       *jobsRetainAge,
+			MaxJournalBytes: *jobsMaxJournal,
+			Log:             logger,
+		}); err != nil {
+			logger.Error("jobs journal open failed", "dir", *jobsDir, "err", err.Error())
+			os.Exit(1)
+		}
+		jm := srv.Jobs().Metrics()
+		logger.Info("durable jobs enabled",
+			"dir", *jobsDir,
+			"replayed", jm.ReplayRecords,
+			"truncated", jm.ReplayTruncations,
+			"resumed", jm.ResumedTotal,
+			"recovery_seconds", fmt.Sprintf("%.3f", jm.RecoverySeconds))
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -152,6 +184,10 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		logger.Warn("drain incomplete", "err", err.Error())
+	}
+	if *jobsDir != "" {
+		jm := srv.Jobs().Metrics()
+		logger.Info("jobs drained", "handed_off", jm.HandoffTotal, "done", jm.DoneTotal)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		logger.Warn("http shutdown", "err", err.Error())

@@ -95,11 +95,22 @@ type RetryPolicy struct {
 	// MaxDelay caps both the computed backoff and any server-advertised
 	// Retry-After wait.
 	MaxDelay time.Duration
+	// MaxElapsed is the total retry budget measured from the first
+	// attempt: once exceeded, no further retry is scheduled and the
+	// last error returns. 0 means DefaultRetryPolicy's value; negative
+	// disables the budget (attempts alone bound the loop).
+	MaxElapsed time.Duration
 }
 
-// DefaultRetryPolicy retries up to 4 attempts with 100ms..2s backoff.
+// DefaultRetryPolicy retries up to 4 attempts with 100ms..2s backoff
+// inside a 15s total budget.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		MaxElapsed:  15 * time.Second,
+	}
 }
 
 func (p RetryPolicy) normalized() RetryPolicy {
@@ -115,6 +126,12 @@ func (p RetryPolicy) normalized() RetryPolicy {
 	}
 	if p.MaxDelay < p.BaseDelay {
 		p.MaxDelay = p.BaseDelay
+	}
+	if p.MaxElapsed == 0 {
+		p.MaxElapsed = d.MaxElapsed
+	}
+	if p.MaxElapsed < 0 {
+		p.MaxElapsed = 0 // negative sentinel: no total budget
 	}
 	return p
 }
@@ -252,6 +269,7 @@ func (c *Client) do(ctx context.Context, path string, req, out any) error {
 	if err != nil {
 		return fmt.Errorf("encoding request: %w", err)
 	}
+	start := time.Now()
 	var last error
 	for attempt := 1; ; attempt++ {
 		last = c.once(ctx, path, body, out)
@@ -261,10 +279,22 @@ func (c *Client) do(ctx context.Context, path string, req, out any) error {
 		wait := c.retry.backoff(attempt)
 		var ae *APIError
 		if errors.As(last, &ae) && ae.retryAfter > 0 {
-			wait = ae.retryAfter
+			// Honor the server's advice, plus up to 25% additive jitter
+			// so a herd shed at the same instant does not return in
+			// lockstep, still capped by MaxDelay.
+			wait = ae.retryAfter + time.Duration(rand.Int64N(int64(ae.retryAfter)/4+1))
 			if wait > c.retry.MaxDelay {
 				wait = c.retry.MaxDelay
 			}
+		}
+		// A sleep that overruns the total retry budget or the request
+		// deadline cannot lead to another attempt; return now instead
+		// of burning the caller's time.
+		if c.retry.MaxElapsed > 0 && time.Since(start)+wait > c.retry.MaxElapsed {
+			return last
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= wait {
+			return last
 		}
 		t := time.NewTimer(wait)
 		select {
@@ -301,16 +331,7 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) er
 		}
 		return nil
 	}
-	ae := &APIError{Status: hresp.StatusCode, retryAfter: parseRetryAfter(hresp.Header.Get("Retry-After"))}
-	var er server.ErrorResponse
-	raw, _ := io.ReadAll(lr)
-	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
-		ae.Stage = er.Stage
-		ae.Message = er.Error
-	} else {
-		ae.Message = strings.TrimSpace(string(raw))
-	}
-	return ae
+	return readAPIError(hresp.StatusCode, parseRetryAfter(hresp.Header.Get("Retry-After")), lr)
 }
 
 // netError wraps a transport failure so the retry loop can tell it

@@ -1,0 +1,227 @@
+// Async job helpers: submit a long-running request to POST /v1/jobs,
+// poll it with jittered backoff that honors the server's Retry-After
+// advice, and cancel it. Jobs survive server crashes and restarts — a
+// client holding a job ID can keep polling across a server generation
+// and still collect the byte-identical result.
+
+package hpfclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"time"
+
+	"hpfperf/internal/jobs"
+	"hpfperf/internal/server"
+)
+
+// Job types, re-exported like the request/response types above.
+type (
+	// JobSubmitRequest is the body of POST /v1/jobs.
+	JobSubmitRequest = server.JobSubmitRequest
+	// JobOptions are the durability knobs of one job.
+	JobOptions = server.JobOptions
+	// ValidateJobRequest configures a corpus-validation job.
+	ValidateJobRequest = server.ValidateJobRequest
+	// ExperimentJobRequest configures a paper-artifact job.
+	ExperimentJobRequest = server.ExperimentJobRequest
+	// JobSubmitResponse is the body of a successful submission.
+	JobSubmitResponse = server.JobSubmitResponse
+	// JobListResponse is the body of GET /v1/jobs.
+	JobListResponse = server.JobListResponse
+	// JobView is one job's status snapshot.
+	JobView = jobs.JobView
+)
+
+// Job kinds accepted by SubmitJob.
+const (
+	JobKindPredict    = server.JobKindPredict
+	JobKindAutotune   = server.JobKindAutotune
+	JobKindValidate   = server.JobKindValidate
+	JobKindExperiment = server.JobKindExperiment
+)
+
+// SubmitJob calls POST /v1/jobs. The returned job is durably journaled
+// before the call returns: a server crash after a successful SubmitJob
+// cannot lose it.
+func (c *Client) SubmitJob(ctx context.Context, req *JobSubmitRequest) (*JobSubmitResponse, error) {
+	var resp JobSubmitResponse
+	if err := c.do(ctx, "/v1/jobs", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job calls GET /v1/jobs/{id}: one job's status snapshot.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	v, _, err := c.getJob(ctx, id)
+	return v, err
+}
+
+// Jobs calls GET /v1/jobs: every job the server retains, newest first.
+func (c *Client) Jobs(ctx context.Context) (*JobListResponse, error) {
+	var out JobListResponse
+	if err := c.getJSON(ctx, http.MethodGet, "/v1/jobs", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob calls DELETE /v1/jobs/{id}. A queued job cancels
+// immediately; a running one is signalled and reports cancelled once
+// its executor unwinds.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobView, error) {
+	var out JobView
+	if err := c.getJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PollPolicy bounds WaitJob's status polling.
+type PollPolicy struct {
+	// Interval is the base gap between polls when the server gives no
+	// Retry-After advice (0 = 500ms). Each wait is equal-jittered
+	// (half fixed, half random) so a fleet of pollers spreads out.
+	Interval time.Duration
+	// MaxInterval caps the wait, including server advice (0 = 10s).
+	MaxInterval time.Duration
+	// MaxTransient bounds consecutive failed polls (network errors,
+	// 5xx) tolerated before WaitJob gives up (0 = 5).
+	MaxTransient int
+}
+
+func (p PollPolicy) normalized() PollPolicy {
+	if p.Interval <= 0 {
+		p.Interval = 500 * time.Millisecond
+	}
+	if p.MaxInterval < p.Interval {
+		p.MaxInterval = 10 * time.Second
+	}
+	if p.MaxInterval < p.Interval {
+		p.MaxInterval = p.Interval
+	}
+	if p.MaxTransient <= 0 {
+		p.MaxTransient = 5
+	}
+	return p
+}
+
+// wait computes one jittered poll delay, preferring the server's
+// Retry-After advice when present.
+func (p PollPolicy) wait(retryAfter time.Duration) time.Duration {
+	base := p.Interval
+	if retryAfter > 0 {
+		base = retryAfter
+	}
+	if base > p.MaxInterval {
+		base = p.MaxInterval
+	}
+	// Equal jitter: half the interval is fixed so polling keeps making
+	// progress, half is random so pollers decorrelate.
+	return base/2 + time.Duration(rand.Int64N(int64(base)/2+1))
+}
+
+// WaitJob polls GET /v1/jobs/{id} until the job reaches a terminal
+// state (done, failed or cancelled — returned, not an error), the
+// context ends, or too many consecutive polls fail. Poll gaps honor
+// the server's Retry-After advice with jitter on top.
+func (c *Client) WaitJob(ctx context.Context, id string, poll PollPolicy) (*JobView, error) {
+	poll = poll.normalized()
+	transient := 0
+	for {
+		v, retryAfter, err := c.getJob(ctx, id)
+		switch {
+		case err == nil:
+			transient = 0
+			if v.State.Terminal() {
+				return v, nil
+			}
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		case !retryable(err):
+			return nil, err
+		default:
+			if transient++; transient >= poll.MaxTransient {
+				return nil, fmt.Errorf("job %s: %d consecutive poll failures: %w", id, transient, err)
+			}
+		}
+		t := time.NewTimer(poll.wait(retryAfter))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// getJob fetches one job snapshot plus the server's Retry-After advice.
+func (c *Client) getJob(ctx context.Context, id string) (*JobView, time.Duration, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
+		return nil, 0, &netError{err: err}
+	}
+	defer drain(hresp.Body)
+	retryAfter := parseRetryAfter(hresp.Header.Get("Retry-After"))
+	lr := io.LimitReader(hresp.Body, 8<<20)
+	if hresp.StatusCode != http.StatusOK {
+		return nil, retryAfter, readAPIError(hresp.StatusCode, retryAfter, lr)
+	}
+	var v JobView
+	if err := json.NewDecoder(lr).Decode(&v); err != nil {
+		return nil, retryAfter, fmt.Errorf("decoding job status: %w", err)
+	}
+	return &v, retryAfter, nil
+}
+
+// getJSON issues a bodyless request (GET/DELETE) and decodes a 200
+// response into out, mapping error statuses to *APIError.
+func (c *Client) getJSON(ctx context.Context, method, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &netError{err: err}
+	}
+	defer drain(hresp.Body)
+	lr := io.LimitReader(hresp.Body, 8<<20)
+	if hresp.StatusCode != http.StatusOK {
+		return readAPIError(hresp.StatusCode, parseRetryAfter(hresp.Header.Get("Retry-After")), lr)
+	}
+	if err := json.NewDecoder(lr).Decode(out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}
+
+// readAPIError builds an *APIError from a non-200 response body.
+func readAPIError(status int, retryAfter time.Duration, r io.Reader) error {
+	ae := &APIError{Status: status, retryAfter: retryAfter}
+	raw, _ := io.ReadAll(r)
+	var er server.ErrorResponse
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+		ae.Stage = er.Stage
+		ae.Message = er.Error
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	return ae
+}

@@ -1,0 +1,246 @@
+package hpfclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpfperf/internal/jobs"
+	"hpfperf/internal/server"
+)
+
+const jobSrc = `      PROGRAM J
+!HPF$ PROCESSORS P(4)
+      REAL U(32,32)
+!HPF$ DISTRIBUTE U(BLOCK,*) ONTO P
+      U = 1.0
+      U = U * 2.0
+      PRINT *, U(16,16)
+      END PROGRAM J
+`
+
+// newJobServer stands up a real hpfserve with jobs enabled.
+func newJobServer(t *testing.T) (*server.Server, *Client) {
+	t.Helper()
+	s := server.New(server.Config{})
+	if err := s.OpenJobs(jobs.Config{Dir: t.TempDir()}); err != nil {
+		t.Fatalf("OpenJobs: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Jobs().Drain(ctx)
+		ts.Close()
+	})
+	return s, New(Config{BaseURL: ts.URL})
+}
+
+func TestSubmitWaitJob(t *testing.T) {
+	_, c := newJobServer(t)
+	ctx := context.Background()
+	sub, err := c.SubmitJob(ctx, &JobSubmitRequest{
+		Kind:    JobKindPredict,
+		Predict: &PredictRequest{Source: jobSrc},
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if sub.Job.ID == "" || sub.Job.State != jobs.StateSubmitted {
+		t.Fatalf("submit view: %+v", sub.Job)
+	}
+	v, err := c.WaitJob(ctx, sub.Job.ID, PollPolicy{Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if v.State != jobs.StateDone {
+		t.Fatalf("state = %s (err %q)", v.State, v.Error)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(v.Result, &pr); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if pr.EstUS <= 0 {
+		t.Fatalf("result: %+v", pr)
+	}
+
+	list, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sub.Job.ID {
+		t.Fatalf("list: %+v", list.Jobs)
+	}
+	got, err := c.Job(ctx, sub.Job.ID)
+	if err != nil || got.State != jobs.StateDone {
+		t.Fatalf("Job: %+v %v", got, err)
+	}
+}
+
+func TestCancelJobHelper(t *testing.T) {
+	_, c := newJobServer(t)
+	ctx := context.Background()
+	// Queue one job behind another so it is cancellable while queued:
+	// default workers = 2, so saturate with two slow experiment jobs.
+	for i := 0; i < 2; i++ {
+		if _, err := c.SubmitJob(ctx, &JobSubmitRequest{
+			Kind:       JobKindExperiment,
+			Experiment: &ExperimentJobRequest{Artifact: "table2", Quick: true},
+		}); err != nil {
+			t.Fatalf("SubmitJob blocker: %v", err)
+		}
+	}
+	sub, err := c.SubmitJob(ctx, &JobSubmitRequest{
+		Kind:    JobKindPredict,
+		Predict: &PredictRequest{Source: jobSrc},
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	v, err := c.CancelJob(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatalf("CancelJob: %v", err)
+	}
+	// Queued → cancelled immediately; already-running → cancel
+	// requested and terminal shortly after.
+	if v.State != jobs.StateCancelled && !v.CancelRequested {
+		t.Fatalf("cancel view: %+v", v)
+	}
+	if _, err := c.Job(ctx, "no-such-job"); err == nil {
+		t.Fatal("Job on unknown ID succeeded")
+	}
+}
+
+func TestWaitJobToleratesTransientPolls(t *testing.T) {
+	var calls atomic.Int64
+	view := jobs.JobView{ID: "x", Kind: "predict", State: jobs.StateDone}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(view)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	v, err := c.WaitJob(context.Background(), "x", PollPolicy{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if v.State != jobs.StateDone || calls.Load() != 3 {
+		t.Fatalf("state=%s calls=%d", v.State, calls.Load())
+	}
+}
+
+func TestWaitJobGivesUpAfterMaxTransient(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	_, err := c.WaitJob(context.Background(), "x", PollPolicy{Interval: time.Millisecond, MaxTransient: 3})
+	if err == nil {
+		t.Fatal("WaitJob succeeded against an always-503 server")
+	}
+}
+
+func TestWaitJobStopsOnPermanentError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "no such job", Stage: "jobs"})
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	_, err := c.WaitJob(context.Background(), "x", PollPolicy{Interval: time.Millisecond})
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want immediate 404", err)
+	}
+}
+
+func TestRetryBudgetMaxElapsed(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	// 10 attempts allowed, but the 30ms total budget only fits a few
+	// 20ms backoffs.
+	c := New(Config{BaseURL: ts.URL, Retry: RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   20 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		MaxElapsed:  30 * time.Millisecond,
+	}})
+	start := time.Now()
+	_, err := c.Analyze(context.Background(), &AnalyzeRequest{Source: "x"})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v; budget not enforced", elapsed)
+	}
+	if n := calls.Load(); n >= 10 {
+		t.Fatalf("server saw %d attempts; budget should stop earlier", n)
+	}
+}
+
+func TestRetrySleepCappedAtDeadline(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// Advertise a wait far beyond the caller's deadline.
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, Retry: RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Minute,
+		MaxElapsed:  -1, // attempts/deadline bound the loop, not the budget
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Analyze(ctx, &AnalyzeRequest{Source: "x"})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	// The client must not sleep into the dead deadline: it returns the
+	// 503 as soon as it sees the wait cannot complete.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("call took %v; sleep was not capped at the deadline", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (wait exceeds deadline)", calls.Load())
+	}
+}
+
+func TestPollPolicyWaitJitter(t *testing.T) {
+	p := PollPolicy{Interval: 100 * time.Millisecond, MaxInterval: time.Second}.normalized()
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		w := p.wait(0)
+		if w < 50*time.Millisecond || w > 100*time.Millisecond {
+			t.Fatalf("wait %v outside [interval/2, interval]", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("wait shows no jitter")
+	}
+	// Server advice wins over the base interval, still jittered and
+	// capped.
+	if w := p.wait(10 * time.Second); w > time.Second {
+		t.Fatalf("advice wait %v exceeds MaxInterval", w)
+	}
+	if w := p.wait(400 * time.Millisecond); w < 200*time.Millisecond || w > 400*time.Millisecond {
+		t.Fatalf("advice wait %v outside jitter band", w)
+	}
+}

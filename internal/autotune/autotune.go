@@ -70,6 +70,15 @@ type Options struct {
 	// file is keyed by the source and search parameters (a mismatched
 	// file restarts the search) and removed on success.
 	Checkpoint string
+	// CheckpointFlushEvery bounds completed candidates between durable
+	// checkpoint writes (<= 0 = every candidate). Only meaningful with
+	// Checkpoint.
+	CheckpointFlushEvery int
+	// CheckpointOnFlush, when set with Checkpoint, observes every
+	// durable checkpoint write with the number of completed candidates
+	// on file (the async jobs subsystem journals these as
+	// checkpointed(n) transitions).
+	CheckpointOnFlush func(done int)
 }
 
 // Search enumerates directive variants of src, interprets each on the
@@ -122,6 +131,8 @@ func SearchContext(ctx context.Context, src string, opts Options) ([]Candidate, 
 			Path: opts.Checkpoint,
 			Key: fmt.Sprintf("autotune|procs=%d|nocyclic=%t|rank=%d|src=%x",
 				opts.Procs, opts.NoCyclic, opts.MaxRank, h.Sum64()),
+			FlushEvery: opts.CheckpointFlushEvery,
+			OnFlush:    opts.CheckpointOnFlush,
 		}
 	}
 	// Candidate evaluations are independent; Map preserves index order,

@@ -1,0 +1,280 @@
+package chaos
+
+// Kill-9 crash-recovery harness for the durable jobs subsystem. The
+// parent test re-executes this test binary as a helper process
+// (TestCrashHelper, gated on HPF_CRASH_HELPER) that opens a jobs
+// manager on a shared directory and SIGKILLs itself at one seeded crash
+// site — after the running record, mid-checkpoint, or after the work
+// but before the done record. A second helper generation then recovers
+// from the journal and must finish the job with output byte-identical
+// to an uninterrupted baseline run. SIGKILL, not a polite error return:
+// no deferred cleanup, no journal close, no flushes beyond what fsync
+// already made durable.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"hpfperf/internal/jobs"
+	"hpfperf/internal/server"
+)
+
+// TestCrashHelper is the re-executed child, not a test in its own
+// right: it opens (and thereby recovers) the jobs directory, optionally
+// submits one deterministic validate job, optionally arms a SIGKILL at
+// a crash site, waits for the job to finish, and prints its state and
+// result behind greppable markers.
+func TestCrashHelper(t *testing.T) {
+	if os.Getenv("HPF_CRASH_HELPER") != "1" {
+		t.Skip("crash-recovery helper process; driven by TestCrashRecovery*")
+	}
+	dir := os.Getenv("HPF_CRASH_DIR")
+	if site := os.Getenv("HPF_CRASH_SITE"); site != "" {
+		after, _ := strconv.Atoi(os.Getenv("HPF_CRASH_AFTER"))
+		if after <= 0 {
+			after = 1
+		}
+		var hits atomic.Int64
+		jobs.SetCrashHook(func(s string) {
+			if s == site && hits.Add(1) == int64(after) {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				select {} // SIGKILL delivery is asynchronous; never proceed past the site
+			}
+		})
+		defer jobs.SetCrashHook(nil)
+	}
+
+	s := server.New(server.Config{Workers: 2})
+	if err := s.OpenJobs(jobs.Config{Dir: dir, Workers: 1}); err != nil {
+		t.Fatalf("OpenJobs: %v", err)
+	}
+	m := s.Jobs()
+	met := m.Metrics()
+	fmt.Printf("CRASHTRUNC %d\n", met.ReplayTruncations)
+	fmt.Printf("CRASHRECOVERY %.6f\n", met.RecoverySeconds)
+
+	if os.Getenv("HPF_CRASH_SUBMIT") == "1" {
+		raw, err := json.Marshal(server.JobSubmitRequest{
+			Kind:     server.JobKindValidate,
+			Options:  &server.JobOptions{FlushEvery: 1},
+			Validate: &server.ValidateJobRequest{Seed: 7, Count: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(server.JobKindValidate, raw, jobs.Options{FlushEvery: 1}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(90 * time.Second)
+	var v jobs.JobView
+	for {
+		if list := m.List(); len(list) > 0 && list[0].State.Terminal() {
+			v = list[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached a terminal state: %+v", m.List())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("CRASHWAIT %.6f\n", time.Since(start).Seconds())
+	fmt.Printf("CRASHSTATE %s\n", v.State)
+	fmt.Printf("CRASHRESUMES %d\n", v.Resumes)
+	fmt.Printf("CRASHCKPTS %d\n", v.Checkpoints)
+	fmt.Printf("CRASHRESULT %s\n", v.Result)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = m.Drain(ctx)
+}
+
+type crashRun struct {
+	out    string
+	killed bool // died by SIGKILL (the armed crash site fired)
+}
+
+// runCrashHelper re-executes the test binary as one helper generation.
+func runCrashHelper(t *testing.T, dir, site string, after int, submit bool) crashRun {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelper$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"HPF_CRASH_HELPER=1",
+		"HPF_CRASH_DIR="+dir,
+		"HPF_CRASH_SITE="+site,
+		"HPF_CRASH_AFTER="+strconv.Itoa(after),
+	)
+	if submit {
+		cmd.Env = append(cmd.Env, "HPF_CRASH_SUBMIT=1")
+	} else {
+		cmd.Env = append(cmd.Env, "HPF_CRASH_SUBMIT=0")
+	}
+	out, err := cmd.CombinedOutput()
+	r := crashRun{out: string(out)}
+	if ee, ok := err.(*exec.ExitError); ok {
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL {
+			r.killed = true
+		}
+	}
+	if err != nil && !r.killed {
+		t.Fatalf("helper (site=%q): %v\n%s", site, err, r.out)
+	}
+	return r
+}
+
+// marker extracts the value of one "NAME value" helper-output line.
+func marker(t *testing.T, out, name string) string {
+	t.Helper()
+	for _, ln := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(ln, name+" "); ok {
+			return strings.TrimSpace(v)
+		}
+	}
+	t.Fatalf("helper output lacks %s marker:\n%s", name, out)
+	return ""
+}
+
+// crashBaseline runs one uninterrupted helper generation and caches its
+// result bytes — the reference every recovered run must reproduce.
+var (
+	crashBaselineOnce   sync.Once
+	crashBaselineResult string
+)
+
+func crashBaseline(t *testing.T) string {
+	crashBaselineOnce.Do(func() {
+		r := runCrashHelper(t, t.TempDir(), "", 0, true)
+		if st := marker(t, r.out, "CRASHSTATE"); st != "done" {
+			t.Fatalf("baseline job state %s:\n%s", st, r.out)
+		}
+		crashBaselineResult = marker(t, r.out, "CRASHRESULT")
+	})
+	if crashBaselineResult == "" {
+		t.Fatal("baseline generation failed earlier in this run")
+	}
+	return crashBaselineResult
+}
+
+// recordCrashArtifact appends one JSON line per recovered case to the
+// HPFPERF_CRASH_ARTIFACT file (CI uploads it as the recovery-latency
+// artifact). No-op when the variable is unset.
+func recordCrashArtifact(t *testing.T, name string, out string) {
+	path := os.Getenv("HPFPERF_CRASH_ARTIFACT")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Logf("crash artifact: %v", err)
+		return
+	}
+	defer f.Close()
+	json.NewEncoder(f).Encode(map[string]string{
+		"case":             name,
+		"recovery_seconds": marker(t, out, "CRASHRECOVERY"),
+		"wait_seconds":     marker(t, out, "CRASHWAIT"),
+		"resumes":          marker(t, out, "CRASHRESUMES"),
+		"checkpoints":      marker(t, out, "CRASHCKPTS"),
+	})
+}
+
+// TestCrashRecoveryKillMatrix kills a helper generation at each seeded
+// crash site and asserts the next generation finishes the job with
+// byte-identical output.
+func TestCrashRecoveryKillMatrix(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL self-delivery harness is unix-only")
+	}
+	base := crashBaseline(t)
+	cases := []struct {
+		name  string
+		site  string
+		after int
+		// wantResumes: the crash landed at or after the running record,
+		// so recovery must count a resume.
+		wantResumes bool
+	}{
+		{"kill-after-submit", "append:submitted", 1, false},
+		{"kill-after-running", "append:running", 1, true},
+		{"kill-mid-checkpoint", "append:checkpointed", 2, true},
+		{"kill-before-done", "exec:before-done", 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			gen0 := runCrashHelper(t, dir, tc.site, tc.after, true)
+			if !gen0.killed {
+				t.Fatalf("crash site %s never fired; helper exited cleanly:\n%s", tc.site, gen0.out)
+			}
+			gen1 := runCrashHelper(t, dir, "", 0, false)
+			if st := marker(t, gen1.out, "CRASHSTATE"); st != "done" {
+				t.Fatalf("recovered job state %s:\n%s", st, gen1.out)
+			}
+			if got := marker(t, gen1.out, "CRASHRESULT"); got != base {
+				t.Errorf("recovered result differs from uninterrupted baseline\n got: %s\nwant: %s", got, base)
+			}
+			resumes, _ := strconv.Atoi(marker(t, gen1.out, "CRASHRESUMES"))
+			if tc.wantResumes && resumes < 1 {
+				t.Errorf("resumes = %d, want >= 1 (job was mid-run when killed)", resumes)
+			}
+			recordCrashArtifact(t, tc.name, gen1.out)
+		})
+	}
+}
+
+// TestCrashRecoveryTornJournalTail damages the journal the way a crash
+// mid-write would — a half-record with a bad checksum and no newline at
+// the tail — and asserts the next generation truncates it, boots, and
+// still reproduces the baseline output.
+func TestCrashRecoveryTornJournalTail(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL self-delivery harness is unix-only")
+	}
+	base := crashBaseline(t)
+	dir := t.TempDir()
+	gen0 := runCrashHelper(t, dir, "append:checkpointed", 2, true)
+	if !gen0.killed {
+		t.Fatalf("crash site never fired:\n%s", gen0.out)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no journal segments in %s (%v)", dir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`00c0ffee {"job":"torn","state":"running"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gen1 := runCrashHelper(t, dir, "", 0, false)
+	if n, _ := strconv.Atoi(marker(t, gen1.out, "CRASHTRUNC")); n < 1 {
+		t.Errorf("replay truncations = %d, want >= 1 (torn tail must be counted)", n)
+	}
+	if st := marker(t, gen1.out, "CRASHSTATE"); st != "done" {
+		t.Fatalf("recovered job state %s:\n%s", st, gen1.out)
+	}
+	if got := marker(t, gen1.out, "CRASHRESULT"); got != base {
+		t.Errorf("recovered result differs from baseline after torn-tail boot\n got: %s\nwant: %s", got, base)
+	}
+	recordCrashArtifact(t, "torn-journal-tail", gen1.out)
+}

@@ -1,0 +1,107 @@
+package e2e
+
+// End-to-end durable-jobs path: submit through the public client, poll
+// with Retry-After-honoring backoff, collect the result, and observe
+// the job in the trace ring and /metrics — the same surface an
+// operator scripts against hpfserve -jobs-dir.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hpfperf/hpfclient"
+	"hpfperf/internal/jobs"
+	"hpfperf/internal/server"
+)
+
+func newJobsHarness(t *testing.T) *harness {
+	t.Helper()
+	h := newHarness(t, server.Config{}, hpfclient.Config{})
+	if err := h.srv.OpenJobs(jobs.Config{Dir: t.TempDir()}); err != nil {
+		t.Fatalf("OpenJobs: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := h.srv.Jobs().Drain(ctx); err != nil {
+			t.Errorf("jobs drain: %v", err)
+		}
+	})
+	return h
+}
+
+func TestJobsLifecycleThroughClient(t *testing.T) {
+	h := newJobsHarness(t)
+	ctx := context.Background()
+
+	sub, err := h.cli.SubmitJob(ctx, &hpfclient.JobSubmitRequest{
+		Kind:     hpfclient.JobKindValidate,
+		Validate: &hpfclient.ValidateJobRequest{Seed: 3, Count: 3},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if sub.Job.ID == "" {
+		t.Fatal("submission returned no job ID")
+	}
+
+	v, err := h.cli.WaitJob(ctx, sub.Job.ID, hpfclient.PollPolicy{Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if v.State != jobs.StateDone {
+		t.Fatalf("job state %s (error %q)", v.State, v.Error)
+	}
+	var res server.ValidateJobResult
+	if err := json.Unmarshal(v.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Report == nil || res.Report.Count != 3 {
+		t.Fatalf("validate report: %+v", res.Report)
+	}
+
+	list, err := h.cli.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sub.Job.ID {
+		t.Fatalf("job list: %+v", list.Jobs)
+	}
+
+	// The job's execution landed in the trace ring under its own route.
+	tr, err := h.cli.Traces(ctx)
+	if err != nil {
+		t.Fatalf("traces: %v", err)
+	}
+	found := false
+	for _, rec := range tr.Traces {
+		if rec.Route == "jobs:validate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace ring lacks the jobs:validate record: %+v", tr.Traces)
+	}
+
+	// /metrics exposes the jobs series next to the server's own.
+	resp, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		`hpfjobs_jobs{state="done"} 1`,
+		"hpfjobs_submitted_total 1",
+		`hpfjobs_finished_total{outcome="done"} 1`,
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("metrics output lacks %q", series)
+		}
+	}
+}

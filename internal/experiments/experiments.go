@@ -68,6 +68,11 @@ type Config struct {
 	// run renders byte-identical output. The file is removed when the
 	// sweep completes.
 	CheckpointDir string
+	// CheckpointFlush, when set with CheckpointDir, observes every
+	// durable checkpoint write: the artifact name and the number of
+	// completed points on file. The async jobs subsystem journals these
+	// as checkpointed(n) state transitions.
+	CheckpointFlush func(artifact string, done int)
 }
 
 // DefaultConfig returns the full-fidelity experiment configuration.
@@ -107,10 +112,17 @@ func (c Config) checkpoint(artifact string) *sweep.Checkpoint {
 	if c.CheckpointDir == "" {
 		return nil
 	}
-	return &sweep.Checkpoint{
+	ck := &sweep.Checkpoint{
 		Path: filepath.Join(c.CheckpointDir, artifact+".ckpt"),
 		Key:  fmt.Sprintf("%s|quick=%t|runs=%d|perturb=%g", artifact, c.Quick, c.Runs, c.Perturb),
 	}
+	if c.CheckpointFlush != nil {
+		ck.OnFlush = func(done int) { c.CheckpointFlush(artifact, done) }
+	}
+	if c.Log != nil {
+		ck.Warnf = func(format string, args ...any) { c.logf(format+"\n", args...) }
+	}
+	return ck
 }
 
 var logMu sync.Mutex

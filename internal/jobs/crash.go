@@ -1,0 +1,19 @@
+package jobs
+
+// crashHook, when non-nil, is invoked at seeded crash sites with a site
+// label ("append:running", "append:checkpointed", "exec:before-done",
+// ...). The chaos harness installs a hook that SIGKILLs the process at
+// one chosen site, proving that recovery from a kill at any transition
+// boundary reproduces byte-identical job output. Production never sets
+// it, and the nil fast path costs one predictable branch.
+var crashHook func(site string)
+
+// SetCrashHook installs (or, with nil, removes) the crash-site hook.
+// Test-only; not safe to call while a manager is running.
+func SetCrashHook(h func(site string)) { crashHook = h }
+
+func crash(site string) {
+	if crashHook != nil {
+		crashHook(site)
+	}
+}

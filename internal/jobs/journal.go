@@ -1,0 +1,299 @@
+// Package jobs is the durable async job subsystem: long-running
+// requests (experiment sweeps, autotune searches, corpus validations)
+// are recorded in a crash-safe write-ahead journal, executed on a
+// bounded worker pool threaded through the sweep checkpoint machinery,
+// and survive SIGKILL, OOM and node loss — a restarted process replays
+// the journal and resumes every in-flight job from its last checkpoint,
+// producing byte-identical final output to an uninterrupted run.
+//
+// The journal is append-only JSONL: each line frames one state
+// transition as `crc32c<HEX8> <json>\n`, fsynced before the transition
+// is acted on. Replay reconciles torn or corrupt tails by truncating at
+// the first bad record (counted, never refusing to boot). Segments
+// rotate by compaction: a snapshot of the live jobs is written to a
+// fresh segment with an atomic temp+rename, and older segments are
+// removed only after the new one is durable.
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// State is a job's lifecycle state. "checkpointed" appears only as a
+// journal transition (progress while running); a job's effective state
+// is always one of the five below.
+type State string
+
+const (
+	StateSubmitted State = "submitted"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+
+	// stateCheckpointed is the journal-only progress transition
+	// checkpointed(n): the job stays running, n points are durable.
+	stateCheckpointed State = "checkpointed"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// record is one journaled state transition (or a compaction snapshot of
+// a whole job, which carries every surviving field).
+type record struct {
+	Job     string          `json:"job"`
+	State   State           `json:"state"`
+	Time    time.Time       `json:"time"`
+	Kind    string          `json:"kind,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Options *Options        `json:"options,omitempty"`
+	Done    int             `json:"done,omitempty"`  // checkpointed(n): points durable
+	Ckpts   int             `json:"ckpts,omitempty"` // snapshot: checkpoint transitions so far
+	Runs    int             `json:"runs,omitempty"`  // running transitions so far
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	// Submitted preserves the original submit time on snapshot records.
+	Submitted time.Time `json:"submitted,omitempty"`
+	// Started/Finished preserve run timestamps on snapshot records.
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frame renders one journal line: crc32c of the JSON payload (hex, 8
+// digits), a space, the payload, a newline. The CRC covers exactly the
+// payload bytes, so any torn or bit-flipped line fails verification.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = fmt.Appendf(out, "%08x ", crc32.Checksum(payload, crcTable))
+	out = append(out, payload...)
+	out = append(out, '\n')
+	return out
+}
+
+// parseLine verifies and decodes one framed line (without the trailing
+// newline). ok is false for malformed framing or a CRC mismatch.
+func parseLine(line []byte) (rec record, ok bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	var crc uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &crc); err != nil {
+		return rec, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Job == "" || rec.State == "" {
+		return rec, false
+	}
+	return rec, true
+}
+
+// journal is the segment writer/replayer. All methods are called under
+// the manager's mutex; the journal itself holds no lock.
+type journal struct {
+	dir    string
+	seq    int      // active segment sequence number
+	f      *os.File // active segment, O_APPEND
+	bytes  int64    // size of the active segment
+	ntrunc int64    // torn/corrupt records truncated during replay
+	ncomp  int64    // compactions performed
+}
+
+func segName(seq int) string { return fmt.Sprintf("journal-%08d.wal", seq) }
+
+// openJournal lists the existing segments (ascending), replays every
+// record, reconciles torn tails, and opens the newest segment for
+// appending (creating the first one in an empty dir).
+func openJournal(dir string) (*journal, []record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(names)
+	j := &journal{dir: dir}
+	var recs []record
+	for _, name := range names {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(name), "journal-%d.wal", &seq); err != nil {
+			continue // foreign file; never fatal
+		}
+		j.seq = seq
+		segRecs, err := j.replaySegment(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, segRecs...)
+	}
+	if j.seq == 0 {
+		j.seq = 1
+	}
+	path := filepath.Join(dir, segName(j.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j.f, j.bytes = f, st.Size()
+	return j, recs, nil
+}
+
+// replaySegment reads one segment's records in order. The first torn
+// line (no trailing newline), malformed frame, CRC mismatch or
+// undecodable payload truncates the segment at the last good offset —
+// counted, logged by the manager, never an error: a journal must not
+// refuse to boot on the damage a crash legitimately leaves behind.
+func (j *journal) replaySegment(path string) ([]record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs []record
+	good := 0 // offset after the last verified record
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		rec, ok := parseLine(raw[off : off+nl])
+		if !ok {
+			break // corrupt record: truncate here
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		good = off
+	}
+	if good < len(raw) {
+		j.ntrunc++
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("jobs: truncating torn journal %s at %d: %w", path, good, err)
+		}
+	}
+	return recs, nil
+}
+
+// append frames, writes and fsyncs one record to the active segment.
+// The record is durable when append returns.
+func (j *journal) append(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line := frame(payload)
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.bytes += int64(len(line))
+	crash("append:" + string(rec.State))
+	return nil
+}
+
+// compact rotates the journal: the snapshot records (one per surviving
+// job) are written to the next-sequence segment via temp file + rename,
+// the directory entry is fsynced, and only then are the older segments
+// removed. A crash at any point leaves either the old segments (rename
+// not yet visible) or old + new (replayed in order, snapshot records
+// win by recency) — never a half-written active segment.
+func (j *journal) compact(snapshot []record) error {
+	next := j.seq + 1
+	tmp, err := os.CreateTemp(j.dir, ".journal-*.tmp")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	var size int64
+	for _, rec := range snapshot {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		line := frame(payload)
+		if _, err := w.Write(line); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		size += int64(len(line))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	newPath := filepath.Join(j.dir, segName(next))
+	if err := os.Rename(tmp.Name(), newPath); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	syncDir(j.dir)
+	f, err := os.OpenFile(newPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	// The new segment is durable and open; retire the old ones.
+	old := j.f
+	oldSeq := j.seq
+	j.f, j.seq, j.bytes = f, next, size
+	j.ncomp++
+	old.Close()
+	for seq := oldSeq; seq > 0; seq-- {
+		path := filepath.Join(j.dir, segName(seq))
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return err
+		}
+	}
+	syncDir(j.dir)
+	return nil
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// syncDir fsyncs a directory so renames and removals are durable.
+// Best-effort: not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,250 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustAppend(t *testing.T, j *journal, rec record) {
+	t.Helper()
+	if err := j.append(rec); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rec := record{Job: "j1", State: StateSubmitted, Time: time.Unix(100, 0).UTC(), Kind: "predict"}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := frame(payload)
+	if line[len(line)-1] != '\n' {
+		t.Fatalf("frame must end in newline: %q", line)
+	}
+	got, ok := parseLine(line[:len(line)-1])
+	if !ok {
+		t.Fatalf("parseLine rejected freshly framed line %q", line)
+	}
+	if got.Job != "j1" || got.State != StateSubmitted || got.Kind != "predict" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestParseLineRejectsDamage(t *testing.T) {
+	payload, _ := json.Marshal(record{Job: "j1", State: StateDone})
+	line := frame(payload)
+	line = line[:len(line)-1] // strip newline as replay does
+
+	cases := map[string][]byte{
+		"empty":        nil,
+		"too short":    []byte("0123"),
+		"no space":     bytes.Replace(line, []byte(" "), []byte("x"), 1),
+		"bad hex":      append([]byte("zzzzzzzz "), line[9:]...),
+		"flipped bit":  append(append([]byte{}, line[:len(line)-2]...), line[len(line)-2]^0x40, line[len(line)-1]),
+		"empty job":    frameRec(t, record{State: StateDone}),
+		"empty state":  frameRec(t, record{Job: "j1"}),
+		"not json":     frame([]byte("hello"))[:14],
+		"crc mismatch": append([]byte("00000000 "), line[9:]...),
+	}
+	for name, c := range cases {
+		if _, ok := parseLine(c); ok {
+			t.Errorf("%s: parseLine accepted %q", name, c)
+		}
+	}
+}
+
+func frameRec(t *testing.T, rec record) []byte {
+	t.Helper()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := frame(payload)
+	return line[:len(line)-1]
+}
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh dir replayed %d records", len(recs))
+	}
+	mustAppend(t, j, record{Job: "a", State: StateSubmitted, Kind: "predict"})
+	mustAppend(t, j, record{Job: "a", State: StateRunning, Runs: 1})
+	mustAppend(t, j, record{Job: "a", State: stateCheckpointed, Done: 7})
+	mustAppend(t, j, record{Job: "a", State: StateDone, Result: json.RawMessage(`{"x":1}`)})
+	j.close()
+
+	j2, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	if recs[2].Done != 7 || recs[3].State != StateDone {
+		t.Fatalf("replay order/content wrong: %+v", recs)
+	}
+	if j2.ntrunc != 0 {
+		t.Fatalf("clean journal reported %d truncations", j2.ntrunc)
+	}
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, record{Job: "a", State: StateSubmitted})
+	mustAppend(t, j, record{Job: "a", State: StateRunning, Runs: 1})
+	j.close()
+
+	// Tear the last record: drop its trailing bytes, as a crash
+	// mid-write legitimately leaves behind.
+	path := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("journal refused to boot on torn tail: %v", err)
+	}
+	if len(recs) != 1 || recs[0].State != StateSubmitted {
+		t.Fatalf("want 1 surviving record, got %+v", recs)
+	}
+	if j2.ntrunc != 1 {
+		t.Fatalf("ntrunc = %d, want 1", j2.ntrunc)
+	}
+	// The damage is repaired on disk: appending continues from the
+	// truncation point and a further replay is clean.
+	mustAppend(t, j2, record{Job: "a", State: StateRunning, Runs: 1})
+	j2.close()
+	j3, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.close()
+	if len(recs) != 2 || j3.ntrunc != 0 {
+		t.Fatalf("post-repair replay: %d records, %d truncations", len(recs), j3.ntrunc)
+	}
+}
+
+func TestJournalTruncatesCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, record{Job: "a", State: StateSubmitted})
+	mustAppend(t, j, record{Job: "b", State: StateSubmitted})
+	mustAppend(t, j, record{Job: "c", State: StateSubmitted})
+	j.close()
+
+	// Flip a byte inside the SECOND record: replay must stop there and
+	// drop record three as well (no resynchronization past damage).
+	path := filepath.Join(dir, segName(1))
+	raw, _ := os.ReadFile(path)
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines[1][len(lines[1])/2] ^= 0xff
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if len(recs) != 1 || recs[0].Job != "a" {
+		t.Fatalf("want only record a to survive, got %+v", recs)
+	}
+	if j2.ntrunc != 1 {
+		t.Fatalf("ntrunc = %d, want 1", j2.ntrunc)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, j, record{Job: fmt.Sprintf("j%d", i), State: StateSubmitted})
+	}
+	snapshot := []record{
+		{Job: "keep1", State: StateDone, Kind: "predict"},
+		{Job: "keep2", State: StateSubmitted, Kind: "autotune"},
+	}
+	if err := j.compact(snapshot); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if j.seq != 2 || j.ncomp != 1 {
+		t.Fatalf("seq=%d ncomp=%d after compaction", j.seq, j.ncomp)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("old segment survived compaction: %v", err)
+	}
+	// The new segment remains appendable and replays snapshot + tail.
+	mustAppend(t, j, record{Job: "keep2", State: StateRunning, Runs: 1})
+	j.close()
+
+	j2, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records after compaction, want 3", len(recs))
+	}
+	if recs[0].Job != "keep1" || recs[2].State != StateRunning {
+		t.Fatalf("compacted replay content wrong: %+v", recs)
+	}
+	if j2.seq != 2 {
+		t.Fatalf("reopened seq = %d, want 2", j2.seq)
+	}
+}
+
+func TestJournalMultiSegmentReplay(t *testing.T) {
+	// A crash between "rename new segment" and "remove old" leaves both
+	// on disk; replay applies them in order so snapshot records win.
+	dir := t.TempDir()
+	j, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, record{Job: "a", State: StateSubmitted})
+	j.close()
+	// Simulate the half-finished compaction: write segment 2 directly.
+	payload, _ := json.Marshal(record{Job: "a", State: StateDone})
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), frame(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if len(recs) != 2 || recs[1].State != StateDone {
+		t.Fatalf("multi-segment replay wrong: %+v", recs)
+	}
+	if j2.seq != 2 {
+		t.Fatalf("active seq = %d, want newest (2)", j2.seq)
+	}
+}

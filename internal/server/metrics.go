@@ -198,6 +198,9 @@ func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.Cache
 	fmt.Fprintf(b, "# HELP sweep_point_panics_total Sweep-point panics recovered into typed errors.\n")
 	fmt.Fprintf(b, "# TYPE sweep_point_panics_total counter\n")
 	fmt.Fprintf(b, "sweep_point_panics_total %d\n", snap.PointPanics)
+	fmt.Fprintf(b, "# HELP sweep_checkpoint_skipped_total Sweep results excluded from checkpoints (no JSON round-trip); a resumed run re-evaluates them.\n")
+	fmt.Fprintf(b, "# TYPE sweep_checkpoint_skipped_total counter\n")
+	fmt.Fprintf(b, "sweep_checkpoint_skipped_total %d\n", snap.CheckpointSkips)
 
 	fmt.Fprintf(b, "# HELP sweep_stage_runs_total Pipeline stage executions (cache misses that did work).\n")
 	fmt.Fprintf(b, "# TYPE sweep_stage_runs_total counter\n")

@@ -20,6 +20,7 @@ import (
 	"hpfperf/internal/faults"
 	"hpfperf/internal/hir"
 	"hpfperf/internal/ipsc"
+	"hpfperf/internal/jobs"
 	"hpfperf/internal/obs"
 	"hpfperf/internal/report"
 	"hpfperf/internal/sweep"
@@ -101,6 +102,7 @@ type Server struct {
 	met      *metrics
 	ring     *obs.Ring           // last N request traces (GET /v1/traces)
 	breakers map[string]*breaker // per-route; nil map when disabled
+	jobs     *jobs.Manager       // durable async jobs; nil until OpenJobs
 
 	reqMu    sync.Mutex // guards met.requests growth
 	inflight sync.WaitGroup
@@ -119,6 +121,7 @@ const (
 	routeMeasure  = "measure"
 	routeAutotune = "autotune"
 	routeAnalyze  = "analyze"
+	routeJobs     = "jobs"
 )
 
 // New builds a Server from cfg.
@@ -157,7 +160,7 @@ func New(cfg Config) *Server {
 	if cfg.TraceRing <= 0 {
 		cfg.TraceRing = 64
 	}
-	routes := []string{routePredict, routeMeasure, routeAutotune, routeAnalyze}
+	routes := []string{routePredict, routeMeasure, routeAutotune, routeAnalyze, routeJobs}
 	s := &Server{
 		cfg:  cfg,
 		eng:  eng,
@@ -176,6 +179,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/measure", s.api(routeMeasure, s.handleMeasure))
 	s.mux.HandleFunc("/v1/autotune", s.api(routeAutotune, s.handleAutotune))
 	s.mux.HandleFunc("/v1/analyze", s.api(routeAnalyze, s.handleAnalyze))
+	// Async job surfaces (jobs.go). Registered unconditionally so the
+	// routes answer with a typed error when OpenJobs was not called.
+	s.mux.HandleFunc("POST /v1/jobs", s.api(routeJobs, s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	if cfg.ExposeTraces {
 		s.mux.HandleFunc("/v1/traces", s.handleTraces)
 	}
@@ -190,11 +199,19 @@ func (s *Server) Engine() *sweep.Engine { return s.eng }
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown stops admitting API requests and waits for in-flight ones to
-// drain (or for ctx to end, returning its error). Pair it with
-// http.Server.Shutdown for connection-level draining.
+// Shutdown stops admitting API requests, drains the job subsystem (a
+// graceful handoff: running jobs flush their final sweep checkpoint and
+// are re-marked submitted in the journal, so the next process resumes
+// them), and waits for in-flight requests (or for ctx to end, returning
+// its error). Pair it with http.Server.Shutdown for connection-level
+// draining.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.jobs != nil {
+		if err := s.jobs.Drain(ctx); err != nil {
+			return err
+		}
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -755,6 +772,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reqMu.Lock()
 	s.met.render(&b, s.eng.Snapshot(), s.eng.Cache().CacheStats(), brs, om)
 	s.reqMu.Unlock()
+	if s.jobs != nil {
+		renderJobsMetrics(&b, s.jobs.Metrics())
+	}
 	if om {
 		b.WriteString("# EOF\n")
 		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")

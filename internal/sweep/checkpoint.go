@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -27,6 +28,25 @@ type Checkpoint struct {
 	// FlushEvery bounds completions between writes (<= 0 = 1, i.e.
 	// flush after every completed point).
 	FlushEvery int
+	// OnFlush, when set, observes every durable write of the checkpoint
+	// file with the number of completed points on file. Long-running
+	// callers (the async jobs subsystem) journal these as
+	// checkpointed(n) state transitions.
+	OnFlush func(done int)
+	// Warnf receives checkpoint diagnostics (results skipped because
+	// they do not round-trip through JSON). Nil routes them to
+	// slog.Default. Skips are logged once per run — the count is on the
+	// engine's CheckpointSkips counter.
+	Warnf func(format string, args ...any)
+}
+
+// warnf routes a checkpoint diagnostic to the configured sink.
+func (ck *Checkpoint) warnf(format string, args ...any) {
+	if ck.Warnf != nil {
+		ck.Warnf(format, args...)
+		return
+	}
+	slog.Default().Warn(fmt.Sprintf(format, args...))
 }
 
 // ckptFile is the on-disk format: results are kept as raw JSON so the
@@ -41,18 +61,35 @@ type ckptFile struct {
 type ckptState struct {
 	ck      *Checkpoint
 	n       int
+	stats   *Stats
 	mu      sync.Mutex
 	done    map[string]json.RawMessage
 	pending int // completions since the last flush
+
+	warnOnce sync.Once // one skip diagnostic per run; the counter has the rest
+}
+
+// skip records one result excluded from the checkpoint (it does not
+// survive a JSON round-trip): counted on the engine stats so resumed
+// runs that re-evaluate points are explainable, logged once per run.
+func (st *ckptState) skip(i int, cause string, err error) {
+	if st.stats != nil {
+		st.stats.CheckpointSkips.Add(1)
+	}
+	st.warnOnce.Do(func() {
+		st.ck.warnf("sweep: checkpoint %s: point %d %s (%v); such points will be re-evaluated on resume (counted on sweep_checkpoint_skipped_total)",
+			st.ck.Path, i, cause, err)
+	})
 }
 
 // loadCheckpointInto reads ck.Path and fills results for every point
 // whose result is on file, returning the resume state and a skip mask.
 // A missing, unreadable, corrupt or mismatched file yields an empty
 // state (fresh start) — resuming must never be less robust than
-// rerunning.
-func loadCheckpointInto[T any](ck *Checkpoint, n int, results []T) (*ckptState, []bool) {
-	st := &ckptState{ck: ck, n: n, done: make(map[string]json.RawMessage)}
+// rerunning. Stored entries that no longer unmarshal are dropped (the
+// point is re-evaluated), counted and logged like record-side skips.
+func loadCheckpointInto[T any](ck *Checkpoint, n int, stats *Stats, results []T) (*ckptState, []bool) {
+	st := &ckptState{ck: ck, n: n, stats: stats, done: make(map[string]json.RawMessage)}
 	skip := make([]bool, n)
 	raw, err := os.ReadFile(ck.Path)
 	if err != nil {
@@ -69,6 +106,7 @@ func loadCheckpointInto[T any](ck *Checkpoint, n int, results []T) (*ckptState, 
 		}
 		var v T
 		if err := json.Unmarshal(msg, &v); err != nil {
+			st.skip(i, "has an unreadable stored result", err)
 			continue
 		}
 		results[i] = v
@@ -82,7 +120,10 @@ func loadCheckpointInto[T any](ck *Checkpoint, n int, results []T) (*ckptState, 
 func (st *ckptState) record(i int, v any) {
 	msg, err := json.Marshal(v)
 	if err != nil {
-		return // unmarshalable results simply aren't checkpointed
+		// The result cannot be checkpointed; the sweep still returns it,
+		// but a resumed run will re-evaluate this point.
+		st.skip(i, "does not marshal", err)
+		return
 	}
 	every := st.ck.FlushEvery
 	if every <= 0 {
@@ -101,10 +142,12 @@ func (st *ckptState) record(i int, v any) {
 	}
 }
 
-// flush writes the checkpoint file atomically (temp + rename).
+// flush writes the checkpoint file atomically (temp + rename) and
+// notifies OnFlush with the number of points now durable.
 func (st *ckptState) flush() error {
 	st.mu.Lock()
 	raw, err := json.Marshal(ckptFile{Key: st.ck.Key, N: st.n, Done: st.done})
+	count := len(st.done)
 	st.mu.Unlock()
 	if err != nil {
 		return err
@@ -126,7 +169,14 @@ func (st *ckptState) flush() error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), st.ck.Path)
+	if err := os.Rename(tmp.Name(), st.ck.Path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if st.ck.OnFlush != nil {
+		st.ck.OnFlush(count)
+	}
+	return nil
 }
 
 // MapCheckpoint is MapCheckpointCtx without cancellation.
@@ -144,7 +194,9 @@ func MapCheckpoint[T any](e *Engine, n int, ck *Checkpoint, fn func(i int) (T, e
 // T must round-trip through encoding/json for resumed results to be
 // identical to freshly computed ones (true for the numeric point types
 // this module sweeps: Go prints floats in their shortest form that
-// parses back exactly).
+// parses back exactly). Results that do not round-trip are skipped from
+// the checkpoint — counted on Stats.CheckpointSkips and logged once per
+// run — so a resumed sweep re-evaluates them instead of resuming wrong.
 func MapCheckpointCtx[T any](ctx context.Context, e *Engine, n int, ck *Checkpoint, fn func(i int) (T, error)) ([]T, error) {
 	if ck == nil {
 		return MapCtx(ctx, e, n, fn)
@@ -153,7 +205,7 @@ func MapCheckpointCtx[T any](ctx context.Context, e *Engine, n int, ck *Checkpoi
 		return nil, fmt.Errorf("sweep: checkpoint has no path")
 	}
 	prefill := make([]T, n)
-	st, skip := loadCheckpointInto(ck, n, prefill)
+	st, skip := loadCheckpointInto(ck, n, e.stats, prefill)
 	res, err := MapCtx(ctx, e, n, func(i int) (T, error) {
 		if skip[i] {
 			return prefill[i], nil

@@ -43,6 +43,11 @@ type Stats struct {
 	// PointPanics counts panics recovered from point bodies (isolated
 	// into *PanicError instead of crashing the pool).
 	PointPanics atomic.Int64
+	// CheckpointSkips counts sweep results excluded from a checkpoint
+	// file because they do not round-trip through JSON (on record or on
+	// load). A resumed run re-evaluates exactly these points, so the
+	// counter explains why a resume did work a clean resume would not.
+	CheckpointSkips atomic.Int64
 	// Per-stage cumulative wall time, nanoseconds (summed across workers,
 	// so stage times can exceed WallNS on multicore).
 	CompileNS atomic.Int64
@@ -65,10 +70,11 @@ type Snapshot struct {
 	Execs         int64
 	ExecHits      int64
 	ExecMisses    int64
-	Points        int64
-	Retries       int64
-	PointPanics   int64
-	CompileTime   time.Duration
+	Points          int64
+	Retries         int64
+	PointPanics     int64
+	CheckpointSkips int64
+	CompileTime     time.Duration
 	InterpTime    time.Duration
 	ExecTime      time.Duration
 	WallTime      time.Duration
@@ -91,10 +97,11 @@ func (s *Stats) Snapshot() Snapshot {
 		Execs:         s.Execs.Load(),
 		ExecHits:      s.ExecHits.Load(),
 		ExecMisses:    s.ExecMisses.Load(),
-		Points:        s.Points.Load(),
-		Retries:       s.Retries.Load(),
-		PointPanics:   s.PointPanics.Load(),
-		CompileTime:   time.Duration(s.CompileNS.Load()),
+		Points:          s.Points.Load(),
+		Retries:         s.Retries.Load(),
+		PointPanics:     s.PointPanics.Load(),
+		CheckpointSkips: s.CheckpointSkips.Load(),
+		CompileTime:     time.Duration(s.CompileNS.Load()),
 		InterpTime:    time.Duration(s.InterpNS.Load()),
 		ExecTime:      time.Duration(s.ExecNS.Load()),
 		WallTime:      time.Duration(s.WallNS.Load()),
@@ -121,6 +128,7 @@ func (s *Stats) Reset() {
 	s.Points.Store(0)
 	s.Retries.Store(0)
 	s.PointPanics.Store(0)
+	s.CheckpointSkips.Store(0)
 	s.CompileNS.Store(0)
 	s.InterpNS.Store(0)
 	s.ExecNS.Store(0)
@@ -147,6 +155,9 @@ func (s Snapshot) String() string {
 	// keeping happy-path -stats output identical to earlier releases.
 	if s.Retries > 0 || s.PointPanics > 0 {
 		fmt.Fprintf(&b, "  resilience  %d retries, %d point panics recovered\n", s.Retries, s.PointPanics)
+	}
+	if s.CheckpointSkips > 0 {
+		fmt.Fprintf(&b, "  checkpoint  %d results skipped (re-evaluated on resume)\n", s.CheckpointSkips)
 	}
 	fmt.Fprintf(&b, "  wall        %v", s.WallTime.Round(time.Microsecond))
 	return b.String()
