@@ -67,7 +67,17 @@ func runRemote(baseURL, artifact string, quick bool, runs int, jobID string, wai
 		return err
 	}
 	if wait && !v.State.Terminal() {
-		if v, err = c.WaitJob(ctx, jobID, hpfclient.PollPolicy{}); err != nil {
+		// WatchJob rides the server's SSE event stream (falling back to
+		// polling against older servers), so progress lands on stderr as
+		// it happens instead of on the next poll.
+		v, err = c.WatchJob(ctx, jobID, hpfclient.PollPolicy{}, func(ev hpfclient.JobEvent) {
+			if ev.State == jobs.StateCheckpointed {
+				fmt.Fprintf(os.Stderr, "hpfexp: job %s checkpointed (%d points durable)\n", jobID, ev.Done)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "hpfexp: job %s %s\n", jobID, ev.State)
+		})
+		if err != nil {
 			return err
 		}
 	}

@@ -4,10 +4,15 @@
 // iPSC/860, /v1/autotune searches directive variants; GET /healthz and
 // /metrics expose liveness and counters. Recent request traces are
 // served at GET /v1/traces on the isolated -debug-addr listener, next
-// to pprof. With -jobs-dir, POST /v1/jobs accepts durable async jobs
+// to pprof. POST /v1/batch evaluates many predict/measure points in one
+// request — points sharing a source share one compile, failures are
+// isolated per point, and the whole batch is cost-priced once through
+// the admission gate. With -jobs-dir, POST /v1/jobs accepts durable async jobs
 // recorded in a crash-safe write-ahead journal: a killed server resumes
 // unfinished jobs from their last checkpoint on restart, and a graceful
 // SIGTERM hands running jobs back to the queue for the next generation.
+// GET /v1/jobs/{id}/events streams each job's state transitions and
+// checkpoint progress as server-sent events, with Last-Event-ID resume.
 // Requests share one bounded worker pool and one bounded LRU
 // compile/report cache, honor per-request deadlines, and drain
 // gracefully on SIGINT/SIGTERM.
@@ -61,12 +66,16 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof and GET /v1/traces (e.g. localhost:6060); never expose publicly")
 		chaos      = flag.String("chaos", "", "fault-injection spec site:rate[:kind[:delay]],... (default from HPFPERF_FAULTS; kinds: error, panic, delay)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection decisions")
+		maxBatch   = flag.Int("max-batch-points", 0, "points accepted in one POST /v1/batch request (0 = 1024)")
+		sseHB      = flag.Duration("sse-heartbeat", 0, "idle heartbeat interval of GET /v1/jobs/{id}/events streams (0 = 15s)")
 
 		jobsDir        = flag.String("jobs-dir", "", "enable durable async jobs (POST /v1/jobs): WAL journal and sweep checkpoints live here; a restarted server resumes unfinished jobs from this directory")
 		jobsWorkers    = flag.Int("jobs-workers", 0, "job executor pool size (0 = 2)")
 		jobsRetain     = flag.Int("jobs-retain", 0, "finished jobs kept for GET /v1/jobs before retention drops the oldest (0 = 256)")
 		jobsRetainAge  = flag.Duration("jobs-retain-age", 0, "finished jobs older than this are dropped at compaction (0 = 24h)")
 		jobsMaxJournal = flag.Int64("jobs-max-journal", 0, "journal segment bytes that trigger compaction (0 = 4MiB)")
+		jobsMaxSubs    = flag.Int("jobs-max-streams", 0, "live job event streams admitted across all jobs; further GET /v1/jobs/{id}/events requests get 429 and clients fall back to polling (0 = 128)")
+		jobsMaxEvents  = flag.Int("jobs-max-events", 0, "state-transition events retained per job for Last-Event-ID replay (0 = 1024)")
 	)
 	flag.Parse()
 
@@ -108,6 +117,8 @@ func main() {
 		MaxInflightCostUnits: *maxInCost,
 		BreakerThreshold:     *brThresh,
 		BreakerCooldown:      *brCooldown,
+		MaxBatchPoints:       *maxBatch,
+		SSEHeartbeat:         *sseHB,
 		Log:                  reqLog,
 		TraceAll:             *traceAll,
 		TraceRing:            *traceRing,
@@ -120,6 +131,8 @@ func main() {
 			RetainTerminal:  *jobsRetain,
 			RetainAge:       *jobsRetainAge,
 			MaxJournalBytes: *jobsMaxJournal,
+			MaxSubscribers:  *jobsMaxSubs,
+			MaxEventsPerJob: *jobsMaxEvents,
 			Log:             logger,
 		}); err != nil {
 			logger.Error("jobs journal open failed", "dir", *jobsDir, "err", err.Error())

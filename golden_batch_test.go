@@ -1,0 +1,189 @@
+package hpfperf_test
+
+// Golden-file tests pinning the wire surface added by the batch data
+// plane: the request and response JSON of POST /v1/batch, and one full
+// SSE transcript of GET /v1/jobs/{id}/events. The response goldens are
+// normalized (request/trace IDs, elapsed wall time, job IDs and event
+// timestamps) so only schema and deterministic content are pinned.
+// Regenerate with `go test -run TestGoldenBatch -update` (or
+// TestGoldenJobEvents) and review the diff.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"hpfperf/internal/jobs"
+	"hpfperf/internal/server"
+)
+
+// goldenBatchRequest is the committed request body: a mixed batch over
+// the Laplace program — two predicts sharing one source (one profiled),
+// a seeded deterministic measure, and one invalid point that must
+// become a per-point error object.
+func goldenBatchRequest(t *testing.T) []byte {
+	t.Helper()
+	src := laplaceSource(t)
+	req := server.BatchRequest{Points: []server.BatchPoint{
+		{Predict: &server.PredictRequest{Source: src}},
+		{Predict: &server.PredictRequest{Source: src, Profile: true, HotLines: 3,
+			Options: &server.PredictOptions{AverageLoad: true}}},
+		{Measure: &server.MeasureRequest{Source: src, Runs: 2, Seed: 7, NoPerturb: true}},
+		{Predict: &server.PredictRequest{Source: "THIS IS NOT FORTRAN ( ( ("}},
+	}}
+	body, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(body, '\n')
+}
+
+// normalizeJSON re-indents a JSON document with its volatile keys
+// zeroed: correlation IDs and wall-clock durations vary per run, the
+// rest of the wire surface must not.
+func normalizeJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("normalize: %v\n%s", err, raw)
+	}
+	var walk func(v any)
+	walk = func(v any) {
+		switch v := v.(type) {
+		case map[string]any:
+			for k := range v {
+				switch k {
+				case "request_id", "trace_id":
+					v[k] = "X"
+				case "elapsed_us":
+					v[k] = 0.0
+				default:
+					walk(v[k])
+				}
+			}
+		case []any:
+			for _, e := range v {
+				walk(e)
+			}
+		}
+	}
+	walk(doc)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestGoldenBatchJSON pins the /v1/batch request and response schema:
+// the committed request bytes are POSTed verbatim and the normalized
+// response must match the committed golden byte for byte — field
+// names, point ordering, error-object shape and the deterministic
+// prediction/measurement numbers included.
+func TestGoldenBatchJSON(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	reqBody := goldenBatchRequest(t)
+	checkGolden(t, "batch_request.json", reqBody)
+
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	checkGolden(t, "batch_response.json", normalizeJSON(t, raw))
+}
+
+// TestGoldenJobEventsSSE pins one SSE transcript of
+// GET /v1/jobs/{id}/events: a finished validation job's journal replay
+// — submitted, running, the checkpointed(n) ladder, done — with the
+// exact id:/event:/data: framing the wire carries. Job IDs and event
+// times are normalized; sequence numbers, states and progress counts
+// are deterministic and pinned.
+func TestGoldenJobEventsSSE(t *testing.T) {
+	srv := server.New(server.Config{})
+	if err := srv.OpenJobs(jobs.Config{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Jobs().Drain(ctx)
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"kind":     "validate",
+		"validate": map[string]any{"seed": 3, "count": 6},
+		"options":  map[string]any{"flush_every": 2},
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct {
+		Job jobs.JobView `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	id := sub.Job.ID
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		var v jobs.JobView
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		r.Body.Close()
+		if v.State.Terminal() {
+			if v.State != jobs.StateDone {
+				t.Fatalf("job ended %s: %s", v.State, v.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The job is terminal, so the stream is a pure replay that ends at
+	// the terminal event — the whole transcript arrives in one read.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	transcript, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	norm := strings.ReplaceAll(string(transcript), id, "JOBID")
+	norm = regexp.MustCompile(`"time":"[^"]*"`).ReplaceAllString(norm, `"time":"TIME"`)
+	checkGolden(t, "job_events.sse", []byte(norm))
+}

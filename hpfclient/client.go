@@ -44,6 +44,16 @@ type (
 	AnalyzeRequest = server.AnalyzeRequest
 	// AnalyzeResponse is the body of a successful analyze call.
 	AnalyzeResponse = server.AnalyzeResponse
+	// BatchRequest is the body of POST /v1/batch.
+	BatchRequest = server.BatchRequest
+	// BatchPoint is one predict-or-measure point of a batch.
+	BatchPoint = server.BatchPoint
+	// BatchResponse is the body of a successful batch call.
+	BatchResponse = server.BatchResponse
+	// BatchResult is one point's outcome within a batch response.
+	BatchResult = server.BatchResult
+	// BatchPointError is the isolated failure object of one batch point.
+	BatchPointError = server.BatchPointError
 	// HealthResponse is the body of GET /healthz.
 	HealthResponse = server.HealthResponse
 	// TracesResponse is the body of GET /v1/traces.
@@ -162,6 +172,7 @@ type Config struct {
 type Client struct {
 	base  string
 	hc    *http.Client
+	sc    *http.Client // hc without the overall timeout, for SSE streams
 	retry RetryPolicy
 	trace bool
 }
@@ -172,9 +183,18 @@ func New(cfg Config) *Client {
 	if hc == nil {
 		hc = &http.Client{Timeout: 60 * time.Second}
 	}
+	// http.Client.Timeout covers the whole body read, which would cut a
+	// long-lived event stream mid-job; streaming uses the same transport
+	// without it (the stream is bounded by ctx and server heartbeats).
+	sc := &http.Client{
+		Transport:     hc.Transport,
+		CheckRedirect: hc.CheckRedirect,
+		Jar:           hc.Jar,
+	}
 	return &Client{
 		base:  strings.TrimRight(cfg.BaseURL, "/"),
 		hc:    hc,
+		sc:    sc,
 		retry: cfg.Retry.normalized(),
 		trace: cfg.Trace,
 	}
@@ -202,6 +222,19 @@ func (c *Client) Measure(ctx context.Context, req *MeasureRequest) (*MeasureResp
 func (c *Client) Autotune(ctx context.Context, req *AutotuneRequest) (*AutotuneResponse, error) {
 	var resp AutotuneResponse
 	if err := c.do(ctx, "/v1/autotune", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch calls POST /v1/batch: many predict/measure points in one
+// request. Points sharing a source share one compile on the server,
+// the whole batch passes cost admission in a single decision, and each
+// point fails in isolation (inspect per-point Error objects in the
+// results — a non-nil error here means the batch itself was refused).
+func (c *Client) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, "/v1/batch", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -127,12 +127,39 @@ func (p PollPolicy) wait(retryAfter time.Duration) time.Duration {
 	return base/2 + time.Duration(rand.Int64N(int64(base)/2+1))
 }
 
-// WaitJob polls GET /v1/jobs/{id} until the job reaches a terminal
-// state (done, failed or cancelled — returned, not an error), the
-// context ends, or too many consecutive polls fail. Poll gaps honor
-// the server's Retry-After advice with jitter on top.
+// firstWait desynchronizes the first poll of a fresh poll loop: a
+// uniformly random delay in [0, Interval/2]. The first poll used to
+// fire at t=0 with no jitter at all, so clients entering the loop at
+// the same instant — a herd waiting on jobs submitted together, or
+// streamers falling back in unison at a drain — polled in lockstep,
+// and the server's whole-second Retry-After advice kept them aligned
+// on every later round.
+func (p PollPolicy) firstWait() time.Duration {
+	return time.Duration(rand.Int64N(int64(p.Interval)/2 + 1))
+}
+
+// WaitJob waits for the job to reach a terminal state (done, failed or
+// cancelled — returned, not an error), the context to end, or too many
+// consecutive status failures. It prefers the server's SSE event stream
+// (GET /v1/jobs/{id}/events) and transparently falls back to polling
+// GET /v1/jobs/{id} — honoring Retry-After advice with jitter on top —
+// when the server does not stream. Use WatchJob to observe the streamed
+// transitions as they happen.
 func (c *Client) WaitJob(ctx context.Context, id string, poll PollPolicy) (*JobView, error) {
-	poll = poll.normalized()
+	return c.waitJob(ctx, id, poll, nil)
+}
+
+// pollJob is the polling wait loop. fresh marks a loop entered cold (no
+// prior stream saw the job finish): its first poll is delayed by
+// firstWait so concurrent waiters decorrelate; a loop entered after a
+// terminal stream event polls immediately, since that single poll just
+// fetches the finished snapshot.
+func (c *Client) pollJob(ctx context.Context, id string, poll PollPolicy, fresh bool) (*JobView, error) {
+	if fresh {
+		if err := sleepCtx(ctx, poll.firstWait()); err != nil {
+			return nil, err
+		}
+	}
 	transient := 0
 	for {
 		v, retryAfter, err := c.getJob(ctx, id)
@@ -151,12 +178,8 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll PollPolicy) (*JobV
 				return nil, fmt.Errorf("job %s: %d consecutive poll failures: %w", id, transient, err)
 			}
 		}
-		t := time.NewTimer(poll.wait(retryAfter))
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return nil, ctx.Err()
+		if err := sleepCtx(ctx, poll.wait(retryAfter)); err != nil {
+			return nil, err
 		}
 	}
 }

@@ -1,0 +1,158 @@
+// Streaming job progress: WaitJob first tries the server's SSE feed
+// (GET /v1/jobs/{id}/events) and only falls back to status polling when
+// the server does not stream — an older server, a jobs-disabled
+// deployment, or the subscriber limit. A cut stream reconnects with
+// Last-Event-ID so the server replays only the missed transitions, and
+// repeated drops degrade to the poll path rather than spinning.
+
+package hpfclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpfperf/internal/jobs"
+)
+
+// JobEvent is one streamed job state transition (sequence number, state
+// name, durable checkpoint count, terminal marker).
+type JobEvent = jobs.Event
+
+// streamOutcome classifies one stream attempt.
+type streamOutcome int
+
+const (
+	// streamUnsupported: the server answered with something other than
+	// an event stream; fall back to polling for the rest of the wait.
+	streamUnsupported streamOutcome = iota
+	// streamDropped: the stream ended without a terminal event (network
+	// cut, server drain, slow-consumer drop); reconnect or degrade.
+	streamDropped
+	// streamTerminal: a terminal event (done/failed/cancelled) arrived.
+	streamTerminal
+)
+
+// streamJob runs one SSE attempt against a job's event feed. after is
+// the resume cursor: sent as Last-Event-ID when positive, advanced to
+// each received event's sequence number. Returns the outcome and how
+// many events arrived this attempt.
+func (c *Client) streamJob(ctx context.Context, id string, after *int, onEvent func(JobEvent)) (streamOutcome, int) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return streamUnsupported, 0
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	if *after > 0 {
+		hreq.Header.Set("Last-Event-ID", strconv.Itoa(*after))
+	}
+	hresp, err := c.sc.Do(hreq)
+	if err != nil {
+		return streamDropped, 0
+	}
+	defer drain(hresp.Body)
+	if hresp.StatusCode != http.StatusOK || !strings.HasPrefix(hresp.Header.Get("Content-Type"), "text/event-stream") {
+		// Anything the poll path can answer better than we can guess at:
+		// a 404, a drain 503, the subscriber limit, an older server.
+		return streamUnsupported, 0
+	}
+
+	sc := bufio.NewScanner(hresp.Body)
+	sc.Buffer(make([]byte, 0, 16<<10), 1<<20)
+	var data []byte
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event.
+			if len(data) == 0 {
+				continue
+			}
+			var ev JobEvent
+			err := json.Unmarshal(data, &ev)
+			data = data[:0]
+			if err != nil {
+				return streamDropped, n
+			}
+			if ev.Seq > *after {
+				*after = ev.Seq
+			}
+			n++
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			if ev.Terminal {
+				return streamTerminal, n
+			}
+		case strings.HasPrefix(line, "data:"):
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		default:
+			// id:/event: lines duplicate what the JSON body carries, and
+			// ": hb" heartbeat comments only keep the connection alive.
+		}
+	}
+	// EOF or read error without a terminal event: reconnect from *after.
+	return streamDropped, n
+}
+
+// WatchJob waits like WaitJob but delivers every streamed transition —
+// including checkpointed(n) progress — to onEvent in order. When the
+// server does not stream, WatchJob degrades to polling and onEvent is
+// not called (poll snapshots are not transitions).
+func (c *Client) WatchJob(ctx context.Context, id string, poll PollPolicy, onEvent func(JobEvent)) (*JobView, error) {
+	return c.waitJob(ctx, id, poll, onEvent)
+}
+
+// waitJob is the shared WaitJob/WatchJob engine: stream first,
+// reconnect dropped streams with the Last-Event-ID cursor, degrade to
+// polling after MaxTransient consecutive dead reconnects (a stream that
+// delivered events resets the count), and fetch the terminal snapshot
+// over the status endpoint (events carry states, not result payloads).
+func (c *Client) waitJob(ctx context.Context, id string, poll PollPolicy, onEvent func(JobEvent)) (*JobView, error) {
+	poll = poll.normalized()
+	after, drops := 0, 0
+stream:
+	for {
+		outcome, n := c.streamJob(ctx, id, &after, onEvent)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if n > 0 {
+			drops = 0
+		}
+		switch outcome {
+		case streamTerminal:
+			return c.pollJob(ctx, id, poll, false)
+		case streamUnsupported:
+			break stream
+		default: // streamDropped
+			if drops++; drops >= poll.MaxTransient {
+				break stream
+			}
+			if err := sleepCtx(ctx, poll.wait(0)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c.pollJob(ctx, id, poll, true)
+}
+
+// sleepCtx sleeps d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,225 @@
+package hpfclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpfperf/internal/jobs"
+)
+
+// TestFirstWaitJitter pins the herd-desync fix: the first poll of a
+// fresh wait loop must not fire at a fixed offset. Regression for the
+// jitterless first poll — every waiter used to hit the server at t=0.
+func TestFirstWaitJitter(t *testing.T) {
+	p := PollPolicy{Interval: 100 * time.Millisecond}.normalized()
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		w := p.firstWait()
+		if w < 0 || w > 50*time.Millisecond {
+			t.Fatalf("firstWait %v outside [0, interval/2]", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("firstWait shows no jitter")
+	}
+}
+
+// TestWatchJobStreams runs WatchJob against a real server: the events
+// must arrive in journal order, end terminal, and match the server's
+// retained history — and the returned view must carry the result
+// payload (events do not).
+func TestWatchJobStreams(t *testing.T) {
+	s, c := newJobServer(t)
+	ctx := context.Background()
+	sub, err := c.SubmitJob(ctx, &JobSubmitRequest{
+		Kind:    JobKindPredict,
+		Predict: &PredictRequest{Source: jobSrc},
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	var got []JobEvent
+	v, err := c.WatchJob(ctx, sub.Job.ID, PollPolicy{Interval: 10 * time.Millisecond}, func(ev JobEvent) {
+		got = append(got, ev)
+	})
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	if v.State != jobs.StateDone || len(v.Result) == 0 {
+		t.Fatalf("view: %+v", v)
+	}
+	want, err := s.Jobs().Events(sub.Job.ID)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d events, server history has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].State != want[i].State || got[i].Done != want[i].Done {
+			t.Fatalf("event %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if !got[len(got)-1].Terminal {
+		t.Fatalf("last event not terminal: %+v", got[len(got)-1])
+	}
+}
+
+// TestWaitJobFallsBackToPolling: a server without the events endpoint
+// (any non-SSE answer) must degrade to the poll path — exactly one
+// stream attempt, then status polls.
+func TestWaitJobFallsBackToPolling(t *testing.T) {
+	var streamCalls, pollCalls atomic.Int64
+	view := jobs.JobView{ID: "x", Kind: "predict", State: jobs.StateDone}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/jobs/x/events" {
+			streamCalls.Add(1)
+			http.NotFound(w, r)
+			return
+		}
+		pollCalls.Add(1)
+		json.NewEncoder(w).Encode(view)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	v, err := c.WaitJob(context.Background(), "x", PollPolicy{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if v.State != jobs.StateDone {
+		t.Fatalf("state = %s", v.State)
+	}
+	if streamCalls.Load() != 1 || pollCalls.Load() != 1 {
+		t.Fatalf("stream/poll calls = %d/%d, want 1/1", streamCalls.Load(), pollCalls.Load())
+	}
+}
+
+// sseEvent writes one SSE frame.
+func sseEvent(w http.ResponseWriter, ev jobs.Event) {
+	data, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.State, data)
+	w.(http.Flusher).Flush()
+}
+
+// TestWatchJobResumesAfterDrop: a stream cut mid-way reconnects with
+// Last-Event-ID and receives only the missed tail — no duplicates, no
+// gaps — then fetches the terminal snapshot over the status endpoint.
+func TestWatchJobResumesAfterDrop(t *testing.T) {
+	events := []jobs.Event{
+		{Seq: 1, Job: "x", State: jobs.StateSubmitted},
+		{Seq: 2, Job: "x", State: jobs.StateRunning},
+		{Seq: 3, Job: "x", State: jobs.StateCheckpointed, Done: 4},
+		{Seq: 4, Job: "x", State: jobs.StateDone, Terminal: true},
+	}
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/x/events" {
+			json.NewEncoder(w).Encode(jobs.JobView{ID: "x", State: jobs.StateDone})
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch attempts.Add(1) {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Errorf("first attempt sent Last-Event-ID %q", r.Header.Get("Last-Event-ID"))
+			}
+			// Two events, then the connection dies without a terminal.
+			sseEvent(w, events[0])
+			sseEvent(w, events[1])
+		default:
+			if got := r.Header.Get("Last-Event-ID"); got != "2" {
+				t.Errorf("resume cursor = %q, want \"2\"", got)
+			}
+			sseEvent(w, events[2])
+			sseEvent(w, events[3])
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	var got []JobEvent
+	v, err := c.WatchJob(context.Background(), "x", PollPolicy{Interval: 5 * time.Millisecond}, func(ev JobEvent) {
+		got = append(got, ev)
+	})
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	if v.State != jobs.StateDone {
+		t.Fatalf("state = %s", v.State)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("delivered %d events, want %d (no gaps, no duplicates)", len(got), len(events))
+	}
+	for i, ev := range got {
+		if ev.Seq != events[i].Seq || ev.State != events[i].State {
+			t.Fatalf("event %d: %+v, want %+v", i, ev, events[i])
+		}
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("stream attempts = %d, want 2", attempts.Load())
+	}
+}
+
+// TestWatchJobDegradesAfterRepeatedDrops: a stream that keeps dying
+// without delivering anything falls back to polling after MaxTransient
+// reconnects instead of spinning forever.
+func TestWatchJobDegradesAfterRepeatedDrops(t *testing.T) {
+	var streamAttempts, polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/jobs/x/events" {
+			streamAttempts.Add(1)
+			w.Header().Set("Content-Type", "text/event-stream")
+			// Headers only; the body ends immediately — a dead stream.
+			return
+		}
+		polls.Add(1)
+		json.NewEncoder(w).Encode(jobs.JobView{ID: "x", State: jobs.StateDone})
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	v, err := c.WaitJob(context.Background(), "x", PollPolicy{Interval: time.Millisecond, MaxTransient: 3})
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if v.State != jobs.StateDone {
+		t.Fatalf("state = %s", v.State)
+	}
+	if n := streamAttempts.Load(); n != 3 {
+		t.Fatalf("stream attempts = %d, want MaxTransient (3)", n)
+	}
+	if polls.Load() == 0 {
+		t.Fatal("never degraded to polling")
+	}
+}
+
+// TestClientBatch round-trips POST /v1/batch through the typed client.
+func TestClientBatch(t *testing.T) {
+	_, c := newJobServer(t)
+	br, err := c.Batch(context.Background(), &BatchRequest{Points: []BatchPoint{
+		{Predict: &PredictRequest{Source: jobSrc}},
+		{Measure: &MeasureRequest{Source: jobSrc, Runs: 1}},
+		{Predict: &PredictRequest{Source: "not fortran"}},
+	}})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if br.OK != 2 || br.Failed != 1 {
+		t.Fatalf("ok/failed = %d/%d", br.OK, br.Failed)
+	}
+	if br.Results[0].Predict == nil || br.Results[0].Predict.EstUS <= 0 {
+		t.Fatalf("predict point: %+v", br.Results[0])
+	}
+	if br.Results[1].Measure == nil || br.Results[1].Measure.MeasuredUS <= 0 {
+		t.Fatalf("measure point: %+v", br.Results[1])
+	}
+	if br.Results[2].Error == nil || br.Results[2].Error.Stage != "compile" {
+		t.Fatalf("invalid point: %+v", br.Results[2])
+	}
+}

@@ -1,0 +1,134 @@
+package e2e
+
+// End-to-end differential gate for the batch data plane: a batch of N
+// corpus points through the public client must be byte-identical, point
+// for point, to N sequential /v1/predict//v1/measure calls. CI sizes N
+// up with HPFPERF_BATCH_POINTS (the batch-equivalence job runs 100
+// race-enabled); the default keeps `go test ./...` quick.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"hpfperf/hpfclient"
+	"hpfperf/internal/corpus"
+	"hpfperf/internal/server"
+)
+
+func batchPoints(t *testing.T) int {
+	if v := os.Getenv("HPFPERF_BATCH_POINTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("HPFPERF_BATCH_POINTS=%q: %v", v, err)
+		}
+		return n
+	}
+	return 25
+}
+
+func TestBatchEquivalence(t *testing.T) {
+	n := batchPoints(t)
+	h := newHarness(t, server.Config{MaxBodyBytes: 32 << 20, MaxBatchPoints: n}, hpfclient.Config{})
+	ctx := context.Background()
+
+	// Mixed corpus: every third point measures, the rest predict, over
+	// distinct generated sources plus the shared Laplace program (so the
+	// batch holds both single-use and repeated sources).
+	progs := corpus.Generate(11, n)
+	points := make([]hpfclient.BatchPoint, n)
+	for i := range points {
+		src := progs[i].Source
+		if i%5 == 4 {
+			src = laplace()
+		}
+		if i%3 == 2 {
+			points[i] = hpfclient.BatchPoint{Measure: &hpfclient.MeasureRequest{
+				Source: src, Runs: 1, Seed: int64(i), NoPerturb: i%2 == 0,
+			}}
+		} else {
+			points[i] = hpfclient.BatchPoint{Predict: &hpfclient.PredictRequest{
+				Source: src, Profile: i%2 == 0, HotLines: i % 4,
+			}}
+		}
+	}
+
+	// Sequential ground truth through the same client.
+	want := make([][]byte, n)
+	for i, p := range points {
+		if p.Predict != nil {
+			pr, err := h.cli.Predict(ctx, p.Predict)
+			if err != nil {
+				t.Fatalf("sequential predict %d: %v", i, err)
+			}
+			pr.ResponseMeta, pr.ElapsedUS = server.ResponseMeta{}, 0
+			want[i], _ = json.Marshal(pr)
+		} else {
+			mr, err := h.cli.Measure(ctx, p.Measure)
+			if err != nil {
+				t.Fatalf("sequential measure %d: %v", i, err)
+			}
+			mr.ResponseMeta, mr.ElapsedUS = server.ResponseMeta{}, 0
+			want[i], _ = json.Marshal(mr)
+		}
+	}
+
+	br, err := h.cli.Batch(ctx, &hpfclient.BatchRequest{Points: points})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if br.OK != n || br.Failed != 0 {
+		t.Fatalf("ok/failed = %d/%d over %d points", br.OK, br.Failed, n)
+	}
+	for i, res := range br.Results {
+		if res.Index != i || res.Error != nil {
+			t.Fatalf("point %d: %+v", i, res)
+		}
+		var got []byte
+		if res.Predict != nil {
+			got, _ = json.Marshal(res.Predict)
+		} else {
+			got, _ = json.Marshal(res.Measure)
+		}
+		if string(got) != string(want[i]) {
+			t.Errorf("point %d: batch != sequential\nbatch:      %s\nsequential: %s", i, got, want[i])
+		}
+	}
+}
+
+// TestBatchInvalidPointIsolation: one broken point inside an otherwise
+// healthy batch yields one per-point error, with every other result
+// still byte-identical to its standalone call.
+func TestBatchInvalidPointIsolation(t *testing.T) {
+	h := newHarness(t, server.Config{}, hpfclient.Config{})
+	ctx := context.Background()
+
+	points := []hpfclient.BatchPoint{
+		{Predict: &hpfclient.PredictRequest{Source: laplace()}},
+		{Predict: &hpfclient.PredictRequest{Source: "DEFINITELY NOT FORTRAN ( ( ("}},
+		{Measure: &hpfclient.MeasureRequest{Source: laplace(), Runs: 1, NoPerturb: true}},
+	}
+	br, err := h.cli.Batch(ctx, &hpfclient.BatchRequest{Points: points})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if br.OK != 2 || br.Failed != 1 {
+		t.Fatalf("ok/failed = %d/%d, want 2/1", br.OK, br.Failed)
+	}
+	if e := br.Results[1].Error; e == nil || e.Status != 400 || e.Stage != "compile" {
+		t.Fatalf("invalid point error: %+v", br.Results[1].Error)
+	}
+
+	pr, err := h.cli.Predict(ctx, points[0].Predict)
+	if err != nil {
+		t.Fatalf("sequential predict: %v", err)
+	}
+	pr.ResponseMeta, pr.ElapsedUS = server.ResponseMeta{}, 0
+	wantP, _ := json.Marshal(pr)
+	gotP, _ := json.Marshal(br.Results[0].Predict)
+	if string(gotP) != string(wantP) {
+		t.Errorf("healthy predict point diverged:\nbatch:      %s\nsequential: %s", gotP, wantP)
+	}
+}

@@ -1,0 +1,265 @@
+package e2e
+
+// Jobs-surface gap coverage: terminal-DELETE idempotence, listing-order
+// determinism across journal compaction and restart, streaming waiters
+// under server drain, and an SSE fan-out soak (sized up in nightly CI
+// via HPFPERF_SSE_STREAMS).
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"hpfperf/hpfclient"
+	"hpfperf/internal/jobs"
+	"hpfperf/internal/server"
+)
+
+// newJobsHarnessAt is newJobsHarness with a caller-owned jobs dir and
+// config, for restart tests that reopen the same WAL.
+func newJobsHarnessAt(t *testing.T, jcfg jobs.Config) *harness {
+	t.Helper()
+	h := newHarness(t, server.Config{}, hpfclient.Config{})
+	if err := h.srv.OpenJobs(jcfg); err != nil {
+		t.Fatalf("OpenJobs: %v", err)
+	}
+	return h
+}
+
+func drainJobs(t *testing.T, h *harness) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.srv.Jobs().Drain(ctx); err != nil {
+		t.Fatalf("jobs drain: %v", err)
+	}
+}
+
+// TestCancelTerminalJobIdempotent: DELETE on an already-terminal job is
+// a 200 no-op returning the unchanged terminal state — twice.
+func TestCancelTerminalJobIdempotent(t *testing.T) {
+	h := newJobsHarness(t)
+	ctx := context.Background()
+
+	sub, err := h.cli.SubmitJob(ctx, &hpfclient.JobSubmitRequest{
+		Kind:    hpfclient.JobKindPredict,
+		Predict: &hpfclient.PredictRequest{Source: laplace()},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	done, err := h.cli.WaitJob(ctx, sub.Job.ID, hpfclient.PollPolicy{Interval: 10 * time.Millisecond})
+	if err != nil || done.State != jobs.StateDone {
+		t.Fatalf("wait: %+v %v", done, err)
+	}
+	for i := 0; i < 2; i++ {
+		v, err := h.cli.CancelJob(ctx, sub.Job.ID)
+		if err != nil {
+			t.Fatalf("cancel #%d on terminal job: %v", i+1, err)
+		}
+		if v.State != jobs.StateDone || v.CancelRequested {
+			t.Fatalf("cancel #%d mutated the job: %+v", i+1, v)
+		}
+		if string(v.Result) != string(done.Result) {
+			t.Fatalf("cancel #%d changed the result payload", i+1)
+		}
+	}
+}
+
+// TestJobListOrderStableAcrossCompaction: the jobs listing must come
+// back in the same order after the journal compacts and the server
+// restarts on the rewritten WAL — newest first, ID as the tiebreak.
+func TestJobListOrderStableAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny segment bound forces compaction on nearly every append.
+	h := newJobsHarnessAt(t, jobs.Config{Dir: dir, MaxJournalBytes: 512})
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		sub, err := h.cli.SubmitJob(ctx, &hpfclient.JobSubmitRequest{
+			Kind:    hpfclient.JobKindPredict,
+			Predict: &hpfclient.PredictRequest{Source: laplace()},
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if _, err := h.cli.WaitJob(ctx, sub.Job.ID, hpfclient.PollPolicy{Interval: 5 * time.Millisecond}); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	if h.srv.Jobs().Metrics().Compactions == 0 {
+		t.Fatal("journal never compacted; the test exercises nothing")
+	}
+	before, err := h.cli.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(before.Jobs) != 5 {
+		t.Fatalf("listed %d jobs, want 5", len(before.Jobs))
+	}
+	drainJobs(t, h)
+
+	// Restart: replay the compacted WAL and list again.
+	h2 := newJobsHarnessAt(t, jobs.Config{Dir: dir, MaxJournalBytes: 512})
+	defer drainJobs(t, h2)
+	after, err := h2.cli.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("list after restart: %v", err)
+	}
+	if len(after.Jobs) != len(before.Jobs) {
+		t.Fatalf("restart changed the listing length: %d -> %d", len(before.Jobs), len(after.Jobs))
+	}
+	for i := range before.Jobs {
+		if before.Jobs[i].ID != after.Jobs[i].ID {
+			t.Fatalf("position %d: %s before restart, %s after", i, before.Jobs[i].ID, after.Jobs[i].ID)
+		}
+		if !before.Jobs[i].SubmittedAt.Equal(after.Jobs[i].SubmittedAt) {
+			t.Fatalf("job %s: submitted_at drifted across compaction", before.Jobs[i].ID)
+		}
+	}
+}
+
+// TestWaitJobNoLeakUnderDrain: a streaming waiter whose server drains
+// mid-job must unwind — no goroutine may survive the wait's context.
+func TestWaitJobNoLeakUnderDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	h := newJobsHarnessAt(t, jobs.Config{Dir: t.TempDir()})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sub, err := h.cli.SubmitJob(ctx, &hpfclient.JobSubmitRequest{
+		Kind:     hpfclient.JobKindValidate,
+		Validate: &hpfclient.ValidateJobRequest{Seed: 5, Count: 400},
+		Options:  &hpfclient.JobOptions{FlushEvery: 1},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := h.cli.WaitJob(ctx, sub.Job.ID, hpfclient.PollPolicy{Interval: 20 * time.Millisecond})
+		waitDone <- err
+	}()
+
+	// Let the stream attach, then drain the jobs layer out from under
+	// it. The job hands off (state back to submitted), so the waiter
+	// degrades to polling a job that will never finish this generation —
+	// cancelling the context must still unwind it completely.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := h.cli.Job(ctx, sub.Job.ID)
+		if err != nil {
+			t.Fatalf("job status: %v", err)
+		}
+		if v.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drainJobs(t, h)
+	cancel()
+	select {
+	case err := <-waitDone:
+		if err == nil {
+			t.Fatal("WaitJob returned nil after drain+cancel")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitJob still blocked after drain+cancel")
+	}
+
+	h.ts.Close()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before+2 {
+			return
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after drained wait\n%s",
+				before, runtime.NumGoroutine(), firstLines(string(buf[:n]), 80))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSSESoak opens many concurrent streaming waiters over a handful of
+// jobs and requires every one to observe the terminal state and unwind.
+// Nightly CI sizes it up with HPFPERF_SSE_STREAMS; the default keeps
+// the inner-loop run light.
+func TestSSESoak(t *testing.T) {
+	streams := 8
+	if v := os.Getenv("HPFPERF_SSE_STREAMS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("HPFPERF_SSE_STREAMS=%q: %v", v, err)
+		}
+		streams = n
+	}
+	before := runtime.NumGoroutine()
+	h := newJobsHarnessAt(t, jobs.Config{Dir: t.TempDir(), MaxSubscribers: streams})
+	ctx := context.Background()
+
+	const njobs = 4
+	ids := make([]string, njobs)
+	for i := range ids {
+		sub, err := h.cli.SubmitJob(ctx, &hpfclient.JobSubmitRequest{
+			Kind:     hpfclient.JobKindValidate,
+			Validate: &hpfclient.ValidateJobRequest{Seed: int64(i + 1), Count: 20},
+			Options:  &hpfclient.JobOptions{FlushEvery: 5},
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = sub.Job.ID
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := h.cli.WatchJob(ctx, ids[i%njobs], hpfclient.PollPolicy{Interval: 20 * time.Millisecond}, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v.State != jobs.StateDone {
+				errs <- &hpfclient.APIError{Message: "job " + v.ID + " ended " + string(v.State)}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("soak waiter: %v", err)
+	}
+
+	drainJobs(t, h)
+	h.ts.Close()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before+2 {
+			return
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after soak\n%s",
+				before, runtime.NumGoroutine(), firstLines(string(buf[:n]), 80))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

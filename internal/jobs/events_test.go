@@ -1,0 +1,327 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// gatedExec blocks until release closes, then journals the given
+// checkpoints and returns the payload. Cancelling the context while
+// blocked returns ctx.Err() (the drain-handoff path).
+func gatedExec(release <-chan struct{}, checkpoints ...int) Executor {
+	return func(ctx context.Context, job JobView, env ExecEnv) (json.RawMessage, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		for _, n := range checkpoints {
+			env.Progress(n)
+		}
+		return job.Payload, nil
+	}
+}
+
+// collect drains a subscription channel until it closes.
+func collect(t *testing.T, c <-chan Event) []Event {
+	t.Helper()
+	var out []Event
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-c:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("subscription never closed; got %d events", len(out))
+		}
+	}
+}
+
+// states projects an event slice to its state sequence.
+func states(evs []Event) []State {
+	out := make([]State, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.State
+	}
+	return out
+}
+
+func sameStates(a, b []State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEventStreamLiveSequence(t *testing.T) {
+	release := make(chan struct{})
+	m := openTest(t, t.TempDir(), gatedExec(release, 3, 7))
+	v, err := m.Submit("predict", json.RawMessage(`{"n":1}`), Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sub, err := m.Subscribe(v.ID, 0)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Cancel()
+	close(release)
+	waitState(t, m, v.ID, StateDone)
+
+	evs := collect(t, sub.C)
+	want := []State{StateSubmitted, StateRunning, StateCheckpointed, StateCheckpointed, StateDone}
+	if !sameStates(states(evs), want) {
+		t.Fatalf("states = %v, want %v", states(evs), want)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d: Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Job != v.ID {
+			t.Fatalf("event %d: Job = %q", i, ev.Job)
+		}
+		if ev.Terminal != (i == len(evs)-1) {
+			t.Fatalf("event %d: Terminal = %v", i, ev.Terminal)
+		}
+	}
+	if evs[2].Done != 3 || evs[3].Done != 7 {
+		t.Fatalf("checkpoint Done = %d, %d; want 3, 7", evs[2].Done, evs[3].Done)
+	}
+	mm := m.Metrics()
+	if mm.EventsTotal != 5 || mm.Subscribers != 0 || mm.SubscriberDrops != 0 {
+		t.Fatalf("metrics: %+v", mm)
+	}
+	drain(t, m)
+}
+
+// TestEventsMirrorJournal is the replay-equivalence property behind SSE
+// resume: the retained event history must be exactly the journal's
+// state sequence for the job — live, and again after a restart rebuilds
+// it from the WAL.
+func TestEventsMirrorJournal(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	close(release)
+	m := openTest(t, dir, gatedExec(release, 2, 5, 9))
+	v, err := m.Submit("predict", json.RawMessage(`{"n":1}`), Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m, v.ID, StateDone)
+	live, err := m.Events(v.ID)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	drain(t, m)
+
+	// Read the WAL back directly and project the job's transitions.
+	jn, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	jn.close()
+	var want []Event
+	for _, rec := range recs {
+		if rec.Job != v.ID {
+			continue
+		}
+		want = append(want, Event{
+			Seq: len(want) + 1, Job: rec.Job, State: rec.State,
+			Done: rec.Done, Error: rec.Error, Time: rec.Time,
+			Terminal: rec.State.Terminal(),
+		})
+	}
+	if len(want) == 0 {
+		t.Fatal("journal holds no records for the job")
+	}
+	check := func(phase string, got []Event) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d events, journal has %d transitions", phase, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: event %d = %+v, journal transition %+v", phase, i, got[i], want[i])
+			}
+		}
+	}
+	check("live", live)
+
+	// A restarted manager rebuilds the identical history from the WAL.
+	m2 := openTest(t, dir, echoExec)
+	replayed, err := m2.Events(v.ID)
+	if err != nil {
+		t.Fatalf("Events after reopen: %v", err)
+	}
+	check("replayed", replayed)
+	drain(t, m2)
+}
+
+func TestSubscribeResumeCursor(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	m := openTest(t, t.TempDir(), gatedExec(release, 4))
+	v, _ := m.Submit("predict", json.RawMessage(`{}`), Options{})
+	waitState(t, m, v.ID, StateDone)
+	all, _ := m.Events(v.ID)
+	if len(all) != 4 { // submitted, running, checkpointed, done
+		t.Fatalf("retained %d events, want 4", len(all))
+	}
+
+	// Resume after seq 2: only the later transitions replay, and the
+	// channel closes right away (the job is terminal).
+	sub, err := m.Subscribe(v.ID, 2)
+	if err != nil {
+		t.Fatalf("Subscribe(after=2): %v", err)
+	}
+	got := collect(t, sub.C)
+	if !sameStates(states(got), []State{StateCheckpointed, StateDone}) {
+		t.Fatalf("resumed states = %v", states(got))
+	}
+
+	// A cursor beyond the newest event means a previous server
+	// generation: replay everything retained.
+	sub, err = m.Subscribe(v.ID, 999)
+	if err != nil {
+		t.Fatalf("Subscribe(after=999): %v", err)
+	}
+	if got := collect(t, sub.C); len(got) != len(all) {
+		t.Fatalf("stale cursor replayed %d events, want %d", len(got), len(all))
+	}
+
+	if _, err := m.Subscribe("nope", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Subscribe unknown: %v", err)
+	}
+	drain(t, m)
+}
+
+func TestSubscriberLimit(t *testing.T) {
+	release := make(chan struct{})
+	m := openTest(t, t.TempDir(), gatedExec(release), func(c *Config) { c.MaxSubscribers = 1 })
+	v, _ := m.Submit("predict", json.RawMessage(`{}`), Options{})
+
+	sub1, err := m.Subscribe(v.ID, 0)
+	if err != nil {
+		t.Fatalf("first Subscribe: %v", err)
+	}
+	if _, err := m.Subscribe(v.ID, 0); !errors.Is(err, ErrSubscriberLimit) {
+		t.Fatalf("second Subscribe: %v, want ErrSubscriberLimit", err)
+	}
+	sub1.Cancel()
+	sub2, err := m.Subscribe(v.ID, 0)
+	if err != nil {
+		t.Fatalf("Subscribe after Cancel freed the slot: %v", err)
+	}
+	close(release)
+	waitState(t, m, v.ID, StateDone)
+	evs := collect(t, sub2.C)
+	if len(evs) == 0 || !evs[len(evs)-1].Terminal {
+		t.Fatalf("post-cancel subscription events: %v", states(evs))
+	}
+	drain(t, m)
+}
+
+// TestSlowConsumerDropped: a subscriber that never reads is closed once
+// its buffer fills, rather than blocking the journal path. Its channel
+// ends without a terminal event — the resubscribe-with-cursor signal.
+func TestSlowConsumerDropped(t *testing.T) {
+	release := make(chan struct{})
+	ckpts := make([]int, 200)
+	for i := range ckpts {
+		ckpts[i] = i + 1
+	}
+	m := openTest(t, t.TempDir(), gatedExec(release, ckpts...))
+	v, _ := m.Submit("predict", json.RawMessage(`{}`), Options{})
+	sub, err := m.Subscribe(v.ID, 0)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	close(release)
+	waitState(t, m, v.ID, StateDone)
+
+	evs := collect(t, sub.C)
+	if len(evs) == 0 || evs[len(evs)-1].Terminal {
+		t.Fatalf("slow consumer got %d events ending terminal=%v; want a cut stream",
+			len(evs), evs[len(evs)-1].Terminal)
+	}
+	if m.Metrics().SubscriberDrops != 1 {
+		t.Fatalf("SubscriberDrops = %d, want 1", m.Metrics().SubscriberDrops)
+	}
+
+	// Resume from the cut: the cursor replays the missed tail.
+	resumed, err := m.Subscribe(v.ID, evs[len(evs)-1].Seq)
+	if err != nil {
+		t.Fatalf("resubscribe: %v", err)
+	}
+	tail := collect(t, resumed.C)
+	if len(tail) == 0 || !tail[len(tail)-1].Terminal {
+		t.Fatalf("resumed tail states = %v", states(tail))
+	}
+	if tail[0].Seq != evs[len(evs)-1].Seq+1 {
+		t.Fatalf("resume started at seq %d, want %d", tail[0].Seq, evs[len(evs)-1].Seq+1)
+	}
+	drain(t, m)
+}
+
+func TestEventHistoryTrimmed(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	m := openTest(t, t.TempDir(), gatedExec(release, 1, 2, 3, 4, 5, 6),
+		func(c *Config) { c.MaxEventsPerJob = 4 })
+	v, _ := m.Submit("predict", json.RawMessage(`{}`), Options{})
+	waitState(t, m, v.ID, StateDone)
+
+	evs, err := m.Events(v.ID)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	// 9 transitions total (submitted, running, 6 checkpoints, done);
+	// only the newest 4 survive, numbering intact.
+	if len(evs) != 4 || evs[0].Seq != 6 || !evs[3].Terminal {
+		t.Fatalf("trimmed history: %+v", evs)
+	}
+	// A cursor pointing into the trimmed-away prefix replays what is
+	// retained; checkpoint events carry cumulative counts, so progress
+	// is not lost.
+	sub, err := m.Subscribe(v.ID, 2)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if got := collect(t, sub.C); len(got) != 4 {
+		t.Fatalf("replayed %d events, want the 4 retained", len(got))
+	}
+	drain(t, m)
+}
+
+// TestDrainClosesSubscribers: shutdown ends every live feed up front —
+// without a terminal event — so streaming handlers unwind inside the
+// drain budget instead of holding connections open.
+func TestDrainClosesSubscribers(t *testing.T) {
+	release := make(chan struct{}) // never closed: job parks until drain cancels it
+	m := openTest(t, t.TempDir(), gatedExec(release))
+	v, _ := m.Submit("predict", json.RawMessage(`{}`), Options{})
+	waitState(t, m, v.ID, StateRunning)
+	sub, err := m.Subscribe(v.ID, 0)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	drain(t, m)
+	evs := collect(t, sub.C)
+	if len(evs) == 0 || evs[len(evs)-1].Terminal {
+		t.Fatalf("drained feed should end mid-stream, got %v", states(evs))
+	}
+	if _, err := m.Subscribe(v.ID, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Subscribe after drain: %v, want ErrDraining", err)
+	}
+}

@@ -55,13 +55,13 @@ type JobView struct {
 	State State  `json:"state"`
 	// Done is the number of sweep points durable on the last journaled
 	// checkpoint; Checkpoints counts the checkpointed(n) transitions.
-	Done            int        `json:"done,omitempty"`
-	Checkpoints     int        `json:"checkpoints,omitempty"`
-	Resumes         int        `json:"resumes,omitempty"`
-	CancelRequested bool       `json:"cancel_requested,omitempty"`
-	SubmittedAt     time.Time  `json:"submitted_at"`
-	StartedAt       *time.Time `json:"started_at,omitempty"`
-	FinishedAt      *time.Time `json:"finished_at,omitempty"`
+	Done            int             `json:"done,omitempty"`
+	Checkpoints     int             `json:"checkpoints,omitempty"`
+	Resumes         int             `json:"resumes,omitempty"`
+	CancelRequested bool            `json:"cancel_requested,omitempty"`
+	SubmittedAt     time.Time       `json:"submitted_at"`
+	StartedAt       *time.Time      `json:"started_at,omitempty"`
+	FinishedAt      *time.Time      `json:"finished_at,omitempty"`
 	Result          json.RawMessage `json:"result,omitempty"`
 	Error           string          `json:"error,omitempty"`
 
@@ -89,6 +89,13 @@ type job struct {
 	result      json.RawMessage
 	errMsg      string
 	cancel      context.CancelFunc // non-nil while running
+
+	// Event history + live feeds (events.go). eventSeq numbers
+	// transitions within this server generation; events retains the
+	// newest MaxEventsPerJob of them for Last-Event-ID replay.
+	events   []Event
+	eventSeq int
+	subs     []*subscriber
 }
 
 func (j *job) view() JobView {
@@ -142,6 +149,14 @@ type Config struct {
 	// context) and the finished tree is delivered here. The server
 	// feeds these into its trace ring.
 	OnTrace func(job JobView, tree *obs.Tree)
+	// MaxSubscribers bounds live event feeds across all jobs (<= 0 =
+	// 128); Subscribe returns ErrSubscriberLimit beyond it, and the
+	// caller degrades to polling.
+	MaxSubscribers int
+	// MaxEventsPerJob bounds the retained event history per job
+	// (<= 0 = 1024; the newest are kept). Checkpoint events carry
+	// cumulative counts, so trimmed history loses no progress.
+	MaxEventsPerJob int
 }
 
 // Metrics is a consistent snapshot of the manager's counters.
@@ -159,6 +174,9 @@ type Metrics struct {
 	RetentionDropped  int64 // terminal jobs dropped by retention
 	JournalBytes      int64 // active segment size
 	RecoverySeconds   float64
+	Subscribers       int   // live event feeds (gauge)
+	EventsTotal       int64 // state-transition events recorded
+	SubscriberDrops   int64 // slow consumers dropped from the fan-out
 }
 
 // Manager owns the journal, the job table and the worker pool.
@@ -180,6 +198,11 @@ type Manager struct {
 	resumed, handoffs, retentionDropped                        int64
 	replayRecords                                              int64
 	recovery                                                   time.Duration
+
+	// event fan-out state (under mu; see events.go)
+	nsubs       int
+	eventsTotal int64
+	subDrops    int64
 }
 
 // Open replays the journal in cfg.Dir, reconciles torn records,
@@ -206,6 +229,12 @@ func Open(cfg Config) (*Manager, error) {
 	}
 	if cfg.RetainAge <= 0 {
 		cfg.RetainAge = 24 * time.Hour
+	}
+	if cfg.MaxSubscribers <= 0 {
+		cfg.MaxSubscribers = 128
+	}
+	if cfg.MaxEventsPerJob <= 0 {
+		cfg.MaxEventsPerJob = 1024
 	}
 	if cfg.Log == nil {
 		cfg.Log = slog.Default()
@@ -269,13 +298,17 @@ func Open(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// apply folds one replayed record into the job table.
+// apply folds one replayed record into the job table. Each record also
+// re-appends its event, so the rebuilt event history mirrors the
+// journal's state sequence exactly (a compaction snapshot collapses a
+// job to one record, and its history to one event likewise).
 func (m *Manager) apply(rec record) {
 	j := m.jobs[rec.Job]
 	if j == nil {
 		j = &job{id: rec.Job}
 		m.jobs[rec.Job] = j
 	}
+	m.appendEventLocked(j, rec.State, rec.Done, rec.Error, rec.Time)
 	switch rec.State {
 	case StateSubmitted:
 		j.state = StateSubmitted
@@ -292,15 +325,12 @@ func (m *Manager) apply(rec record) {
 			j.runs = rec.Runs
 		}
 		j.submittedAt = rec.Time
-		if !rec.Submitted.IsZero() {
-			j.submittedAt = rec.Submitted
-		}
 		m.submitted++
 	case StateRunning:
 		j.state = StateRunning
 		j.runs = rec.Runs
 		j.startedAt = rec.Time
-	case stateCheckpointed:
+	case StateCheckpointed:
 		// Progress while running; the effective state is unchanged.
 		j.done = rec.Done
 		j.checkpoints++
@@ -316,7 +346,13 @@ func (m *Manager) apply(rec record) {
 			j.done = rec.Done
 		}
 	}
-	// Snapshot records carry the full surviving state.
+	// Snapshot records carry the full surviving state. Submitted must be
+	// restored for every state, not just submitted: a snapshot of a done
+	// job is a single done-state record, and losing its submit time would
+	// reorder the listing after a restart.
+	if !rec.Submitted.IsZero() {
+		j.submittedAt = rec.Submitted
+	}
 	if !rec.Started.IsZero() {
 		j.startedAt = rec.Started
 	}
@@ -377,6 +413,7 @@ func (m *Manager) Submit(kind string, payload json.RawMessage, opts Options) (Jo
 		return JobView{}, fmt.Errorf("jobs: journaling submission: %w", err)
 	}
 	m.jobs[j.id] = j
+	m.appendEventLocked(j, StateSubmitted, 0, "", j.submittedAt)
 	m.queue = append(m.queue, j.id)
 	m.submitted++
 	m.cond.Signal()
@@ -436,6 +473,7 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 		if err := m.jn.append(record{Job: j.id, State: StateCancelled, Time: j.finishedAt, Done: j.done}); err != nil {
 			m.cfg.Log.Warn("jobs: journaling cancellation", "job", j.id, "err", err.Error())
 		}
+		m.appendEventLocked(j, StateCancelled, j.done, "", j.finishedAt)
 		m.finishedCancelled++
 		m.removeCheckpoints(j.id)
 	case StateRunning:
@@ -469,6 +507,9 @@ func (m *Manager) Metrics() Metrics {
 		RetentionDropped:  m.retentionDropped,
 		JournalBytes:      m.jn.bytes,
 		RecoverySeconds:   m.recovery.Seconds(),
+		Subscribers:       m.nsubs,
+		EventsTotal:       m.eventsTotal,
+		SubscriberDrops:   m.subDrops,
 	}
 }
 
@@ -487,6 +528,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 	m.draining = true
 	for _, j := range m.jobs {
+		m.closeSubsLocked(j)
 		if j.state == StateRunning && j.cancel != nil {
 			j.cancel()
 		}
@@ -548,6 +590,7 @@ func (m *Manager) runJob(j *job) {
 	if err := m.jn.append(record{Job: j.id, State: StateRunning, Time: j.startedAt, Runs: j.runs}); err != nil {
 		m.cfg.Log.Warn("jobs: journaling running transition", "job", j.id, "err", err.Error())
 	}
+	m.appendEventLocked(j, StateRunning, j.done, "", j.startedAt)
 	view := j.view()
 	m.mu.Unlock()
 	defer cancel()
@@ -583,9 +626,11 @@ func (m *Manager) progress(j *job, done int) {
 	}
 	j.done = done
 	j.checkpoints++
-	if err := m.jn.append(record{Job: j.id, State: stateCheckpointed, Time: time.Now().UTC(), Done: done}); err != nil {
+	now := time.Now().UTC()
+	if err := m.jn.append(record{Job: j.id, State: StateCheckpointed, Time: now, Done: done}); err != nil {
 		m.cfg.Log.Warn("jobs: journaling checkpoint transition", "job", j.id, "err", err.Error())
 	}
+	m.appendEventLocked(j, StateCheckpointed, done, "", now)
 }
 
 // finish journals a job's terminal transition — or, when the manager is
@@ -606,6 +651,7 @@ func (m *Manager) finish(j *job, result json.RawMessage, err error) {
 		if aerr := m.jn.append(record{Job: j.id, State: StateDone, Time: now, Done: j.done, Result: result}); aerr != nil {
 			m.cfg.Log.Warn("jobs: journaling done transition", "job", j.id, "err", aerr.Error())
 		}
+		m.appendEventLocked(j, StateDone, j.done, "", now)
 		m.finishedDone++
 		m.removeCheckpoints(j.id)
 	case j.cancelReq:
@@ -615,6 +661,7 @@ func (m *Manager) finish(j *job, result json.RawMessage, err error) {
 		if aerr := m.jn.append(record{Job: j.id, State: StateCancelled, Time: now, Done: j.done, Error: j.errMsg}); aerr != nil {
 			m.cfg.Log.Warn("jobs: journaling cancelled transition", "job", j.id, "err", aerr.Error())
 		}
+		m.appendEventLocked(j, StateCancelled, j.done, j.errMsg, now)
 		m.finishedCancelled++
 		m.removeCheckpoints(j.id)
 	case m.draining && errors.Is(err, context.Canceled):
@@ -628,6 +675,7 @@ func (m *Manager) finish(j *job, result json.RawMessage, err error) {
 		}); aerr != nil {
 			m.cfg.Log.Warn("jobs: journaling drain handoff", "job", j.id, "err", aerr.Error())
 		}
+		m.appendEventLocked(j, StateSubmitted, j.done, "", now)
 		m.handoffs++
 		m.submitted-- // not a new submission; keep the counter meaningful
 	default:
@@ -637,6 +685,7 @@ func (m *Manager) finish(j *job, result json.RawMessage, err error) {
 		if aerr := m.jn.append(record{Job: j.id, State: StateFailed, Time: now, Done: j.done, Error: j.errMsg}); aerr != nil {
 			m.cfg.Log.Warn("jobs: journaling failed transition", "job", j.id, "err", aerr.Error())
 		}
+		m.appendEventLocked(j, StateFailed, j.done, j.errMsg, now)
 		m.finishedFailed++
 		m.removeCheckpoints(j.id)
 	}

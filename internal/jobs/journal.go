@@ -39,9 +39,11 @@ const (
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
 
-	// stateCheckpointed is the journal-only progress transition
-	// checkpointed(n): the job stays running, n points are durable.
-	stateCheckpointed State = "checkpointed"
+	// StateCheckpointed is the journal-only progress transition
+	// checkpointed(n): the job stays running, n points are durable. It
+	// never appears as a job's effective state, but event-stream
+	// consumers see it on every durable progress step.
+	StateCheckpointed State = "checkpointed"
 )
 
 // Terminal reports whether s is a final state.

@@ -80,7 +80,7 @@ func TestJournalReplayRoundTrip(t *testing.T) {
 	}
 	mustAppend(t, j, record{Job: "a", State: StateSubmitted, Kind: "predict"})
 	mustAppend(t, j, record{Job: "a", State: StateRunning, Runs: 1})
-	mustAppend(t, j, record{Job: "a", State: stateCheckpointed, Done: 7})
+	mustAppend(t, j, record{Job: "a", State: StateCheckpointed, Done: 7})
 	mustAppend(t, j, record{Job: "a", State: StateDone, Result: json.RawMessage(`{"x":1}`)})
 	j.close()
 

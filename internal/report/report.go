@@ -162,7 +162,15 @@ func HotLines(rep *core.Report, n int) string {
 	for l, m := range rep.ByLine {
 		all = append(all, lm{l, m})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].m.TotalUS() > all[j].m.TotalUS() })
+	// Ties break on line number: ByLine is a map, so without a total
+	// order two equally-hot lines would render in random order from one
+	// call to the next.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].m.TotalUS() != all[j].m.TotalUS() {
+			return all[i].m.TotalUS() > all[j].m.TotalUS()
+		}
+		return all[i].line < all[j].line
+	})
 	if n > 0 && len(all) > n {
 		all = all[:n]
 	}

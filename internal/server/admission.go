@@ -66,6 +66,56 @@ func (s *Server) priceOf(prog *hir.Program) *analysis.PriceReport {
 	return price
 }
 
+// ceiling checks a single point's price against the per-request budget.
+// Batch requests apply it per point — one over-budget point yields a
+// per-point error object — while the aggregate goes through admitUnits.
+func (s *Server) ceiling(price *analysis.PriceReport) *apiError {
+	if s.cfg.MaxCostUnits > 0 && price.CostUnits > s.cfg.MaxCostUnits {
+		s.met.costRejected.Add(1)
+		return &apiError{
+			status:    http.StatusTooManyRequests,
+			stage:     "admission",
+			err:       fmt.Errorf("program prices at %.0f cost units, over the per-request budget of %.0f", price.CostUnits, s.cfg.MaxCostUnits),
+			estCost:   price.CostUnits,
+			costLimit: s.cfg.MaxCostUnits,
+		}
+	}
+	return nil
+}
+
+// admitUnits reserves already-priced work against the aggregate
+// in-flight budget in one CAS. what names the unit of work ("program",
+// "batch") in the rejection message. On admission the returned release
+// must be deferred; on rejection the 429 carries the estimate.
+func (s *Server) admitUnits(what string, units float64) (func(), *apiError) {
+	milli := costMilli(units)
+	if s.cfg.MaxInflightCostUnits <= 0 {
+		s.met.costAdmittedMilli.Add(milli)
+		return func() {}, nil
+	}
+	maxMilli := costMilli(s.cfg.MaxInflightCostUnits)
+	for {
+		cur := s.met.costInflightMilli.Load()
+		// Always admit against an idle budget so one request larger than
+		// the aggregate budget cannot starve forever.
+		if cur > 0 && cur+milli > maxMilli {
+			s.met.costRejected.Add(1)
+			return nil, &apiError{
+				status:    http.StatusTooManyRequests,
+				stage:     "admission",
+				err:       fmt.Errorf("%s prices at %.0f cost units but only %.0f of the %.0f in-flight budget is free", what, units, s.cfg.MaxInflightCostUnits-float64(cur)/1000, s.cfg.MaxInflightCostUnits),
+				estCost:   units,
+				costLimit: s.cfg.MaxInflightCostUnits,
+			}
+		}
+		if s.met.costInflightMilli.CompareAndSwap(cur, cur+milli) {
+			break
+		}
+	}
+	s.met.costAdmittedMilli.Add(milli)
+	return func() { s.met.costInflightMilli.Add(-milli) }, nil
+}
+
 // admitCost prices a compiled program and runs it through both cost
 // budgets. On admission it returns the price and a release func the
 // caller must defer; on rejection it returns a 429 apiError carrying
@@ -75,40 +125,12 @@ func (s *Server) admitCost(prog *hir.Program) (*analysis.PriceReport, func(), *a
 		return nil, func() {}, nil
 	}
 	price := s.priceOf(prog)
-	if s.cfg.MaxCostUnits > 0 && price.CostUnits > s.cfg.MaxCostUnits {
-		s.met.costRejected.Add(1)
-		return nil, nil, &apiError{
-			status:    http.StatusTooManyRequests,
-			stage:     "admission",
-			err:       fmt.Errorf("program prices at %.0f cost units, over the per-request budget of %.0f", price.CostUnits, s.cfg.MaxCostUnits),
-			estCost:   price.CostUnits,
-			costLimit: s.cfg.MaxCostUnits,
-		}
+	if aerr := s.ceiling(price); aerr != nil {
+		return nil, nil, aerr
 	}
-	milli := costMilli(price.CostUnits)
-	if s.cfg.MaxInflightCostUnits <= 0 {
-		s.met.costAdmittedMilli.Add(milli)
-		return price, func() {}, nil
+	release, aerr := s.admitUnits("program", price.CostUnits)
+	if aerr != nil {
+		return nil, nil, aerr
 	}
-	maxMilli := costMilli(s.cfg.MaxInflightCostUnits)
-	for {
-		cur := s.met.costInflightMilli.Load()
-		// Always admit against an idle budget so one request larger than
-		// the aggregate budget cannot starve forever.
-		if cur > 0 && cur+milli > maxMilli {
-			s.met.costRejected.Add(1)
-			return nil, nil, &apiError{
-				status:    http.StatusTooManyRequests,
-				stage:     "admission",
-				err:       fmt.Errorf("program prices at %.0f cost units but only %.0f of the %.0f in-flight budget is free", price.CostUnits, s.cfg.MaxInflightCostUnits-float64(cur)/1000, s.cfg.MaxInflightCostUnits),
-				estCost:   price.CostUnits,
-				costLimit: s.cfg.MaxInflightCostUnits,
-			}
-		}
-		if s.met.costInflightMilli.CompareAndSwap(cur, cur+milli) {
-			break
-		}
-	}
-	s.met.costAdmittedMilli.Add(milli)
-	return price, func() { s.met.costInflightMilli.Add(-milli) }, nil
+	return price, release, nil
 }

@@ -540,4 +540,13 @@ func renderJobsMetrics(b *strings.Builder, jm jobs.Metrics) {
 	fmt.Fprintf(b, "# HELP hpfjobs_recovery_seconds Journal replay plus resume time at last startup.\n")
 	fmt.Fprintf(b, "# TYPE hpfjobs_recovery_seconds gauge\n")
 	fmt.Fprintf(b, "hpfjobs_recovery_seconds %g\n", jm.RecoverySeconds)
+	fmt.Fprintf(b, "# HELP hpfjobs_event_subscribers Live event-feed subscriptions.\n")
+	fmt.Fprintf(b, "# TYPE hpfjobs_event_subscribers gauge\n")
+	fmt.Fprintf(b, "hpfjobs_event_subscribers %d\n", jm.Subscribers)
+	fmt.Fprintf(b, "# HELP hpfjobs_events_total Job state-transition events recorded.\n")
+	fmt.Fprintf(b, "# TYPE hpfjobs_events_total counter\n")
+	fmt.Fprintf(b, "hpfjobs_events_total %d\n", jm.EventsTotal)
+	fmt.Fprintf(b, "# HELP hpfjobs_subscriber_drops_total Slow event consumers dropped from the fan-out.\n")
+	fmt.Fprintf(b, "# TYPE hpfjobs_subscriber_drops_total counter\n")
+	fmt.Fprintf(b, "hpfjobs_subscriber_drops_total %d\n", jm.SubscriberDrops)
 }

@@ -71,6 +71,13 @@ type metrics struct {
 	costRejected      atomic.Int64 // requests refused over a cost budget (429)
 	costInflightMilli atomic.Int64 // reserved static cost of admitted requests
 	costAdmittedMilli atomic.Int64 // cumulative admitted static cost
+
+	// Batch data plane and SSE streaming counters (batch.go, events.go).
+	batchPointsOK     atomic.Int64 // batch points answered with a result
+	batchPointsFailed atomic.Int64 // batch points answered with a per-point error
+	sseStreams        atomic.Int64 // live /v1/jobs/{id}/events streams (gauge)
+	sseEvents         atomic.Int64 // SSE events written to clients
+	sseHeartbeats     atomic.Int64 // SSE heartbeat comments written
 }
 
 // writeExemplar appends an OpenMetrics exemplar (` # {trace_id=
@@ -189,6 +196,19 @@ func (m *metrics) render(b *strings.Builder, snap sweep.Snapshot, cs sweep.Cache
 	fmt.Fprintf(b, "# HELP hpfserve_cost_admitted_units_total Cumulative static cost admitted through the gate.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_cost_admitted_units_total counter\n")
 	fmt.Fprintf(b, "hpfserve_cost_admitted_units_total %g\n", float64(m.costAdmittedMilli.Load())/1000)
+	fmt.Fprintf(b, "# HELP hpfserve_batch_points_total Batch points by per-point outcome.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_batch_points_total counter\n")
+	fmt.Fprintf(b, "hpfserve_batch_points_total{outcome=\"ok\"} %d\n", m.batchPointsOK.Load())
+	fmt.Fprintf(b, "hpfserve_batch_points_total{outcome=\"error\"} %d\n", m.batchPointsFailed.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_sse_streams Live job event streams.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_sse_streams gauge\n")
+	fmt.Fprintf(b, "hpfserve_sse_streams %d\n", m.sseStreams.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_sse_events_total SSE events written to clients.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_sse_events_total counter\n")
+	fmt.Fprintf(b, "hpfserve_sse_events_total %d\n", m.sseEvents.Load())
+	fmt.Fprintf(b, "# HELP hpfserve_sse_heartbeats_total SSE heartbeat comments written on idle streams.\n")
+	fmt.Fprintf(b, "# TYPE hpfserve_sse_heartbeats_total counter\n")
+	fmt.Fprintf(b, "hpfserve_sse_heartbeats_total %d\n", m.sseHeartbeats.Load())
 	fmt.Fprintf(b, "# HELP hpfserve_panics_total Handler panics recovered into error responses.\n")
 	fmt.Fprintf(b, "# TYPE hpfserve_panics_total counter\n")
 	fmt.Fprintf(b, "hpfserve_panics_total %d\n", m.panics.Load())

@@ -70,6 +70,14 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker sheds a route before
 	// admitting a half-open probe (<= 0 = 5s).
 	BreakerCooldown time.Duration
+	// MaxBatchPoints caps how many points one POST /v1/batch request may
+	// carry (<= 0 = 1024). Larger tables should split; each sub-batch
+	// still shares compiles through the engine cache.
+	MaxBatchPoints int
+	// SSEHeartbeat is the idle-comment interval of the
+	// GET /v1/jobs/{id}/events stream, keeping proxies from timing the
+	// connection out between state transitions (<= 0 = 15s).
+	SSEHeartbeat time.Duration
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (<= 0 = 30s).
 	DefaultTimeout time.Duration
@@ -121,7 +129,9 @@ const (
 	routeMeasure  = "measure"
 	routeAutotune = "autotune"
 	routeAnalyze  = "analyze"
+	routeBatch    = "batch"
 	routeJobs     = "jobs"
+	routeEvents   = "jobs_events"
 )
 
 // New builds a Server from cfg.
@@ -160,7 +170,13 @@ func New(cfg Config) *Server {
 	if cfg.TraceRing <= 0 {
 		cfg.TraceRing = 64
 	}
-	routes := []string{routePredict, routeMeasure, routeAutotune, routeAnalyze, routeJobs}
+	if cfg.MaxBatchPoints <= 0 {
+		cfg.MaxBatchPoints = 1024
+	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = 15 * time.Second
+	}
+	routes := []string{routePredict, routeMeasure, routeAutotune, routeAnalyze, routeBatch, routeJobs}
 	s := &Server{
 		cfg:  cfg,
 		eng:  eng,
@@ -179,11 +195,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/measure", s.api(routeMeasure, s.handleMeasure))
 	s.mux.HandleFunc("/v1/autotune", s.api(routeAutotune, s.handleAutotune))
 	s.mux.HandleFunc("/v1/analyze", s.api(routeAnalyze, s.handleAnalyze))
+	s.mux.HandleFunc("/v1/batch", s.api(routeBatch, s.handleBatch))
 	// Async job surfaces (jobs.go). Registered unconditionally so the
 	// routes answer with a typed error when OpenJobs was not called.
 	s.mux.HandleFunc("POST /v1/jobs", s.api(routeJobs, s.handleJobSubmit))
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	if cfg.ExposeTraces {
 		s.mux.HandleFunc("/v1/traces", s.handleTraces)
@@ -532,25 +550,62 @@ func decode[T any](body []byte, req *T) *apiError {
 	return nil
 }
 
+// validatePredict applies the pre-compile request checks of
+// /v1/predict; /v1/batch applies the same checks per point so a point's
+// error is byte-identical to the sequential call's.
+func validatePredict(req *PredictRequest) *apiError {
+	if strings.TrimSpace(req.Source) == "" {
+		return errf(http.StatusBadRequest, "decode", "source is required")
+	}
+	if req.Machine != "" {
+		if _, err := sysmodel.MachineByName(req.Machine); err != nil {
+			return errf(http.StatusBadRequest, "decode", "%v", err)
+		}
+	}
+	return nil
+}
+
+// evalPredict runs the interpretation pipeline for one validated,
+// compiled and cost-admitted predict request. ElapsedUS is left zero:
+// the synchronous handler stamps wall time afterwards, while batch
+// points and async jobs keep the deterministic form.
+func (s *Server) evalPredict(ctx context.Context, req *PredictRequest) (*PredictResponse, *apiError) {
+	rep, err := s.eng.InterpretMachine(ctx, req.Machine, req.Source, req.Options.compilerOptions(), req.Options.coreOptions())
+	if err != nil {
+		return nil, ctxErr(err, http.StatusUnprocessableEntity, "interpret")
+	}
+	resp := &PredictResponse{
+		Program:  rep.Program,
+		Procs:    rep.Procs,
+		EstUS:    rep.TotalUS(),
+		Seconds:  rep.EstimatedSeconds(),
+		CompUS:   rep.Total.CompUS,
+		CommUS:   rep.Total.CommUS,
+		OvhdUS:   rep.Total.OvhdUS,
+		Warnings: rep.Warnings,
+	}
+	if req.Profile {
+		resp.Profile = report.Profile(rep)
+	}
+	if req.HotLines > 0 {
+		resp.HotLines = report.HotLines(rep, req.HotLines)
+	}
+	return resp, nil
+}
+
 func (s *Server) handlePredict(ctx context.Context, body []byte) (any, *apiError) {
 	var req PredictRequest
 	if aerr := decode(body, &req); aerr != nil {
 		return nil, aerr
 	}
-	if strings.TrimSpace(req.Source) == "" {
-		return nil, errf(http.StatusBadRequest, "decode", "source is required")
-	}
-	if req.Machine != "" {
-		if _, err := sysmodel.MachineByName(req.Machine); err != nil {
-			return nil, errf(http.StatusBadRequest, "decode", "%v", err)
-		}
+	if aerr := validatePredict(&req); aerr != nil {
+		return nil, aerr
 	}
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
 	defer cancel()
 
-	copts := req.Options.compilerOptions()
-	prog, err := s.eng.CompileContext(ctx, req.Source, copts)
+	prog, err := s.eng.CompileContext(ctx, req.Source, req.Options.compilerOptions())
 	if err != nil {
 		return nil, ctxErr(err, http.StatusBadRequest, "compile")
 	}
@@ -562,56 +617,35 @@ func (s *Server) handlePredict(ctx context.Context, body []byte) (any, *apiError
 		return nil, aerr
 	}
 	defer releaseCost()
-	rep, err := s.eng.InterpretMachine(ctx, req.Machine, req.Source, copts, req.Options.coreOptions())
-	if err != nil {
-		return nil, ctxErr(err, http.StatusUnprocessableEntity, "interpret")
-	}
-	resp := &PredictResponse{
-		Program:   rep.Program,
-		Procs:     rep.Procs,
-		EstUS:     rep.TotalUS(),
-		Seconds:   rep.EstimatedSeconds(),
-		CompUS:    rep.Total.CompUS,
-		CommUS:    rep.Total.CommUS,
-		OvhdUS:    rep.Total.OvhdUS,
-		Warnings:  rep.Warnings,
-		ElapsedUS: float64(time.Since(start)) / float64(time.Microsecond),
-	}
-	if req.Profile {
-		resp.Profile = report.Profile(rep)
-	}
-	if req.HotLines > 0 {
-		resp.HotLines = report.HotLines(rep, req.HotLines)
-	}
-	return resp, nil
-}
-
-func (s *Server) handleMeasure(ctx context.Context, body []byte) (any, *apiError) {
-	var req MeasureRequest
-	if aerr := decode(body, &req); aerr != nil {
-		return nil, aerr
-	}
-	if strings.TrimSpace(req.Source) == "" {
-		return nil, errf(http.StatusBadRequest, "decode", "source is required")
-	}
-	start := time.Now()
-	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
-	defer cancel()
-
-	prog, err := s.eng.CompileContext(ctx, req.Source, compiler.Options{})
-	if err != nil {
-		return nil, ctxErr(err, http.StatusBadRequest, "compile")
-	}
-	_, releaseCost, aerr := s.admitCost(prog)
+	resp, aerr := s.evalPredict(ctx, &req)
 	if aerr != nil {
 		return nil, aerr
 	}
-	defer releaseCost()
+	resp.ElapsedUS = float64(time.Since(start)) / float64(time.Microsecond)
+	return resp, nil
+}
+
+// validateMeasure applies the pre-compile request checks of
+// /v1/measure. Machine validation deliberately stays in evalMeasure:
+// the sequential handler checks it only after a successful compile, and
+// batch points must fail in the same order.
+func validateMeasure(req *MeasureRequest) *apiError {
+	if strings.TrimSpace(req.Source) == "" {
+		return errf(http.StatusBadRequest, "decode", "source is required")
+	}
+	return nil
+}
+
+// measureSpec resolves a measure request against its compiled program:
+// machine selection, perturbation/seed/cache-model knobs, and an eager
+// machine construction so misconfiguration stays a 400 before the
+// cached execution path runs.
+func measureSpec(req *MeasureRequest, prog *hir.Program) (sweep.MeasureSpec, *apiError) {
 	cfg := ipsc.DefaultConfig(prog.Info.Grid.Size())
 	if req.Machine != "" {
 		base, err := sysmodel.MachineByName(req.Machine)
 		if err != nil {
-			return nil, errf(http.StatusBadRequest, "decode", "%v", err)
+			return sweep.MeasureSpec{}, errf(http.StatusBadRequest, "decode", "%v", err)
 		}
 		cfg.Base = base
 	}
@@ -632,19 +666,26 @@ func (s *Server) handleMeasure(ctx context.Context, body []byte) (any, *apiError
 	if runs <= 0 {
 		runs = 1
 	}
-	// Validate the machine construction eagerly (node count vs the
-	// machine's cube size) so misconfiguration stays a 400 before the
-	// cached execution path runs.
 	if _, err := ipsc.New(cfg); err != nil {
-		return nil, errf(http.StatusBadRequest, "decode", "%v", err)
+		return sweep.MeasureSpec{}, errf(http.StatusBadRequest, "decode", "%v", err)
 	}
-	spec := sweep.MeasureSpec{
+	return sweep.MeasureSpec{
 		Machine:    req.Machine,
 		Runs:       runs,
 		PerturbAmp: cfg.PerturbAmp,
 		TimerResUS: cfg.TimerResUS,
 		Seed:       cfg.Seed,
 		CacheModel: cfg.CacheModel,
+	}, nil
+}
+
+// evalMeasure runs the simulated-execution pipeline for one validated,
+// compiled and cost-admitted measure request. ElapsedUS is left zero
+// (see evalPredict).
+func (s *Server) evalMeasure(ctx context.Context, req *MeasureRequest, prog *hir.Program) (*MeasureResponse, *apiError) {
+	spec, aerr := measureSpec(req, prog)
+	if aerr != nil {
+		return nil, aerr
 	}
 	res, err := s.eng.MeasureContext(ctx, req.Source, compiler.Options{}, spec)
 	if err != nil {
@@ -658,8 +699,36 @@ func (s *Server) handleMeasure(ctx context.Context, body []byte) (any, *apiError
 		RunsUS:     res.RunsUS,
 		PerNodeUS:  res.PerNodeUS,
 		Printed:    res.Printed,
-		ElapsedUS:  float64(time.Since(start)) / float64(time.Microsecond),
 	}, nil
+}
+
+func (s *Server) handleMeasure(ctx context.Context, body []byte) (any, *apiError) {
+	var req MeasureRequest
+	if aerr := decode(body, &req); aerr != nil {
+		return nil, aerr
+	}
+	if aerr := validateMeasure(&req); aerr != nil {
+		return nil, aerr
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	prog, err := s.eng.CompileContext(ctx, req.Source, compiler.Options{})
+	if err != nil {
+		return nil, ctxErr(err, http.StatusBadRequest, "compile")
+	}
+	_, releaseCost, aerr := s.admitCost(prog)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer releaseCost()
+	resp, aerr := s.evalMeasure(ctx, &req, prog)
+	if aerr != nil {
+		return nil, aerr
+	}
+	resp.ElapsedUS = float64(time.Since(start)) / float64(time.Microsecond)
+	return resp, nil
 }
 
 func (s *Server) handleAutotune(ctx context.Context, body []byte) (any, *apiError) {
